@@ -1,0 +1,97 @@
+// Command edgetrainer trains a scaled-down ResNet student on synthetic
+// viewpoint data under a chosen checkpointing policy, reporting what the run
+// would cost on a Waggle-class Edge node: peak retained states/bytes,
+// recompute overhead, step time and how long the job takes when it may only
+// use the node's idle CPU time.
+//
+// Usage:
+//
+//	edgetrainer                                   # store-all baseline
+//	edgetrainer -policy revolve -slots 3          # optimal checkpointing
+//	edgetrainer -policy revolve -rho 1.8          # slot count chosen from a rho budget
+//	edgetrainer -policy sequential -segments 4    # PyTorch-style baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/resnet"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/internal/vision"
+)
+
+func main() {
+	policy := flag.String("policy", "store-all", "checkpointing policy: store-all, revolve or sequential")
+	slots := flag.Int("slots", 0, "checkpoint slots for the revolve policy")
+	rho := flag.Float64("rho", 0, "recompute budget for the revolve policy (used when -slots is 0)")
+	segments := flag.Int("segments", 4, "segments for the sequential policy")
+	epochs := flag.Int("epochs", 3, "training epochs")
+	batch := flag.Int("batch", 8, "batch size")
+	samples := flag.Int("samples", 160, "synthetic training samples")
+	viewpoint := flag.Float64("viewpoint", 0.8, "node viewpoint skew in [0,1]")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := resnet.DefaultSmallConfig()
+	cfg.NumClasses = vision.NumClasses
+	cfg.Seed = *seed
+	net, err := resnet.BuildSmall(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := chain.FromSequential(net)
+
+	rng := tensor.NewRNG(*seed + 1)
+	set := vision.Dataset(rng, *samples, *viewpoint, 16)
+	var ds []trainer.Batch
+	for i := range set.Images {
+		ds = append(ds, trainer.Batch{Images: set.Images[i], Labels: []int{set.Labels[i]}})
+	}
+	dataset := trainer.NewSliceDataset(ds)
+
+	pol := chain.Policy{Kind: *policy, Slots: *slots, Segments: *segments, Rho: *rho, Cost: checkpoint.DefaultCostModel}
+	tr, err := trainer.New(c, trainer.Config{
+		Epochs:    *epochs,
+		BatchSize: *batch,
+		Optimizer: trainer.NewAdam(0.01),
+		Policy:    pol,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("edge student training: %d-stage %s, policy=%s, batch=%d, viewpoint=%.2f\n",
+		c.Len(), cfg.Variant, *policy, *batch, *viewpoint)
+	stats, err := tr.Train(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := device.Waggle()
+	var lastStats trainer.EpochStats
+	for _, st := range stats {
+		lastStats = st
+		fmt.Printf("epoch %d: loss=%.4f acc=%.1f%% forwards=%d backwards=%d peak-states=%d peak-bytes=%.1f MB\n",
+			st.Epoch, st.Loss, 100*st.Accuracy, st.ForwardEvals, st.BackwardEvals, st.PeakStates, float64(st.PeakBytes)/1e6)
+	}
+
+	// Put the run into the context of the Waggle node.
+	fmt.Printf("\nWaggle node context (%s):\n", node)
+	perStepFLOPs := int64(2e8) // order-of-magnitude estimate for the small student
+	stepSeconds := node.TrainingStepSeconds(perStepFLOPs)
+	totalSteps := lastStats.Steps * *epochs
+	cpuSeconds := stepSeconds * float64(totalSteps)
+	fmt.Printf("  estimated CPU time for the whole job: %.1f s\n", cpuSeconds)
+	sched := trainer.DefaultIdleScheduler
+	res, err := sched.Schedule(trainer.DielLoadTrace(7, 600, 0.85, 0.15), cpuSeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  scheduled opportunistically (idle CPU only): finishes in %.1f h, utilisation %.1f%%, completed=%v\n",
+		res.ElapsedSeconds/3600, 100*res.Utilisation, res.Completed)
+}

@@ -1,0 +1,75 @@
+// Command memtable regenerates Tables I, II and III of "Training on the
+// Edge": the training-memory footprint of the ResNet family over batch sizes
+// and image sizes, with the 2 GB Edge-device fit marked per cell.
+//
+// Usage:
+//
+//	memtable -table all            # print all three tables
+//	memtable -table 1 -compare     # print Table I next to the paper's values
+//	memtable -table 3 -accounting sgd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/edgeml/edgetrain/internal/memmodel"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 1, 2, 3 or all")
+	accounting := flag.String("accounting", "adam", "optimiser-state accounting: adam (16 B/param) or sgd (8 B/param)")
+	compare := flag.Bool("compare", false, "print per-cell comparison against the paper's published values")
+	flag.Parse()
+
+	acc := memmodel.DefaultAccounting
+	switch *accounting {
+	case "adam":
+	case "sgd":
+		acc = memmodel.SGDAccounting
+	default:
+		log.Fatalf("unknown accounting %q (want adam or sgd)", *accounting)
+	}
+
+	type entry struct {
+		id    string
+		build func(memmodel.Accounting) (*memmodel.Table, error)
+		paper memmodel.PaperTable
+	}
+	entries := []entry{
+		{"1", memmodel.Table1, memmodel.PaperTable1},
+		{"2", memmodel.Table2, memmodel.PaperTable2},
+		{"3", memmodel.Table3, memmodel.PaperTable3},
+	}
+
+	printed := false
+	for _, e := range entries {
+		if *table != "all" && *table != e.id {
+			continue
+		}
+		printed = true
+		tbl, err := e.build(acc)
+		if err != nil {
+			log.Fatalf("table %s: %v", e.id, err)
+		}
+		fmt.Println(tbl.Render())
+		if *compare {
+			cmp, err := memmodel.Compare(tbl, e.paper)
+			if err != nil {
+				log.Fatalf("compare table %s: %v", e.id, err)
+			}
+			fmt.Printf("%-10s %-12s %12s %12s %10s %6s\n", "row", "model", "paper", "reproduced", "rel diff", "fit=")
+			for _, c := range cmp {
+				fmt.Printf("%-10d %-12s %12.2f %12.2f %9.1f%% %6v\n",
+					c.Row, c.Variant, c.Paper, c.Ours, 100*c.RelativeDiff, c.FitsAgrees)
+			}
+			fmt.Println()
+		}
+	}
+	if !printed {
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 1, 2, 3 or all)\n", *table)
+		os.Exit(2)
+	}
+}

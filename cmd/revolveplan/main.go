@@ -1,0 +1,97 @@
+// Command revolveplan inspects optimal (Revolve/binomial) checkpointing
+// schedules and compares them against PyTorch's checkpoint_sequential: the
+// minimal forward work for a slot budget, the minimal slots for a recompute
+// budget, the Section V memory formula and its 2*sqrt(l) lower bound, and the
+// full action listing of a schedule.
+//
+// Usage:
+//
+//	revolveplan -l 152 -slots 8            # cost summary for one configuration
+//	revolveplan -l 50 -slots 3 -print      # full action listing
+//	revolveplan -l 152 -rho 2              # minimal slots for a recompute budget
+//	revolveplan -l 152 -sequential         # Section V formula sweep over segments
+//	revolveplan -l 152 -sweep              # slots vs forwards/rho table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+)
+
+func main() {
+	l := flag.Int("l", 152, "chain length (network depth)")
+	slots := flag.Int("slots", 0, "checkpoint slot budget")
+	rho := flag.Float64("rho", 0, "recompute-factor budget (selects minimal slots)")
+	backward := flag.Float64("backward-ratio", 2.0, "cost of a backward step relative to a forward step")
+	print := flag.Bool("print", false, "print the full schedule action listing")
+	sequential := flag.Bool("sequential", false, "sweep the checkpoint_sequential formula over segment counts")
+	sweep := flag.Bool("sweep", false, "print forwards and rho for every slot count")
+	flag.Parse()
+
+	cost := checkpoint.CostModel{BackwardRatio: *backward}
+
+	switch {
+	case *sequential:
+		fmt.Printf("checkpoint_sequential on a homogeneous chain of l=%d blocks\n", *l)
+		fmt.Printf("lower bound 2*sqrt(l) = %.2f activation slots\n\n", checkpoint.SequentialLowerBound(*l))
+		fmt.Printf("%-10s%-14s%-14s%-10s\n", "segments", "memory slots", "forwards", "rho")
+		for s := 1; s <= *l; s++ {
+			mem := checkpoint.SequentialMemorySlots(*l, s)
+			fw := checkpoint.SequentialForwards(*l, s)
+			fmt.Printf("%-10d%-14d%-14d%-10.3f\n", s, mem, fw, cost.Rho(*l, fw))
+			if s > 24 && s < *l-1 {
+				if s == 25 {
+					fmt.Println("...")
+				}
+				continue
+			}
+		}
+		bestS, bestM := checkpoint.BestSequentialSegments(*l)
+		fmt.Printf("\nbest segment count: %d (memory %d slots)\n", bestS, bestM)
+	case *sweep:
+		fmt.Printf("optimal checkpointing for a chain of l=%d steps\n", *l)
+		fmt.Printf("%-8s%-14s%-10s%-12s\n", "slots", "forwards", "rho", "repetition")
+		for c := 0; c <= *l-1; c++ {
+			fw := checkpoint.MinForwards(*l, c)
+			fmt.Printf("%-8d%-14d%-10.3f%-12d\n", c, fw, cost.Rho(*l, fw), checkpoint.Repetition(*l, c))
+			if c > 20 && c < *l-5 && c%10 != 0 {
+				continue
+			}
+		}
+	case *rho > 0:
+		res := checkpoint.MinSlotsForRho(*l, *rho, cost)
+		fmt.Printf("chain l=%d, recompute budget rho<=%.3f (backward ratio %.1f):\n", *l, *rho, *backward)
+		fmt.Printf("  minimal checkpoint slots: %d\n", res.Slots)
+		fmt.Printf("  forward executions:       %d\n", res.Forwards)
+		fmt.Printf("  achieved rho:             %.3f\n", cost.Rho(*l, res.Forwards))
+		fmt.Printf("  feasible:                 %v\n", res.Feasible)
+	default:
+		c := *slots
+		if c <= 0 {
+			c = 8
+		}
+		sched, err := checkpoint.PlanRevolve(*l, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := sched.Trace()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("revolve schedule for l=%d with %d slots:\n", *l, c)
+		fmt.Printf("  forward executions: %d (optimum %d)\n", tr.Forwards, checkpoint.MinForwards(*l, c))
+		fmt.Printf("  peak slots used:    %d\n", tr.PeakSlots)
+		fmt.Printf("  restores:           %d\n", tr.Restores)
+		fmt.Printf("  max step reruns:    %d\n", tr.MaxStepExecutions)
+		fmt.Printf("  recompute factor:   %.3f\n", cost.Rho(*l, tr.Forwards))
+		seq := checkpoint.SequentialMemorySlots(*l, c+1)
+		fmt.Printf("  checkpoint_sequential with %d segments would retain %d activations (vs %d here)\n", c+1, seq, tr.PeakSlots+1)
+		if *print {
+			fmt.Println()
+			fmt.Print(sched.Render())
+		}
+	}
+}

@@ -1,0 +1,38 @@
+// Package edgetrain is a Go reproduction of "Training on the Edge: The why
+// and the how" (Kukreja et al., IPPS 2019).
+//
+// The repository contains everything the paper's argument rests on, built
+// from scratch on the standard library:
+//
+//   - internal/tensor, internal/nn, internal/trainer — a small dense-tensor
+//     and neural-network stack (convolutions, batch norm, residual blocks,
+//     SGD/momentum/Adam) with true forward and backward passes, so that
+//     checkpointed backpropagation can be validated against real gradients.
+//   - internal/resnet, internal/memmodel — the ResNet-18/34/50/101/152
+//     architecture specifications and the analytical memory model that
+//     regenerates Tables I-III and the LinearResNet homogenisation of
+//     Section VI.
+//   - internal/checkpoint — the paper's core subject: optimal
+//     (Revolve/binomial) checkpointing schedules, the PyTorch
+//     checkpoint_sequential baseline, and the recompute-factor (rho)
+//     budgeted search used to draw Figure 1.
+//   - internal/chain — an executor that runs real networks under any
+//     checkpointing schedule and reproduces baseline gradients exactly.
+//   - internal/device, internal/edgesim, internal/vision, internal/teacher —
+//     the Waggle/Array-of-Things context: the 2 GB Edge node, the fleet-scale
+//     cloud-vs-edge comparison, the synthetic viewpoint problem and the
+//     in-situ student-teacher pipeline.
+//
+// The cmd/ directory holds the command-line tools that regenerate every table
+// and figure (memtable, figure1, revolveplan, edgetrainer, aotsim), the
+// examples/ directory holds runnable walkthroughs, and bench_test.go in this
+// directory contains one benchmark per experiment of the paper's evaluation.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-versus-reproduction
+// comparison.
+package edgetrain
+
+// Version is the library version. The reproduction is tagged as a whole; the
+// individual internal packages do not carry separate versions.
+const Version = "1.0.0"

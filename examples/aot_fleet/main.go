@@ -1,0 +1,58 @@
+// Array-of-Things fleet: the "why" of training on the Edge.
+//
+// The example simulates a city-scale fleet of Waggle camera nodes for three
+// model-update strategies (cloud training, in-situ Edge training, and a
+// static generic model) and reports the data movement, energy and privacy
+// consequences of each, followed by a look at how long in-situ training takes
+// when it is only allowed to use the node's idle CPU time.
+//
+// Run with: go run ./examples/aot_fleet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/edgesim"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+func main() {
+	cfg := edgesim.DefaultFleetConfig()
+	results, err := edgesim.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet of %d Waggle nodes over %d days\n\n", cfg.Nodes, cfg.Days)
+	fmt.Print(edgesim.Render(results))
+
+	// How much uplink would cloud training demand, and what does edge
+	// training demand instead?
+	var cloud, edge edgesim.Result
+	for _, r := range results {
+		switch r.Strategy {
+		case edgesim.StrategyCloudTraining:
+			cloud = r
+		case edgesim.StrategyEdgeTraining:
+			edge = r
+		}
+	}
+	fmt.Printf("\ncloud training moves %.1fx more data over the network than edge training\n",
+		float64(cloud.TotalNetworkBytes())/float64(edge.TotalNetworkBytes()))
+	fmt.Printf("and exposes %d raw camera images that never leave the node otherwise.\n", cloud.SensitiveImagesShared)
+
+	// The in-situ training job runs opportunistically, only when the node's
+	// primary (inference) workload leaves the CPU idle.
+	node := device.Waggle()
+	perImageSeconds := node.TrainingStepSeconds(cfg.Node.TrainingFLOPsPerImage)
+	cpuSeconds := perImageSeconds * float64(edge.CapturedImages) * float64(cfg.Node.Epochs)
+	sched := trainer.DefaultIdleScheduler
+	trace := trainer.DielLoadTrace(cfg.Days, 600, 0.85, 0.15)
+	res, err := sched.Schedule(trace, cpuSeconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nin-situ retraining needs %.1f CPU-hours per node; scheduled into idle time it finishes in %.1f days (completed: %v)\n",
+		cpuSeconds/3600, res.ElapsedSeconds/86400, res.Completed)
+}

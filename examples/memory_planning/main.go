@@ -1,0 +1,58 @@
+// Memory planning: choose a trainable configuration for a 2 GB Waggle node.
+//
+// The example walks the decision the paper's Sections III and VI describe:
+// it prints the footprint of every ResNet variant for the workload at hand,
+// shows the largest batch size that fits without checkpointing, and then uses
+// the Revolve planner to report the recompute factor at which each variant
+// becomes trainable at the desired batch size.
+//
+// Run with: go run ./examples/memory_planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/internal/resnet"
+)
+
+func main() {
+	const (
+		imageSize   = 500
+		wantedBatch = 8
+	)
+	node := device.Waggle()
+	acc := memmodel.DefaultAccounting
+	cost := checkpoint.DefaultCostModel
+
+	fmt.Printf("planning training for image size %d on %s\n\n", imageSize, node)
+	fmt.Printf("%-12s%16s%14s%18s%22s\n", "model", "batch-8 (GB)", "max batch", "fits at batch 8?", "rho to fit batch 8")
+
+	for _, v := range resnet.Variants {
+		fp, err := memmodel.Model(v, imageSize, wantedBatch, acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxBatch, err := node.MaxBatchSize(v, imageSize, acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lin, err := memmodel.LinearChain(v, imageSize, wantedBatch, acc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho, slots, ok := checkpoint.MinRhoToFit(lin, node.MemoryBytes, cost, 6)
+		rhoStr := "never"
+		if ok {
+			rhoStr = fmt.Sprintf("%.2f (%d slots)", rho, slots)
+		}
+		fmt.Printf("%-12s%16.2f%14d%18v%22s\n", v.String(), fp.GB(), maxBatch, node.Fits(fp), rhoStr)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println(" - 'max batch' is the largest batch trainable WITHOUT checkpointing (Section III's n_max logic);")
+	fmt.Println(" - 'rho to fit' is the recompute factor optimal checkpointing needs so batch 8 fits in 2 GB (Section VI).")
+}

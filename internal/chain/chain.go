@@ -1,0 +1,275 @@
+// Package chain executes real neural networks (built from internal/nn
+// layers) under a checkpointing schedule from internal/checkpoint. It is the
+// bridge between the paper's scheduling theory and an actual training step:
+// the executor re-runs stage forwards exactly where the schedule says to,
+// retains only the states the schedule snapshots, and produces gradients that
+// are identical to plain backpropagation.
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Chain is a sequential network viewed as a list of checkpointable stages.
+// Each stage is an nn.Layer; a stage's input is the previous stage's output.
+type Chain struct {
+	Stages []nn.Layer
+}
+
+// FromSequential views a Sequential container as a chain whose stages are the
+// container's layers.
+func FromSequential(s *nn.Sequential) *Chain {
+	return &Chain{Stages: append([]nn.Layer(nil), s.Layers...)}
+}
+
+// New builds a chain directly from layers.
+func New(stages ...nn.Layer) *Chain { return &Chain{Stages: stages} }
+
+// Len returns the number of stages (the chain length L).
+func (c *Chain) Len() int { return len(c.Stages) }
+
+// Params returns all trainable parameters of the chain.
+func (c *Chain) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, s := range c.Stages {
+		ps = append(ps, s.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all parameter gradients.
+func (c *Chain) ZeroGrads() { nn.ZeroGrads(c.Stages) }
+
+// LossGradFunc maps the chain output to the gradient of the training loss
+// with respect to that output. It is called exactly once per Execute, when
+// the adjoint of the final stage runs.
+type LossGradFunc func(output *tensor.Tensor) *tensor.Tensor
+
+// Result reports what a checkpointed execution did.
+type Result struct {
+	Output    *tensor.Tensor // the chain output x_L
+	InputGrad *tensor.Tensor // gradient with respect to the chain input x_0
+
+	// ForwardEvals counts stage forward executions triggered by Advance
+	// actions (recomputation and the initial sweep). The forward run folded
+	// into each adjoint step is counted separately in BackwardEvals.
+	ForwardEvals  int
+	BackwardEvals int
+
+	// PeakStates is the maximum number of simultaneously retained states
+	// (checkpoints plus the chain input).
+	PeakStates int
+	// PeakStateBytes is the measured peak footprint of those retained states.
+	PeakStateBytes int64
+}
+
+// ErrNoLossGrad is returned when Execute is called without a loss-gradient
+// callback.
+var ErrNoLossGrad = errors.New("chain: nil loss-gradient callback")
+
+// Execute runs one training step (forward + backward) of the chain on input x
+// following the given checkpointing schedule. Parameter gradients are
+// accumulated into the stages' Params; the caller applies the optimiser.
+//
+// The schedule's length must equal the chain length. train selects the
+// layers' training mode (batch statistics for batch norm).
+func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoint.Schedule, train bool) (*Result, error) {
+	if lossGrad == nil {
+		return nil, ErrNoLossGrad
+	}
+	if sched.Length != c.Len() {
+		return nil, fmt.Errorf("chain: schedule length %d does not match chain length %d", sched.Length, c.Len())
+	}
+	l := c.Len()
+	res := &Result{}
+
+	// Working state and checkpoint slots. State index i means x_i (the output
+	// of stage i); index 0 is the chain input.
+	current := x
+	currentIdx := 0
+	slots := make([]*tensor.Tensor, sched.Slots)
+	slotIdx := make([]int, sched.Slots)
+	for i := range slotIdx {
+		slotIdx[i] = -1
+	}
+
+	trackPeak := func() {
+		states := 1 // the input is always retained
+		bytes := x.Bytes()
+		for i, t := range slots {
+			if slotIdx[i] != -1 && t != nil {
+				states++
+				bytes += t.Bytes()
+			}
+		}
+		if states > res.PeakStates {
+			res.PeakStates = states
+		}
+		if bytes > res.PeakStateBytes {
+			res.PeakStateBytes = bytes
+		}
+	}
+	trackPeak()
+
+	pending := l                // next adjoint step
+	var upstream *tensor.Tensor // gradient flowing into the pending stage
+
+	runForward := func(stage int, input *tensor.Tensor) *tensor.Tensor {
+		return c.Stages[stage-1].Forward(input, train)
+	}
+
+	for ai, a := range sched.Actions {
+		switch a.Kind {
+		case checkpoint.ActionAdvance:
+			for s := 0; s < a.Steps; s++ {
+				current = runForward(currentIdx+1, current)
+				currentIdx++
+				res.ForwardEvals++
+			}
+		case checkpoint.ActionSnapshot:
+			if a.Slot < 0 || a.Slot >= len(slots) {
+				return nil, fmt.Errorf("chain: action %d: slot %d out of range", ai, a.Slot)
+			}
+			slots[a.Slot] = current
+			slotIdx[a.Slot] = currentIdx
+			trackPeak()
+		case checkpoint.ActionRestore:
+			if a.Slot == checkpoint.InputSlot {
+				current, currentIdx = x, 0
+			} else {
+				if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
+					return nil, fmt.Errorf("chain: action %d: restore from empty slot %d", ai, a.Slot)
+				}
+				current, currentIdx = slots[a.Slot], slotIdx[a.Slot]
+			}
+		case checkpoint.ActionFree:
+			if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
+				return nil, fmt.Errorf("chain: action %d: freeing empty slot %d", ai, a.Slot)
+			}
+			slots[a.Slot] = nil
+			slotIdx[a.Slot] = -1
+		case checkpoint.ActionBackprop:
+			if pending == 0 {
+				return nil, fmt.Errorf("chain: action %d: no adjoint steps left", ai)
+			}
+			if currentIdx != pending-1 {
+				return nil, fmt.Errorf("chain: action %d: adjoint of stage %d needs state %d, have %d", ai, pending, pending-1, currentIdx)
+			}
+			// The adjoint of a stage always re-runs its forward so the layer's
+			// internal cache corresponds to the correct input, then applies
+			// the layer backward.
+			out := runForward(pending, current)
+			res.BackwardEvals++
+			if pending == l {
+				res.Output = out
+				upstream = lossGrad(out)
+				if upstream == nil {
+					return nil, fmt.Errorf("chain: loss-gradient callback returned nil")
+				}
+			}
+			upstream = c.Stages[pending-1].Backward(upstream)
+			pending--
+		default:
+			return nil, fmt.Errorf("chain: action %d: unknown kind %d", ai, a.Kind)
+		}
+	}
+	if pending != 0 {
+		return nil, fmt.Errorf("chain: schedule left %d adjoint steps unexecuted", pending)
+	}
+	res.InputGrad = upstream
+	return res, nil
+}
+
+// ExecutePlain runs a conventional forward and backward pass (every stage's
+// cache retained by the layer itself). It is the baseline the checkpointed
+// executor is validated against and corresponds to the store-all row of the
+// paper's analysis.
+func ExecutePlain(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, train bool) (*Result, error) {
+	if lossGrad == nil {
+		return nil, ErrNoLossGrad
+	}
+	res := &Result{}
+	states := []*tensor.Tensor{x}
+	current := x
+	for _, s := range c.Stages {
+		current = s.Forward(current, train)
+		states = append(states, current)
+		res.ForwardEvals++
+	}
+	res.Output = current
+	var bytes int64
+	for _, s := range states {
+		bytes += s.Bytes()
+	}
+	res.PeakStates = len(states)
+	res.PeakStateBytes = bytes
+
+	grad := lossGrad(current)
+	if grad == nil {
+		return nil, fmt.Errorf("chain: loss-gradient callback returned nil")
+	}
+	for i := len(c.Stages) - 1; i >= 0; i-- {
+		grad = c.Stages[i].Backward(grad)
+		res.BackwardEvals++
+	}
+	res.InputGrad = grad
+	return res, nil
+}
+
+// Policy selects how Step plans its checkpointing schedule.
+type Policy struct {
+	// Kind is "store-all", "revolve" or "sequential".
+	Kind string
+	// Slots is the checkpoint budget for "revolve".
+	Slots int
+	// Segments is the segment count for "sequential".
+	Segments int
+	// Rho, when positive and Kind is "revolve" with Slots == 0, selects the
+	// minimal slot count whose recompute factor stays below Rho.
+	Rho float64
+	// Cost is the cost model used for the Rho-based selection.
+	Cost checkpoint.CostModel
+}
+
+// Plan materialises the policy into a schedule for a chain of length l.
+func (p Policy) Plan(l int) (*checkpoint.Schedule, error) {
+	switch p.Kind {
+	case "", "store-all":
+		return checkpoint.PlanStoreAll(l)
+	case "revolve":
+		slots := p.Slots
+		if slots <= 0 && p.Rho > 0 {
+			res := checkpoint.MinSlotsForRho(l, p.Rho, p.Cost)
+			slots = res.Slots
+		}
+		if slots <= 0 {
+			return nil, fmt.Errorf("chain: revolve policy needs Slots or Rho")
+		}
+		return checkpoint.PlanRevolve(l, slots)
+	case "sequential":
+		if p.Segments <= 0 {
+			return nil, fmt.Errorf("chain: sequential policy needs Segments")
+		}
+		return checkpoint.PlanSequential(l, p.Segments)
+	default:
+		return nil, fmt.Errorf("chain: unknown policy kind %q", p.Kind)
+	}
+}
+
+// Step plans a schedule for the chain according to the policy and executes
+// it. A store-all policy uses ExecutePlain.
+func Step(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, p Policy, train bool) (*Result, error) {
+	if p.Kind == "" || p.Kind == "store-all" {
+		return ExecutePlain(c, x, lossGrad, train)
+	}
+	sched, err := p.Plan(c.Len())
+	if err != nil {
+		return nil, err
+	}
+	return Execute(c, x, lossGrad, sched, train)
+}

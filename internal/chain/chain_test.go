@@ -1,0 +1,350 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/resnet"
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// buildTestChain creates a small but non-trivial convolutional chain with a
+// classifier head, suitable for gradient-equivalence tests.
+func buildTestChain(seed uint64) (*Chain, *tensor.Tensor) {
+	rng := tensor.NewRNG(seed)
+	layers := []nn.Layer{
+		nn.NewConv2D("c1", 1, 4, 3, 1, 1, false, rng),
+		nn.NewBatchNorm2D("b1", 4),
+		nn.NewReLU("r1"),
+		nn.NewBasicBlock("blk1", 4, 8, 2, rng),
+		nn.NewBasicBlock("blk2", 8, 8, 1, rng),
+		nn.NewGlobalAvgPool2D("gap"),
+		nn.NewLinear("fc", 8, 3, true, rng),
+	}
+	c := New(layers...)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 8, 8)
+	return c, x
+}
+
+// fixedLossGrad returns a deterministic loss gradient: dLoss/dOut = out * w
+// element-wise for a fixed random w, giving a loss that genuinely depends on
+// the output.
+func fixedLossGrad(seed uint64) LossGradFunc {
+	return func(out *tensor.Tensor) *tensor.Tensor {
+		rng := tensor.NewRNG(seed)
+		w := tensor.RandNormal(rng, 0, 1, out.Shape()...)
+		return tensor.Mul(out, w)
+	}
+}
+
+// gradSnapshot deep-copies all parameter gradients.
+func gradSnapshot(c *Chain) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, p := range c.Params() {
+		out = append(out, p.Grad.Clone())
+	}
+	return out
+}
+
+func TestExecutePlainMatchesSequential(t *testing.T) {
+	c, x := buildTestChain(1)
+	seq := nn.NewSequential("net", c.Stages...)
+	want := seq.Forward(x, true)
+	res, err := ExecutePlain(c, x, fixedLossGrad(7), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(res.Output, want, 1e-9) {
+		t.Fatal("ExecutePlain output differs from Sequential.Forward")
+	}
+	if res.ForwardEvals != c.Len() || res.BackwardEvals != c.Len() {
+		t.Fatalf("plain execution counts wrong: %+v", res)
+	}
+	if res.PeakStates != c.Len()+1 {
+		t.Fatalf("plain execution should retain all %d states, got %d", c.Len()+1, res.PeakStates)
+	}
+}
+
+func TestCheckpointedGradientsMatchPlain(t *testing.T) {
+	policies := []struct {
+		name  string
+		sched func(l int) (*checkpoint.Schedule, error)
+	}{
+		{"revolve-1", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 1) }},
+		{"revolve-2", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 2) }},
+		{"revolve-3", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 3) }},
+		{"sequential-2", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanSequential(l, 2) }},
+		{"sequential-3", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanSequential(l, 3) }},
+		{"store-all", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanStoreAll(l) }},
+	}
+	for _, pol := range policies {
+		t.Run(pol.name, func(t *testing.T) {
+			// Two identical chains (same seed) so running one does not
+			// disturb the other's batch-norm running statistics.
+			cPlain, x := buildTestChain(42)
+			cCheck, _ := buildTestChain(42)
+			loss := fixedLossGrad(9)
+
+			plain, err := ExecutePlain(cPlain, x, loss, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantGrads := gradSnapshot(cPlain)
+
+			sched, err := pol.sched(cCheck.Len())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Execute(cCheck, x, loss, sched, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !tensor.AllClose(plain.Output, got.Output, 1e-9) {
+				t.Fatal("checkpointed output differs from plain execution")
+			}
+			if !tensor.AllClose(plain.InputGrad, got.InputGrad, 1e-8) {
+				t.Fatalf("checkpointed input gradient differs: max diff %v",
+					tensor.MaxAbsDiff(plain.InputGrad, got.InputGrad))
+			}
+			gotGrads := gradSnapshot(cCheck)
+			for i := range wantGrads {
+				if !tensor.AllClose(wantGrads[i], gotGrads[i], 1e-8) {
+					t.Fatalf("parameter gradient %d differs: max diff %v",
+						i, tensor.MaxAbsDiff(wantGrads[i], gotGrads[i]))
+				}
+			}
+		})
+	}
+}
+
+func TestCheckpointedMemoryAndRecomputeTradeoff(t *testing.T) {
+	cFew, x := buildTestChain(5)
+	cMany, _ := buildTestChain(5)
+	loss := fixedLossGrad(3)
+
+	schedFew, err := checkpoint.PlanRevolve(cFew.Len(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := Execute(cFew, x, loss, schedFew, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedMany, err := checkpoint.PlanRevolve(cMany.Len(), cMany.Len()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Execute(cMany, x, loss, schedMany, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.PeakStates >= many.PeakStates {
+		t.Fatalf("fewer slots should retain fewer states: %d vs %d", few.PeakStates, many.PeakStates)
+	}
+	if few.ForwardEvals <= many.ForwardEvals {
+		t.Fatalf("fewer slots must recompute more: %d vs %d forwards", few.ForwardEvals, many.ForwardEvals)
+	}
+	if few.PeakStateBytes >= many.PeakStateBytes {
+		t.Fatalf("measured bytes should shrink with fewer slots: %d vs %d", few.PeakStateBytes, many.PeakStateBytes)
+	}
+}
+
+func TestExecuteForwardCountMatchesScheduleTrace(t *testing.T) {
+	c, x := buildTestChain(11)
+	sched, err := checkpoint.PlanRevolve(c.Len(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sched.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(c, x, fixedLossGrad(1), sched, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.ForwardEvals) != tr.Forwards {
+		t.Fatalf("executor ran %d forwards, schedule trace says %d", res.ForwardEvals, tr.Forwards)
+	}
+	if res.BackwardEvals != c.Len() {
+		t.Fatalf("executor ran %d adjoints, want %d", res.BackwardEvals, c.Len())
+	}
+	if res.PeakStates > tr.PeakSlots+1 {
+		t.Fatalf("executor retained %d states, schedule says at most %d+input", res.PeakStates, tr.PeakSlots)
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	c, x := buildTestChain(13)
+	sched, err := checkpoint.PlanRevolve(c.Len(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(c, x, nil, sched, true); err == nil {
+		t.Fatal("nil loss gradient accepted")
+	}
+	bad, err := checkpoint.PlanRevolve(c.Len()+1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(c, x, fixedLossGrad(1), bad, true); err == nil {
+		t.Fatal("mismatched schedule length accepted")
+	}
+	if _, err := ExecutePlain(c, x, nil, true); err == nil {
+		t.Fatal("nil loss gradient accepted by plain executor")
+	}
+}
+
+func TestPolicyPlan(t *testing.T) {
+	if _, err := (Policy{Kind: "revolve", Slots: 3}).Plan(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Policy{Kind: "revolve", Rho: 1.8, Cost: checkpoint.DefaultCostModel}).Plan(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Policy{Kind: "revolve"}).Plan(10); err == nil {
+		t.Fatal("revolve policy without slots or rho accepted")
+	}
+	if _, err := (Policy{Kind: "sequential", Segments: 3}).Plan(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Policy{Kind: "sequential"}).Plan(10); err == nil {
+		t.Fatal("sequential policy without segments accepted")
+	}
+	if _, err := (Policy{Kind: "bogus"}).Plan(10); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := (Policy{}).Plan(10); err != nil {
+		t.Fatal("default policy should be store-all")
+	}
+}
+
+func TestStepWithPolicies(t *testing.T) {
+	c, x := buildTestChain(17)
+	for _, p := range []Policy{
+		{},
+		{Kind: "store-all"},
+		{Kind: "revolve", Slots: 2},
+		{Kind: "sequential", Segments: 3},
+	} {
+		c.ZeroGrads()
+		res, err := Step(c, x, fixedLossGrad(2), p, true)
+		if err != nil {
+			t.Fatalf("policy %+v failed: %v", p, err)
+		}
+		if res.Output == nil || res.InputGrad == nil {
+			t.Fatalf("policy %+v produced incomplete result", p)
+		}
+	}
+}
+
+func TestFromSequentialAndParams(t *testing.T) {
+	rng := tensor.NewRNG(19)
+	seq := nn.NewSequential("s",
+		nn.NewLinear("a", 4, 4, true, rng),
+		nn.NewReLU("r"),
+		nn.NewLinear("b", 4, 2, true, rng),
+	)
+	c := FromSequential(seq)
+	if c.Len() != 3 {
+		t.Fatalf("chain length %d", c.Len())
+	}
+	if len(c.Params()) != 4 {
+		t.Fatalf("expected 4 params, got %d", len(c.Params()))
+	}
+	c.Params()[0].Grad.Fill(3)
+	c.ZeroGrads()
+	if c.Params()[0].Grad.Sum() != 0 {
+		t.Fatal("ZeroGrads failed")
+	}
+}
+
+func TestSmallResNetUnderCheckpointing(t *testing.T) {
+	// End-to-end: the scaled-down ResNet-18 from internal/resnet trains one
+	// step under Revolve checkpointing with gradients equal to the baseline.
+	cfg := resnet.DefaultSmallConfig()
+	netA, err := resnet.BuildSmall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, err := resnet.BuildSmall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainA := FromSequential(netA)
+	chainB := FromSequential(netB)
+	rng := tensor.NewRNG(23)
+	x := tensor.RandNormal(rng, 0, 1, 2, cfg.InputChannels, 16, 16)
+	labels := []int{0, 2}
+	lossGrad := func(out *tensor.Tensor) *tensor.Tensor {
+		ce := nn.NewSoftmaxCrossEntropy()
+		ce.Forward(out, labels)
+		return ce.Backward()
+	}
+	plain, err := ExecutePlain(chainA, x, lossGrad, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := checkpoint.PlanRevolve(chainB.Len(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Execute(chainB, x, lossGrad, sched, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(plain.Output, ck.Output, 1e-9) {
+		t.Fatal("small ResNet outputs differ under checkpointing")
+	}
+	ga, gb := gradSnapshot(chainA), gradSnapshot(chainB)
+	for i := range ga {
+		if !tensor.AllClose(ga[i], gb[i], 1e-8) {
+			t.Fatalf("small ResNet gradient %d differs under checkpointing", i)
+		}
+	}
+	if ck.PeakStates >= plain.PeakStates {
+		t.Fatal("checkpointing should retain fewer states than the baseline")
+	}
+}
+
+// Property: for any slot budget, the checkpointed executor reproduces the
+// plain executor's input gradient on a small random MLP chain.
+func TestGradientEquivalenceProperty(t *testing.T) {
+	f := func(seedRaw uint8, slotsRaw uint8) bool {
+		seed := uint64(seedRaw) + 1
+		build := func() (*Chain, *tensor.Tensor) {
+			rng := tensor.NewRNG(seed)
+			layers := []nn.Layer{
+				nn.NewLinear("l1", 6, 10, true, rng),
+				nn.NewReLU("r1"),
+				nn.NewLinear("l2", 10, 10, true, rng),
+				nn.NewReLU("r2"),
+				nn.NewLinear("l3", 10, 4, true, rng),
+			}
+			return New(layers...), tensor.RandNormal(rng, 0, 1, 3, 6)
+		}
+		cPlain, x := build()
+		cCheck, _ := build()
+		loss := fixedLossGrad(seed * 31)
+		plain, err := ExecutePlain(cPlain, x, loss, true)
+		if err != nil {
+			return false
+		}
+		slots := int(slotsRaw%4) + 1
+		sched, err := checkpoint.PlanRevolve(cCheck.Len(), slots)
+		if err != nil {
+			return false
+		}
+		ck, err := Execute(cCheck, x, loss, sched, true)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(plain.InputGrad, ck.InputGrad, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package checkpoint
+
+import "fmt"
+
+// ChainSpec is the homogeneous-chain ("LinearResNet") memory description used
+// by Section VI: a chain of Length equal steps, a fixed weight-related memory
+// cost, and one activation buffer of ActivationBytes per stored state.
+type ChainSpec struct {
+	Name            string
+	Length          int   // number of homogeneous steps (the network depth)
+	WeightBytes     int64 // memory for weights, gradients and optimiser state
+	ActivationBytes int64 // memory of one stored inter-stage state (per batch)
+}
+
+// MemoryWithSlots returns the peak training memory when c checkpoint slots
+// are used: weights plus the chain input plus c stored states.
+func (cs ChainSpec) MemoryWithSlots(c int) int64 {
+	if c < 0 {
+		c = 0
+	}
+	return cs.WeightBytes + int64(c+1)*cs.ActivationBytes
+}
+
+// MemoryNoCheckpoint returns the peak training memory of plain
+// backpropagation, with every one of the Length per-stage activations stored.
+// This is the quantity tabulated in Tables I-III and equals
+// MemoryWithSlots(Length-1), the footprint the slot search converges to as
+// rho approaches 1.
+func (cs ChainSpec) MemoryNoCheckpoint() int64 {
+	return cs.MemoryWithSlots(cs.Length - 1)
+}
+
+// FitsIn reports whether the no-checkpoint footprint fits a device with the
+// given memory capacity in bytes.
+func (cs ChainSpec) FitsIn(capacity int64) bool {
+	return cs.MemoryNoCheckpoint() <= capacity
+}
+
+// CurvePoint is one point of a Figure 1 series: the recompute factor, the
+// minimal checkpoint slots achieving it, the resulting peak memory, and the
+// forward-step count of the corresponding optimal schedule.
+type CurvePoint struct {
+	Rho         float64
+	Slots       int
+	Forwards    int64
+	MemoryBytes int64
+	Feasible    bool
+}
+
+// MemoryVsRho computes the Figure 1 series for one chain: for every requested
+// recompute factor, the minimal peak memory achievable by optimal (Revolve)
+// checkpointing whose time-to-solution stays within rho times the
+// no-checkpointing baseline.
+//
+// For rho values below the minimum achievable overhead the point is marked
+// infeasible and reports the store-all footprint, which is how "rho = 1
+// corresponds to the case with no checkpointing" appears in the plots.
+func MemoryVsRho(cs ChainSpec, rhos []float64, m CostModel) []CurvePoint {
+	points := make([]CurvePoint, 0, len(rhos))
+	for _, rho := range rhos {
+		res := MinSlotsForRho(cs.Length, rho, m)
+		mem := cs.MemoryWithSlots(res.Slots)
+		if !res.Feasible {
+			mem = cs.MemoryNoCheckpoint()
+		}
+		points = append(points, CurvePoint{
+			Rho:         rho,
+			Slots:       res.Slots,
+			Forwards:    res.Forwards,
+			MemoryBytes: mem,
+			Feasible:    res.Feasible,
+		})
+	}
+	return points
+}
+
+// MinRhoToFit returns the smallest recompute factor (searched on a fine grid
+// up to maxRho) at which the chain's peak memory fits the given capacity, or
+// ok=false if even the largest allowed recompute factor does not suffice.
+func MinRhoToFit(cs ChainSpec, capacity int64, m CostModel, maxRho float64) (rho float64, slots int, ok bool) {
+	if cs.MemoryWithSlots(0) > capacity {
+		return 0, 0, false // weights plus a single buffer alone exceed memory
+	}
+	if cs.MemoryNoCheckpoint() <= capacity {
+		return 1, cs.Length - 1, true
+	}
+	// The largest slot count that fits determines the minimal rho.
+	maxSlots := int((capacity-cs.WeightBytes)/cs.ActivationBytes) - 1
+	if maxSlots < 0 {
+		return 0, 0, false
+	}
+	forwards := MinForwards(cs.Length, maxSlots)
+	r := m.Rho(cs.Length, forwards)
+	if r < 1 {
+		r = 1
+	}
+	if r > maxRho {
+		return r, maxSlots, false
+	}
+	return r, maxSlots, true
+}
+
+// SequentialMemoryVsRho is the uniform-segment (checkpoint_sequential)
+// counterpart of MemoryVsRho, used by the ablation benchmarks to compare the
+// PyTorch baseline against optimal checkpointing at equal recompute budgets.
+func SequentialMemoryVsRho(cs ChainSpec, rhos []float64, m CostModel) []CurvePoint {
+	points := make([]CurvePoint, 0, len(rhos))
+	for _, rho := range rhos {
+		slots, _, ok := MinSequentialSlotsForRho(cs.Length, rho, m)
+		var mem int64
+		if ok {
+			// SequentialMemorySlots already includes the stored final segment;
+			// add the input buffer to match MemoryWithSlots conventions.
+			mem = cs.WeightBytes + int64(slots+1)*cs.ActivationBytes
+		} else {
+			mem = cs.MemoryNoCheckpoint()
+		}
+		points = append(points, CurvePoint{Rho: rho, Slots: slots, MemoryBytes: mem, Feasible: ok})
+	}
+	return points
+}
+
+// PeakBytesForSchedule simulates a schedule against a heterogeneous chain
+// whose state i (the output of step i) occupies stateBytes[i] bytes, and
+// returns the peak number of bytes held in checkpoint slots plus the chain
+// input (stateBytes[0]). It is used by the heterogeneous-chain ablation.
+// stateBytes must have Length+1 entries (states x_0..x_L).
+func PeakBytesForSchedule(s *Schedule, stateBytes []int64) (int64, error) {
+	if len(stateBytes) != s.Length+1 {
+		return 0, fmt.Errorf("checkpoint: need %d state sizes, got %d", s.Length+1, len(stateBytes))
+	}
+	slotState := make([]int, s.Slots)
+	for i := range slotState {
+		slotState[i] = -1
+	}
+	current := 0
+	held := stateBytes[0]
+	peak := held
+	for i, a := range s.Actions {
+		switch a.Kind {
+		case ActionAdvance:
+			current += a.Steps
+		case ActionSnapshot:
+			if slotState[a.Slot] != -1 {
+				return 0, fmt.Errorf("action %d: slot %d already occupied", i, a.Slot)
+			}
+			slotState[a.Slot] = current
+			held += stateBytes[current]
+		case ActionRestore:
+			if a.Slot == InputSlot {
+				current = 0
+			} else {
+				current = slotState[a.Slot]
+			}
+		case ActionFree:
+			st := slotState[a.Slot]
+			if st == -1 {
+				return 0, fmt.Errorf("action %d: freeing empty slot %d", i, a.Slot)
+			}
+			held -= stateBytes[st]
+			slotState[a.Slot] = -1
+		case ActionBackprop:
+			// no effect on checkpoint storage
+		}
+		if held > peak {
+			peak = held
+		}
+	}
+	return peak, nil
+}

@@ -1,0 +1,243 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bruteForwards recomputes the dynamic program with a simple exhaustive
+// recursion (no caching tricks) to cross-check MinForwards.
+func bruteForwards(l, c int, memo map[[2]int]int64) int64 {
+	if l <= 1 {
+		return 0
+	}
+	if c == 0 {
+		return int64(l) * int64(l-1) / 2
+	}
+	key := [2]int{l, c}
+	if v, ok := memo[key]; ok {
+		return v
+	}
+	best := bruteForwards(l, c-1, memo)
+	for j := 1; j < l; j++ {
+		cost := int64(j) + bruteForwards(l-j, c-1, memo) + bruteForwards(j, c, memo)
+		if cost < best {
+			best = cost
+		}
+	}
+	memo[key] = best
+	return best
+}
+
+func TestMinForwardsSmallKnownValues(t *testing.T) {
+	cases := []struct {
+		l, c int
+		want int64
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{1, 5, 0},
+		{2, 0, 1},
+		{2, 1, 1},
+		{3, 0, 3},
+		{3, 1, 2},
+		{3, 2, 2},
+		{4, 1, 4},
+		{5, 1, 6},
+		{10, 0, 45},
+		{10, 9, 9},
+		{10, 100, 9}, // extra slots beyond l-1 cannot help
+	}
+	for _, tc := range cases {
+		if got := MinForwards(tc.l, tc.c); got != tc.want {
+			t.Errorf("MinForwards(%d, %d) = %d, want %d", tc.l, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestMinForwardsMatchesBruteForce(t *testing.T) {
+	memo := map[[2]int]int64{}
+	for l := 0; l <= 40; l++ {
+		for c := 0; c <= 8; c++ {
+			want := bruteForwards(l, c, memo)
+			if got := MinForwards(l, c); got != want {
+				t.Fatalf("MinForwards(%d, %d) = %d, brute force says %d", l, c, got, want)
+			}
+		}
+	}
+}
+
+func TestMinForwardsMonotoneInSlots(t *testing.T) {
+	for _, l := range []int{5, 18, 34, 50, 101, 152} {
+		prev := MinForwards(l, 0)
+		for c := 1; c <= l; c++ {
+			cur := MinForwards(l, c)
+			if cur > prev {
+				t.Fatalf("MinForwards(%d, %d)=%d > MinForwards(%d, %d)=%d: not monotone", l, c, cur, l, c-1, prev)
+			}
+			prev = cur
+		}
+		if prev != int64(l-1) {
+			t.Fatalf("MinForwards(%d, %d) = %d, want floor %d", l, l, prev, l-1)
+		}
+	}
+}
+
+func TestMinForwardsNegativeArgs(t *testing.T) {
+	if MinForwards(-1, 3) != Infinity || MinForwards(3, -1) != Infinity {
+		t.Fatal("negative arguments should return Infinity")
+	}
+}
+
+func TestBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		c, r int
+		want int64
+	}{
+		{0, 0, 1},
+		{1, 1, 2},
+		{2, 2, 6},
+		{3, 2, 10},
+		{3, 3, 20},
+		{8, 3, 165},
+		{5, 0, 1},
+		{0, 7, 1},
+		{-1, 2, 0},
+	}
+	for _, tc := range cases {
+		if got := Beta(tc.c, tc.r); got != tc.want {
+			t.Errorf("Beta(%d, %d) = %d, want %d", tc.c, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestRepetition(t *testing.T) {
+	if Repetition(1, 3) != 0 {
+		t.Fatal("length-1 chains need no repetition")
+	}
+	if Repetition(10, 0) != 9 {
+		t.Fatalf("Repetition(10, 0) = %d, want 9", Repetition(10, 0))
+	}
+	// 152-step chain with 8 slots: C(11,8)=165 >= 152, C(10,8)=45 < 152 -> r=3.
+	if got := Repetition(152, 8); got != 3 {
+		t.Fatalf("Repetition(152, 8) = %d, want 3", got)
+	}
+	// Enough slots to store everything gives r=1.
+	if got := Repetition(152, 151); got != 1 {
+		t.Fatalf("Repetition(152, 151) = %d, want 1", got)
+	}
+}
+
+func TestMinSlotsForForwards(t *testing.T) {
+	l := 50
+	// Budget equal to the store-all cost needs l-1 slots... or fewer if a
+	// smaller slot count achieves the same forwards; verify consistency.
+	slots, fw, ok := MinSlotsForForwards(l, int64(l-1))
+	if !ok {
+		t.Fatal("store-all budget must be feasible")
+	}
+	if fw > int64(l-1) {
+		t.Fatalf("returned forwards %d exceeds budget %d", fw, l-1)
+	}
+	if slots > 0 && MinForwards(l, slots-1) <= int64(l-1) {
+		t.Fatalf("slots=%d is not minimal", slots)
+	}
+
+	// An absurdly small budget is infeasible only if below the floor l-1.
+	_, _, ok = MinSlotsForForwards(l, int64(l-2))
+	if ok {
+		t.Fatal("budget below the l-1 floor must be infeasible")
+	}
+
+	// Generous budget: a handful of slots should be enough for 3x overhead.
+	slots3, fw3, ok3 := MinSlotsForForwards(152, 3*152)
+	if !ok3 {
+		t.Fatal("3x forward budget must be feasible for l=152")
+	}
+	if slots3 > 12 {
+		t.Fatalf("3x budget should need only a few slots, got %d", slots3)
+	}
+	if fw3 > 3*152 {
+		t.Fatalf("returned forwards %d exceed the budget", fw3)
+	}
+
+	// Trivial chains.
+	if s, f, ok := MinSlotsForForwards(1, 0); s != 0 || f != 0 || !ok {
+		t.Fatal("length-1 chain should need nothing")
+	}
+}
+
+func TestMinSlotsForForwardsMinimalProperty(t *testing.T) {
+	f := func(lRaw, budgetRaw uint8) bool {
+		l := int(lRaw%60) + 2
+		budget := int64(budgetRaw%200) + int64(l-1)
+		slots, fw, ok := MinSlotsForForwards(l, budget)
+		if !ok {
+			return false // budget >= l-1 is always feasible
+		}
+		if fw != MinForwards(l, slots) || fw > budget {
+			return false
+		}
+		if slots > 0 && MinForwards(l, slots-1) <= budget {
+			return false // not minimal
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalFirstCheckpointConsistent(t *testing.T) {
+	for _, l := range []int{5, 18, 34, 50, 101, 152} {
+		for _, c := range []int{1, 2, 3, 5, 10} {
+			j := OptimalFirstCheckpoint(l, c)
+			if j == 0 {
+				continue
+			}
+			if j < 1 || j >= l {
+				t.Fatalf("OptimalFirstCheckpoint(%d,%d) = %d out of range", l, c, j)
+			}
+			cost := int64(j) + MinForwards(l-j, c-1) + MinForwards(j, c)
+			if cost != MinForwards(l, c) {
+				t.Fatalf("argmin j=%d for (%d,%d) gives cost %d, DP says %d", j, l, c, cost, MinForwards(l, c))
+			}
+		}
+	}
+}
+
+func TestValidateArgs(t *testing.T) {
+	if err := ValidateArgs(10, 3); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+	if err := ValidateArgs(-1, 3); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if err := ValidateArgs(10, -3); err == nil {
+		t.Fatal("negative slots accepted")
+	}
+}
+
+// Property: the binomial bound is respected — a chain of length Beta(c, r)
+// never needs more than r*Beta(c,r) forwards with c slots, and MinForwards is
+// always at least l-1.
+func TestMinForwardsBinomialBoundsProperty(t *testing.T) {
+	f := func(cRaw, rRaw uint8) bool {
+		c := int(cRaw%6) + 1
+		r := int(rRaw%4) + 1
+		l := Beta(c, r)
+		if l > 200 {
+			return true // keep the DP small in property tests
+		}
+		fw := MinForwards(int(l), c)
+		if fw < int64(l)-1 {
+			return false
+		}
+		// With repetition number r no step runs more than r times as an
+		// advance plus once... conservatively: total advances < r*l.
+		return fw <= int64(r)*l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

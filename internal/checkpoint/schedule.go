@@ -1,0 +1,431 @@
+package checkpoint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionKind enumerates the primitive operations a checkpointing schedule is
+// made of.
+type ActionKind int
+
+// The schedule action vocabulary. Advance re-executes forward steps, Snapshot
+// and Free manage checkpoint slots, Restore switches the working state to a
+// stored one, and Backprop performs the adjoint of the next pending step.
+const (
+	// ActionAdvance executes Steps forward steps from the current working
+	// state, moving it forward along the chain.
+	ActionAdvance ActionKind = iota
+	// ActionSnapshot copies the current working state into checkpoint slot
+	// Slot, which must be free.
+	ActionSnapshot
+	// ActionRestore loads the state stored in slot Slot (or the chain input
+	// when Slot == InputSlot) into the working buffer.
+	ActionRestore
+	// ActionFree releases checkpoint slot Slot.
+	ActionFree
+	// ActionBackprop performs the adjoint of the next pending step, which
+	// requires the working state to hold that step's input.
+	ActionBackprop
+)
+
+// InputSlot is the pseudo-slot identifier for the chain input x_0, which is
+// always available and never counted against the checkpoint budget.
+const InputSlot = -1
+
+// Action is one primitive operation of a schedule.
+type Action struct {
+	Kind  ActionKind
+	Steps int // ActionAdvance: number of forward steps to execute
+	Slot  int // Snapshot/Restore/Free: slot index, or InputSlot for Restore
+}
+
+// String renders the action compactly, e.g. "advance(3)" or "snapshot[2]".
+func (a Action) String() string {
+	switch a.Kind {
+	case ActionAdvance:
+		return fmt.Sprintf("advance(%d)", a.Steps)
+	case ActionSnapshot:
+		return fmt.Sprintf("snapshot[%d]", a.Slot)
+	case ActionRestore:
+		if a.Slot == InputSlot {
+			return "restore[input]"
+		}
+		return fmt.Sprintf("restore[%d]", a.Slot)
+	case ActionFree:
+		return fmt.Sprintf("free[%d]", a.Slot)
+	case ActionBackprop:
+		return "backprop"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(a.Kind))
+	}
+}
+
+// Schedule is an executable checkpointing plan for a chain of Length steps
+// using at most Slots checkpoint slots.
+type Schedule struct {
+	Length  int
+	Slots   int
+	Policy  string // human-readable name of the generating policy
+	Actions []Action
+}
+
+// String summarises the schedule.
+func (s *Schedule) String() string {
+	tr, err := s.Trace()
+	if err != nil {
+		return fmt.Sprintf("Schedule(%s, L=%d, slots=%d, INVALID: %v)", s.Policy, s.Length, s.Slots, err)
+	}
+	return fmt.Sprintf("Schedule(%s, L=%d, slots=%d, forwards=%d, peak=%d, actions=%d)",
+		s.Policy, s.Length, s.Slots, tr.Forwards, tr.PeakSlots, len(s.Actions))
+}
+
+// Render returns a multi-line listing of the schedule's actions, useful for
+// inspection from cmd/revolveplan.
+func (s *Schedule) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s schedule: L=%d slots=%d\n", s.Policy, s.Length, s.Slots)
+	for i, a := range s.Actions {
+		fmt.Fprintf(&b, "%4d  %s\n", i, a.String())
+	}
+	return b.String()
+}
+
+// Trace is the result of simulating a schedule: cost and memory counters plus
+// the per-step order in which adjoints were performed.
+type Trace struct {
+	Forwards      int64 // forward-step executions by Advance actions
+	PeakSlots     int   // maximum simultaneously occupied checkpoint slots
+	Restores      int   // number of Restore actions executed
+	Snapshots     int   // number of Snapshot actions executed
+	BackpropOrder []int // step indices in the order their adjoints ran
+	// MaxStepExecutions is the largest number of times any single forward
+	// step was executed by Advance actions (the observed repetition count).
+	MaxStepExecutions int
+}
+
+// Trace simulates the schedule and verifies that it is a correct reversal of
+// the chain: every adjoint step runs exactly once, in order L..1, with its
+// input state available, never exceeding the slot budget.
+func (s *Schedule) Trace() (*Trace, error) {
+	type slotState struct {
+		occupied bool
+		state    int
+	}
+	slots := make([]slotState, s.Slots)
+	current := 0 // working state index; starts at the chain input x_0
+	currentValid := true
+	pending := s.Length // next adjoint step to perform
+	tr := &Trace{}
+	occupied := 0
+	stepRuns := make([]int, s.Length+1)
+
+	for i, a := range s.Actions {
+		switch a.Kind {
+		case ActionAdvance:
+			if !currentValid {
+				return nil, fmt.Errorf("action %d (%s): advance with no valid working state", i, a)
+			}
+			if a.Steps <= 0 {
+				return nil, fmt.Errorf("action %d (%s): non-positive advance", i, a)
+			}
+			if current+a.Steps > s.Length {
+				return nil, fmt.Errorf("action %d (%s): advance past end of chain (state %d + %d > %d)", i, a, current, a.Steps, s.Length)
+			}
+			for st := current + 1; st <= current+a.Steps; st++ {
+				stepRuns[st]++
+			}
+			current += a.Steps
+			tr.Forwards += int64(a.Steps)
+		case ActionSnapshot:
+			if !currentValid {
+				return nil, fmt.Errorf("action %d (%s): snapshot with no valid working state", i, a)
+			}
+			if a.Slot < 0 || a.Slot >= s.Slots {
+				return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
+			}
+			if slots[a.Slot].occupied {
+				return nil, fmt.Errorf("action %d (%s): slot already occupied by state %d", i, a, slots[a.Slot].state)
+			}
+			slots[a.Slot] = slotState{occupied: true, state: current}
+			occupied++
+			if occupied > tr.PeakSlots {
+				tr.PeakSlots = occupied
+			}
+			tr.Snapshots++
+		case ActionRestore:
+			if a.Slot == InputSlot {
+				current = 0
+				currentValid = true
+			} else {
+				if a.Slot < 0 || a.Slot >= s.Slots {
+					return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
+				}
+				if !slots[a.Slot].occupied {
+					return nil, fmt.Errorf("action %d (%s): restore from empty slot", i, a)
+				}
+				current = slots[a.Slot].state
+				currentValid = true
+			}
+			tr.Restores++
+		case ActionFree:
+			if a.Slot < 0 || a.Slot >= s.Slots {
+				return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
+			}
+			if !slots[a.Slot].occupied {
+				return nil, fmt.Errorf("action %d (%s): freeing an empty slot", i, a)
+			}
+			slots[a.Slot].occupied = false
+			occupied--
+		case ActionBackprop:
+			if pending == 0 {
+				return nil, fmt.Errorf("action %d (%s): all adjoint steps already performed", i, a)
+			}
+			if !currentValid || current != pending-1 {
+				return nil, fmt.Errorf("action %d (%s): adjoint of step %d requires working state %d, have %d", i, a, pending, pending-1, current)
+			}
+			tr.BackpropOrder = append(tr.BackpropOrder, pending)
+			pending--
+		default:
+			return nil, fmt.Errorf("action %d: unknown kind %d", i, a.Kind)
+		}
+	}
+	if pending != 0 {
+		return nil, fmt.Errorf("schedule incomplete: %d adjoint steps not performed", pending)
+	}
+	for _, runs := range stepRuns {
+		if runs > tr.MaxStepExecutions {
+			tr.MaxStepExecutions = runs
+		}
+	}
+	return tr, nil
+}
+
+// planner carries the mutable state used while emitting a schedule.
+type planner struct {
+	sched     *Schedule
+	current   int   // working state the emitted actions would leave us at
+	freeSlots []int // stack of free slot indices
+	slotOf    map[int]int
+}
+
+func newPlanner(l, slots int, policy string) *planner {
+	p := &planner{
+		sched:  &Schedule{Length: l, Slots: slots, Policy: policy},
+		slotOf: map[int]int{0: InputSlot},
+	}
+	for s := slots - 1; s >= 0; s-- {
+		p.freeSlots = append(p.freeSlots, s)
+	}
+	return p
+}
+
+func (p *planner) emit(a Action) { p.sched.Actions = append(p.sched.Actions, a) }
+
+func (p *planner) restore(state int) {
+	slot, ok := p.slotOf[state]
+	if !ok {
+		panic(fmt.Sprintf("checkpoint: internal planner error: state %d not stored", state))
+	}
+	p.emit(Action{Kind: ActionRestore, Slot: slot})
+	p.current = state
+}
+
+// ensure makes the working state equal to target, which must be a stored
+// state or reachable by advancing from the current working state.
+func (p *planner) ensure(target int) {
+	if p.current == target {
+		return
+	}
+	if _, stored := p.slotOf[target]; stored {
+		p.restore(target)
+		return
+	}
+	if p.current > target {
+		panic(fmt.Sprintf("checkpoint: internal planner error: cannot reach state %d from %d", target, p.current))
+	}
+	p.emit(Action{Kind: ActionAdvance, Steps: target - p.current})
+	p.current = target
+}
+
+func (p *planner) snapshot(state int) int {
+	if len(p.freeSlots) == 0 {
+		panic("checkpoint: internal planner error: no free slots")
+	}
+	if p.current != state {
+		panic("checkpoint: internal planner error: snapshot of a non-current state")
+	}
+	slot := p.freeSlots[len(p.freeSlots)-1]
+	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
+	p.emit(Action{Kind: ActionSnapshot, Slot: slot})
+	p.slotOf[state] = slot
+	return slot
+}
+
+func (p *planner) free(state int) {
+	slot, ok := p.slotOf[state]
+	if !ok || slot == InputSlot {
+		panic("checkpoint: internal planner error: freeing an unstored state")
+	}
+	p.emit(Action{Kind: ActionFree, Slot: slot})
+	delete(p.slotOf, state)
+	p.freeSlots = append(p.freeSlots, slot)
+}
+
+func (p *planner) backprop(step int) {
+	p.ensure(step - 1)
+	p.emit(Action{Kind: ActionBackprop})
+}
+
+// reverse emits the actions that perform the adjoints of steps
+// base+1..base+length (in decreasing order), assuming state x_base is stored
+// (or is the input) and `slots` checkpoint slots are free.
+func (p *planner) reverse(base, length, slots int) {
+	switch {
+	case length == 0:
+		return
+	case length == 1:
+		p.backprop(base + 1)
+		return
+	case slots == 0:
+		// No slots: re-advance from x_base before each adjoint step.
+		for step := base + length; step > base; step-- {
+			if p.current > step-1 {
+				p.ensure(base)
+			}
+			if p.current < step-1 {
+				p.emit(Action{Kind: ActionAdvance, Steps: step - 1 - p.current})
+				p.current = step - 1
+			}
+			p.emit(Action{Kind: ActionBackprop})
+		}
+		return
+	}
+	j := OptimalFirstCheckpoint(length, slots)
+	if j == 0 {
+		// The extra slot does not help; plan as if it were not there.
+		p.reverse(base, length, slots-1)
+		return
+	}
+	p.ensure(base)
+	p.emit(Action{Kind: ActionAdvance, Steps: j})
+	p.current = base + j
+	p.snapshot(base + j)
+	p.reverse(base+j, length-j, slots-1)
+	p.free(base + j)
+	p.reverse(base, j, slots)
+}
+
+// PlanRevolve builds an optimal (minimum-forwards) checkpointing schedule for
+// a chain of l steps with at most c checkpoint slots, following the
+// binomial/Revolve dynamic program. The returned schedule's Trace().Forwards
+// equals MinForwards(l, c).
+func PlanRevolve(l, c int) (*Schedule, error) {
+	if err := ValidateArgs(l, c); err != nil {
+		return nil, err
+	}
+	if c > l-1 {
+		c = maxInt(l-1, 0)
+	}
+	p := newPlanner(l, c, "revolve")
+	p.reverse(0, l, c)
+	return p.sched, nil
+}
+
+// PlanStoreAll builds the no-checkpointing baseline: one forward sweep that
+// stores every intermediate state, followed by the backward sweep. It uses
+// l-1 slots and performs l-1 forward steps.
+func PlanStoreAll(l int) (*Schedule, error) {
+	if err := ValidateArgs(l, 0); err != nil {
+		return nil, err
+	}
+	slots := maxInt(l-1, 0)
+	p := newPlanner(l, slots, "store-all")
+	for st := 1; st <= l-1; st++ {
+		p.emit(Action{Kind: ActionAdvance, Steps: 1})
+		p.current = st
+		p.snapshot(st)
+	}
+	for step := l; step >= 1; step-- {
+		p.backprop(step)
+		if step <= l-1 {
+			// State x_step was only needed for the adjoint of step+1, which
+			// has already run; release its slot.
+			p.free(step)
+		}
+	}
+	return p.sched, nil
+}
+
+// PlanSequential builds the uniform-segment schedule equivalent to PyTorch's
+// checkpoint_sequential with the given number of segments: segment inputs are
+// checkpointed during the forward sweep, the last segment keeps all its
+// activations, and each earlier segment is re-run in full (storing its
+// intermediate states) just before it is backpropagated.
+func PlanSequential(l, segments int) (*Schedule, error) {
+	if err := ValidateArgs(l, segments); err != nil {
+		return nil, err
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("checkpoint: PlanSequential requires at least 1 segment, got %d", segments)
+	}
+	if segments > l {
+		segments = l
+	}
+	segLen := l / segments
+	if segLen == 0 {
+		segLen = 1
+	}
+	// Segment k (0-based) covers steps [starts[k]+1, starts[k+1]].
+	var starts []int
+	for k := 0; k < segments; k++ {
+		starts = append(starts, k*segLen)
+	}
+	starts = append(starts, l) // sentinel: end of the last segment
+
+	// Slot budget: segment-input checkpoints plus full storage of the longest
+	// segment (the last one holds the remainder).
+	lastLen := l - starts[segments-1]
+	maxSeg := maxInt(segLen, lastLen)
+	slots := (segments - 1) + maxInt(maxSeg-1, 0) + 1
+	p := newPlanner(l, slots, fmt.Sprintf("sequential(%d)", segments))
+
+	// Forward sweep: checkpoint each segment input (except x_0), then store
+	// every intermediate state of the last segment.
+	for k := 1; k < segments; k++ {
+		p.ensure(starts[k-1])
+		p.emit(Action{Kind: ActionAdvance, Steps: starts[k] - starts[k-1]})
+		p.current = starts[k]
+		p.snapshot(starts[k])
+	}
+	lastStart := starts[segments-1]
+	for st := lastStart + 1; st <= l-1; st++ {
+		p.emit(Action{Kind: ActionAdvance, Steps: 1})
+		p.current = st
+		p.snapshot(st)
+	}
+
+	// Backward sweep, segment by segment from the last to the first.
+	for k := segments - 1; k >= 0; k-- {
+		segStart, segEnd := starts[k], starts[k+1]
+		if k != segments-1 {
+			// Recompute the segment, storing its intermediate states.
+			p.ensure(segStart)
+			for st := segStart + 1; st <= segEnd-1; st++ {
+				p.emit(Action{Kind: ActionAdvance, Steps: 1})
+				p.current = st
+				p.snapshot(st)
+			}
+		}
+		for step := segEnd; step > segStart; step-- {
+			p.backprop(step)
+			if step-1 > segStart {
+				p.free(step - 1)
+			}
+		}
+		if segStart != 0 {
+			p.free(segStart)
+		}
+	}
+	return p.sched, nil
+}

@@ -1,0 +1,157 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanTwoLevelCostDegenerate(t *testing.T) {
+	cfg := TwoLevelConfig{RAMSlots: 3, WriteCost: 5, ReadCost: 5}
+	// Zero disk checkpoints degenerates to plain in-RAM Revolve.
+	c, err := PlanTwoLevelCost(50, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DiskWrites != 0 || c.DiskReads != 0 || c.IOTime != 0 {
+		t.Fatalf("zero disk checkpoints should not touch flash: %+v", c)
+	}
+	if c.Forwards != MinForwards(50, 3) {
+		t.Fatalf("degenerate two-level forwards %d, want Revolve optimum %d", c.Forwards, MinForwards(50, 3))
+	}
+	// Trivial chains cost nothing.
+	c, err = PlanTwoLevelCost(1, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Forwards != 0 || c.IOTime != 0 {
+		t.Fatalf("trivial chain should be free: %+v", c)
+	}
+	if _, err := PlanTwoLevelCost(-1, 0, cfg); err == nil {
+		t.Fatal("negative length accepted")
+	}
+	if _, err := PlanTwoLevelCost(10, -1, cfg); err == nil {
+		t.Fatal("negative disk count accepted")
+	}
+}
+
+func TestTwoLevelReducesRecomputation(t *testing.T) {
+	// With very few RAM slots, spilling a handful of checkpoints to flash
+	// must reduce the forward recomputation (that is the whole point).
+	cfg := TwoLevelConfig{RAMSlots: 2, WriteCost: 1, ReadCost: 1}
+	noDisk, err := PlanTwoLevelCost(152, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDisk, err := PlanTwoLevelCost(152, 7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDisk.Forwards >= noDisk.Forwards {
+		t.Fatalf("flash checkpoints should reduce recomputation: %d vs %d forwards", withDisk.Forwards, noDisk.Forwards)
+	}
+	if withDisk.DiskWrites != 7 || withDisk.DiskReads != 7 {
+		t.Fatalf("expected 7 writes and 7 reads, got %d/%d", withDisk.DiskWrites, withDisk.DiskReads)
+	}
+	if withDisk.PeakRAMStates > cfg.RAMSlots+1 {
+		t.Fatalf("RAM footprint %d exceeds the budget", withDisk.PeakRAMStates)
+	}
+}
+
+func TestTwoLevelTotalTimeAccountsForIO(t *testing.T) {
+	m := DefaultCostModel
+	cheapIO := TwoLevelConfig{RAMSlots: 2, WriteCost: 0.1, ReadCost: 0.1}
+	dearIO := TwoLevelConfig{RAMSlots: 2, WriteCost: 50, ReadCost: 50}
+	cheap, err := PlanTwoLevelCost(100, 9, cheapIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := PlanTwoLevelCost(100, 9, dearIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Forwards != dear.Forwards {
+		t.Fatal("IO cost must not change the forward count")
+	}
+	if dear.TotalTime(100, m) <= cheap.TotalTime(100, m) {
+		t.Fatal("expensive flash must increase total time")
+	}
+	if dear.Rho(100, m) <= cheap.Rho(100, m) {
+		t.Fatal("expensive flash must increase rho")
+	}
+}
+
+func TestOptimalDiskCheckpointsTradeoff(t *testing.T) {
+	m := DefaultCostModel
+	// With free flash the optimum uses many checkpoints; with very expensive
+	// flash it uses none.
+	free := TwoLevelConfig{RAMSlots: 1, WriteCost: 0, ReadCost: 0}
+	bestFree, err := OptimalDiskCheckpoints(152, free, m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestFree.DiskCheckpoints < 5 {
+		t.Fatalf("free flash should be used generously, got %d checkpoints", bestFree.DiskCheckpoints)
+	}
+	dear := TwoLevelConfig{RAMSlots: 1, WriteCost: 1000, ReadCost: 1000}
+	bestDear, err := OptimalDiskCheckpoints(152, dear, m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestDear.DiskCheckpoints != 0 {
+		t.Fatalf("prohibitive flash cost should disable spilling, got %d checkpoints", bestDear.DiskCheckpoints)
+	}
+	// The optimum is never worse than either extreme of its search range.
+	d0, _ := PlanTwoLevelCost(152, 0, free)
+	if bestFree.TotalTime(152, m) > d0.TotalTime(152, m)+1e-9 {
+		t.Fatal("optimal disk-checkpoint count is worse than using none")
+	}
+}
+
+func TestTwoLevelMemory(t *testing.T) {
+	cs := ChainSpec{Length: 152, WeightBytes: 900e6, ActivationBytes: 30e6}
+	cost, err := PlanTwoLevelCost(152, 7, TwoLevelConfig{RAMSlots: 2, WriteCost: 1, ReadCost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := TwoLevelMemory(cs, cost)
+	if mem != 900e6+3*30e6 {
+		t.Fatalf("two-level RAM footprint %d, want weights + 3 states", mem)
+	}
+	if mem >= cs.MemoryNoCheckpoint() {
+		t.Fatal("two-level footprint should be far below store-all")
+	}
+	// Degenerate cost still accounts the input buffer.
+	if TwoLevelMemory(cs, TwoLevelCost{}) != cs.WeightBytes+cs.ActivationBytes {
+		t.Fatal("empty plan should still count the input state")
+	}
+}
+
+// Property: total time is monotone non-increasing in the RAM budget and the
+// forward count never drops below l-1.
+func TestTwoLevelMonotoneProperty(t *testing.T) {
+	m := DefaultCostModel
+	f := func(lRaw, dRaw uint8) bool {
+		l := int(lRaw%120) + 2
+		d := int(dRaw % 10)
+		prev := math.Inf(1)
+		for ram := 0; ram <= 6; ram++ {
+			c, err := PlanTwoLevelCost(l, d, TwoLevelConfig{RAMSlots: ram, WriteCost: 2, ReadCost: 2})
+			if err != nil {
+				return false
+			}
+			if c.Forwards < int64(l-1) {
+				return false
+			}
+			tt := c.TotalTime(l, m)
+			if tt > prev+1e-9 {
+				return false
+			}
+			prev = tt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package device models the Edge hardware the paper targets: the Waggle
+// node's payload single-board computer (an ODROID XU4 with 2 GB of LPDDR3 and
+// attached flash storage) and, for comparison, a datacentre GPU. The model
+// answers the sizing questions of Sections III and VI: does a training
+// configuration fit in memory, what is the largest batch size that fits, and
+// how long does a training job take on the device.
+package device
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/internal/resnet"
+)
+
+// Device describes the resources of one compute platform.
+type Device struct {
+	Name string
+	// MemoryBytes is the RAM available to the training payload.
+	MemoryBytes int64
+	// StorageBytes is the attached flash/SD storage for the in-situ dataset.
+	StorageBytes int64
+	// ComputeGFLOPS is the sustained throughput available to training.
+	ComputeGFLOPS float64
+	// NetworkMbps is the uplink bandwidth of the node.
+	NetworkMbps float64
+	// IdlePowerWatts and ActivePowerWatts bound the node's power envelope.
+	IdlePowerWatts   float64
+	ActivePowerWatts float64
+	// NetworkEnergyJoulePerMB is the radio energy cost of moving one megabyte.
+	NetworkEnergyJoulePerMB float64
+}
+
+// Waggle returns the Waggle/Array-of-Things payload node described in
+// Section II: an ODROID XU4 (Exynos 5422, four A15 + four A7 cores, Mali GPU)
+// with 2 GB LPDDR3 and SD storage.
+func Waggle() Device {
+	return Device{
+		Name:                    "waggle-odroid-xu4",
+		MemoryBytes:             2 << 30,
+		StorageBytes:            32 << 30,
+		ComputeGFLOPS:           25, // sustained CPU+GPU OpenCL estimate
+		NetworkMbps:             10,
+		IdlePowerWatts:          2.5,
+		ActivePowerWatts:        12,
+		NetworkEnergyJoulePerMB: 2.0,
+	}
+}
+
+// CloudGPU returns a datacentre accelerator used as the centralised-training
+// comparison point.
+func CloudGPU() Device {
+	return Device{
+		Name:                    "cloud-gpu",
+		MemoryBytes:             16 << 30,
+		StorageBytes:            1 << 40,
+		ComputeGFLOPS:           14000,
+		NetworkMbps:             10000,
+		IdlePowerWatts:          50,
+		ActivePowerWatts:        300,
+		NetworkEnergyJoulePerMB: 0.1,
+	}
+}
+
+// Fits reports whether a training footprint fits in the device memory.
+func (d Device) Fits(f memmodel.Footprint) bool { return f.TotalBytes() <= d.MemoryBytes }
+
+// MaxBatchSize returns the largest batch size whose no-checkpointing
+// footprint fits in the device memory, or 0 if not even batch size 1 fits.
+func (d Device) MaxBatchSize(v resnet.Variant, imageSize int, acc memmodel.Accounting) (int, error) {
+	one, err := memmodel.Model(v, imageSize, 1, acc)
+	if err != nil {
+		return 0, err
+	}
+	if one.TotalBytes() > d.MemoryBytes {
+		return 0, nil
+	}
+	perSample := one.ActBytes
+	if perSample <= 0 {
+		return 0, fmt.Errorf("device: non-positive per-sample activation memory")
+	}
+	budget := d.MemoryBytes - one.WeightBytes
+	k := budget / perSample
+	if k < 1 {
+		k = 0
+	}
+	return int(k), nil
+}
+
+// MaxDepth implements the n_max formula of Section VI: the depth of the
+// largest LinearResNet trainable without checkpointing, given the device
+// memory MC, weight memory MW, per-stage activation MA and batch size k:
+// n_max = (MC - MW) / (k * MA).
+func (d Device) MaxDepth(weightBytes, actBytesPerStagePerSample int64, batch int) int {
+	if batch <= 0 || actBytesPerStagePerSample <= 0 {
+		return 0
+	}
+	budget := d.MemoryBytes - weightBytes
+	if budget <= 0 {
+		return 0
+	}
+	return int(budget / (int64(batch) * actBytesPerStagePerSample))
+}
+
+// TrainingStepSeconds estimates the wall-clock time of one optimisation step
+// that executes the given number of floating-point operations.
+func (d Device) TrainingStepSeconds(flops int64) float64 {
+	if d.ComputeGFLOPS <= 0 {
+		return 0
+	}
+	return float64(flops) / (d.ComputeGFLOPS * 1e9)
+}
+
+// TransferSeconds estimates how long moving the given number of bytes over
+// the node uplink takes.
+func (d Device) TransferSeconds(bytes int64) float64 {
+	if d.NetworkMbps <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / (d.NetworkMbps * 1e6)
+}
+
+// TransferEnergyJoules estimates the radio energy of moving the given bytes.
+func (d Device) TransferEnergyJoules(bytes int64) float64 {
+	return float64(bytes) / 1e6 * d.NetworkEnergyJoulePerMB
+}
+
+// ComputeEnergyJoules estimates the energy of a compute job that runs for the
+// given number of seconds at full activity.
+func (d Device) ComputeEnergyJoules(seconds float64) float64 {
+	return seconds * d.ActivePowerWatts
+}
+
+// StorageBudget answers Section III's storage question: how many captured
+// training images of the given encoded size fit on the node's storage, and
+// whether the paper's working set (100k images at ~10 kB) fits.
+type StorageBudget struct {
+	ImagesThatFit   int64
+	PaperWorkingSet bool // 100,000 images at 10 kB
+}
+
+// Storage evaluates the storage budget for the given per-image size in bytes.
+func (d Device) Storage(imageBytes int64) StorageBudget {
+	if imageBytes <= 0 {
+		return StorageBudget{}
+	}
+	fit := d.StorageBytes / imageBytes
+	return StorageBudget{
+		ImagesThatFit:   fit,
+		PaperWorkingSet: d.StorageBytes >= 100000*10*1024,
+	}
+}
+
+// String summarises the device.
+func (d Device) String() string {
+	return fmt.Sprintf("%s: %.1f GB RAM, %.0f GFLOPS, %.0f Mbps uplink",
+		d.Name, float64(d.MemoryBytes)/float64(1<<30), d.ComputeGFLOPS, d.NetworkMbps)
+}

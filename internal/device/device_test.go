@@ -1,0 +1,125 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/internal/resnet"
+)
+
+func TestWagglePreset(t *testing.T) {
+	w := Waggle()
+	if w.MemoryBytes != 2<<30 {
+		t.Fatalf("Waggle memory %d, want 2 GiB", w.MemoryBytes)
+	}
+	if !strings.Contains(w.String(), "2.0 GB") {
+		t.Fatalf("String: %s", w.String())
+	}
+	if w.ComputeGFLOPS >= CloudGPU().ComputeGFLOPS {
+		t.Fatal("the edge node must be slower than the cloud GPU")
+	}
+}
+
+func TestFitsAgainstTableEntries(t *testing.T) {
+	w := Waggle()
+	small, err := memmodel.Model(resnet.ResNet18, 224, 1, memmodel.DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Fits(small) {
+		t.Fatal("ResNet-18 at batch 1 should fit the Waggle node")
+	}
+	big, err := memmodel.Model(resnet.ResNet152, 224, 8, memmodel.DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Fits(big) {
+		t.Fatal("ResNet-152 at batch 8 should not fit the Waggle node")
+	}
+}
+
+func TestMaxBatchSizeMatchesTableShading(t *testing.T) {
+	w := Waggle()
+	// Table I: ResNet-18 fits at batch 30 (just) but not at batch 50.
+	k, err := w.MaxBatchSize(resnet.ResNet18, 224, memmodel.DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 10 || k >= 50 {
+		t.Fatalf("ResNet-18 max batch %d, expected between 10 and 49", k)
+	}
+	// Table I: ResNet-152 fits only at batch 1 (not at 3).
+	k, err = w.MaxBatchSize(resnet.ResNet152, 224, memmodel.DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || k >= 3 {
+		t.Fatalf("ResNet-152 max batch %d, expected 1 or 2", k)
+	}
+	// Table II: at image 1500 not even batch 1 of ResNet-50 fits.
+	k, err = w.MaxBatchSize(resnet.ResNet50, 1500, memmodel.DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Fatalf("ResNet-50 at image 1500 should not fit at all, got max batch %d", k)
+	}
+	if _, err := w.MaxBatchSize(resnet.Variant(7), 224, memmodel.DefaultAccounting); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestMaxDepthFormula(t *testing.T) {
+	w := Waggle()
+	// n_max = (MC - MW) / (k * MA): 2 GiB device, 0.5 GiB of weights, 10 MiB
+	// per stage per sample, batch 4 -> floor(1.5 GiB / 40 MiB) = 38.
+	got := w.MaxDepth(512<<20, 10<<20, 4)
+	if got != 38 {
+		t.Fatalf("MaxDepth = %d, want 38", got)
+	}
+	if w.MaxDepth(3<<30, 10<<20, 1) != 0 {
+		t.Fatal("weights exceeding memory should give zero depth")
+	}
+	if w.MaxDepth(1<<20, 0, 1) != 0 || w.MaxDepth(1<<20, 1<<20, 0) != 0 {
+		t.Fatal("degenerate arguments should give zero depth")
+	}
+}
+
+func TestTimingAndEnergyHelpers(t *testing.T) {
+	w := Waggle()
+	// 25 GFLOPS device: 25e9 FLOPs take one second.
+	if sec := w.TrainingStepSeconds(25e9); math.Abs(sec-1) > 1e-9 {
+		t.Fatalf("TrainingStepSeconds = %v, want 1", sec)
+	}
+	// 10 Mbps uplink: 1 MB takes 0.8 seconds.
+	if sec := w.TransferSeconds(1e6); math.Abs(sec-0.8) > 1e-9 {
+		t.Fatalf("TransferSeconds = %v, want 0.8", sec)
+	}
+	if j := w.TransferEnergyJoules(5e6); math.Abs(j-10) > 1e-9 {
+		t.Fatalf("TransferEnergyJoules = %v, want 10", j)
+	}
+	if j := w.ComputeEnergyJoules(10); math.Abs(j-120) > 1e-9 {
+		t.Fatalf("ComputeEnergyJoules = %v, want 120", j)
+	}
+	var zero Device
+	if zero.TrainingStepSeconds(1e9) != 0 || zero.TransferSeconds(1e6) != 0 {
+		t.Fatal("zero-value device should report zero times, not divide by zero")
+	}
+}
+
+func TestStorageBudget(t *testing.T) {
+	w := Waggle()
+	// Section III: 100,000 images at ~10 kB is about 1 GB and fits the SD card.
+	b := w.Storage(10 << 10)
+	if !b.PaperWorkingSet {
+		t.Fatal("the paper's 100k-image working set should fit the Waggle storage")
+	}
+	if b.ImagesThatFit < 100000 {
+		t.Fatalf("expected at least 100k images to fit, got %d", b.ImagesThatFit)
+	}
+	if w.Storage(0).ImagesThatFit != 0 {
+		t.Fatal("zero image size should produce an empty budget")
+	}
+}

@@ -1,0 +1,207 @@
+// Package edgesim simulates an Array-of-Things style fleet of camera nodes
+// and quantifies the "why" of Section I: the data movement, energy and
+// privacy consequences of training centrally in the cloud versus in situ on
+// each Edge node.
+//
+// The simulation is deliberately simple: each node captures labelled training
+// images at some rate (produced by the teacher/tracker pipeline of Section
+// III), and a model-update strategy decides what has to cross the network.
+package edgesim
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// NodeConfig describes one sensor node's workload.
+type NodeConfig struct {
+	// DetectionsPerDay is the mean number of tracked subjects per day; each
+	// detection contributes TrackLength auto-labelled training images.
+	DetectionsPerDay float64
+	// TrackLength is the number of frames the tracker extracts per detection
+	// ("every such instance ... contributes tens of images").
+	TrackLength int
+	// ImageBytes is the stored size of one training image (about 10 kB at the
+	// 224x224 resolution discussed in Section III).
+	ImageBytes int64
+	// ModelBytes is the size of the student model that would have to be
+	// shipped to or from the cloud.
+	ModelBytes int64
+	// TrainingFLOPsPerImage is the compute cost of one training epoch-image.
+	TrainingFLOPsPerImage int64
+	// Epochs is the number of passes over the captured set per retraining.
+	Epochs int
+}
+
+// DefaultNodeConfig returns a plausible street-camera workload: 200 tracked
+// subjects per day, 30 frames per track, 10 kB per stored frame, a 45 MB
+// student model (ResNet-18 weights at fp32) retrained weekly for 3 epochs.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		DetectionsPerDay:      200,
+		TrackLength:           30,
+		ImageBytes:            10 << 10,
+		ModelBytes:            45 << 20,
+		TrainingFLOPsPerImage: 6e9,
+		Epochs:                3,
+	}
+}
+
+// Strategy enumerates where training happens.
+type Strategy string
+
+// The three model-update strategies compared by the simulation.
+const (
+	// StrategyCloudTraining uploads every captured training image to the
+	// cloud, trains there, and downloads the specialised model.
+	StrategyCloudTraining Strategy = "cloud-training"
+	// StrategyEdgeTraining trains in situ; only telemetry-sized metadata
+	// leaves the node.
+	StrategyEdgeTraining Strategy = "edge-training"
+	// StrategyStaticModel never specialises the model: a generic model is
+	// downloaded once and the viewpoint problem is simply tolerated.
+	StrategyStaticModel Strategy = "static-model"
+)
+
+// Strategies lists the compared strategies in presentation order.
+var Strategies = []Strategy{StrategyCloudTraining, StrategyEdgeTraining, StrategyStaticModel}
+
+// FleetConfig describes the simulated deployment.
+type FleetConfig struct {
+	Nodes int
+	Days  int
+	Node  NodeConfig
+	// Edge is the node hardware; Cloud is the datacentre hardware.
+	Edge  device.Device
+	Cloud device.Device
+	Seed  uint64
+}
+
+// DefaultFleetConfig returns a Chicago-scale deployment: 150 nodes (the Array
+// of Things had "hundreds"), 30 days, Waggle hardware.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{
+		Nodes: 150,
+		Days:  30,
+		Node:  DefaultNodeConfig(),
+		Edge:  device.Waggle(),
+		Cloud: device.CloudGPU(),
+		Seed:  1,
+	}
+}
+
+// Result aggregates one strategy's cost over the whole fleet and period.
+type Result struct {
+	Strategy Strategy
+	// UplinkBytes is the total data leaving the nodes.
+	UplinkBytes int64
+	// DownlinkBytes is the total data pushed to the nodes (model updates).
+	DownlinkBytes int64
+	// SensitiveImagesShared counts raw camera images that left a node: the
+	// privacy exposure of Section I.
+	SensitiveImagesShared int64
+	// NodeRadioEnergyJ is the fleet's radio energy for the transfers.
+	NodeRadioEnergyJ float64
+	// NodeComputeEnergyJ is the fleet's energy spent training in situ.
+	NodeComputeEnergyJ float64
+	// CloudComputeEnergyJ is the datacentre energy spent training.
+	CloudComputeEnergyJ float64
+	// MeanUplinkMbpsPerNode is the sustained per-node uplink bandwidth needed.
+	MeanUplinkMbpsPerNode float64
+	// Specialised reports whether the strategy produces per-viewpoint models
+	// (the accuracy benefit of Section III).
+	Specialised bool
+	// CapturedImages is the number of auto-labelled images produced per node
+	// on average (identical across strategies; reported for context).
+	CapturedImages int64
+	// StorageOK reports whether the captured set fits the node storage.
+	StorageOK bool
+}
+
+// TotalNetworkBytes is uplink plus downlink traffic.
+func (r Result) TotalNetworkBytes() int64 { return r.UplinkBytes + r.DownlinkBytes }
+
+// Simulate runs the fleet simulation for every strategy.
+func Simulate(cfg FleetConfig) ([]Result, error) {
+	if cfg.Nodes <= 0 || cfg.Days <= 0 {
+		return nil, fmt.Errorf("edgesim: need positive node count and days, got %d nodes over %d days", cfg.Nodes, cfg.Days)
+	}
+	if cfg.Node.TrackLength <= 0 || cfg.Node.ImageBytes <= 0 {
+		return nil, fmt.Errorf("edgesim: invalid node configuration %+v", cfg.Node)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	// Per-node captured images over the period (Poisson-ish noise around the
+	// configured rate so nodes differ).
+	captured := make([]int64, cfg.Nodes)
+	var totalCaptured int64
+	for n := 0; n < cfg.Nodes; n++ {
+		rate := cfg.Node.DetectionsPerDay * (0.7 + 0.6*rng.Float64())
+		images := int64(rate*float64(cfg.Days)) * int64(cfg.Node.TrackLength)
+		captured[n] = images
+		totalCaptured += images
+	}
+	meanCaptured := totalCaptured / int64(cfg.Nodes)
+	storageOK := cfg.Edge.Storage(cfg.Node.ImageBytes).ImagesThatFit >= meanCaptured
+
+	trainFLOPsPerNode := float64(meanCaptured) * float64(cfg.Node.TrainingFLOPsPerImage) * float64(cfg.Node.Epochs)
+	periodSeconds := float64(cfg.Days) * 24 * 3600
+
+	var out []Result
+	for _, strat := range Strategies {
+		r := Result{Strategy: strat, CapturedImages: meanCaptured, StorageOK: storageOK}
+		switch strat {
+		case StrategyCloudTraining:
+			for n := 0; n < cfg.Nodes; n++ {
+				r.UplinkBytes += captured[n] * cfg.Node.ImageBytes
+			}
+			r.DownlinkBytes = int64(cfg.Nodes) * cfg.Node.ModelBytes
+			r.SensitiveImagesShared = totalCaptured
+			r.NodeRadioEnergyJ = float64(cfg.Nodes) * cfg.Edge.TransferEnergyJoules(r.TotalNetworkBytes()/int64(cfg.Nodes))
+			cloudSeconds := cfg.Cloud.TrainingStepSeconds(int64(trainFLOPsPerNode)) * float64(cfg.Nodes)
+			r.CloudComputeEnergyJ = cfg.Cloud.ComputeEnergyJoules(cloudSeconds)
+			r.Specialised = true
+		case StrategyEdgeTraining:
+			// Only compact telemetry leaves the node (training metrics), and
+			// the teacher model is downloaded once per node.
+			const telemetryBytes = 64 << 10
+			r.UplinkBytes = int64(cfg.Nodes) * telemetryBytes
+			r.DownlinkBytes = int64(cfg.Nodes) * cfg.Node.ModelBytes // one-time teacher download
+			r.SensitiveImagesShared = 0
+			r.NodeRadioEnergyJ = float64(cfg.Nodes) * cfg.Edge.TransferEnergyJoules(r.TotalNetworkBytes()/int64(cfg.Nodes))
+			edgeSeconds := cfg.Edge.TrainingStepSeconds(int64(trainFLOPsPerNode))
+			r.NodeComputeEnergyJ = float64(cfg.Nodes) * cfg.Edge.ComputeEnergyJoules(edgeSeconds)
+			r.Specialised = true
+		case StrategyStaticModel:
+			r.DownlinkBytes = int64(cfg.Nodes) * cfg.Node.ModelBytes
+			r.NodeRadioEnergyJ = float64(cfg.Nodes) * cfg.Edge.TransferEnergyJoules(cfg.Node.ModelBytes)
+			r.Specialised = false
+		}
+		r.MeanUplinkMbpsPerNode = float64(r.UplinkBytes) / float64(cfg.Nodes) * 8 / periodSeconds / 1e6
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Render formats the comparison as a table.
+func Render(results []Result) string {
+	var b strings.Builder
+	b.WriteString("Edge vs cloud training: fleet data movement and energy\n")
+	fmt.Fprintf(&b, "%-16s%16s%16s%14s%16s%16s%14s%12s\n",
+		"strategy", "uplink (GB)", "downlink (GB)", "images out", "radio (kJ)", "edge cpu (kJ)", "cloud (kJ)", "special.")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-16s%16.2f%16.2f%14d%16.1f%16.1f%14.1f%12v\n",
+			string(r.Strategy),
+			float64(r.UplinkBytes)/1e9,
+			float64(r.DownlinkBytes)/1e9,
+			r.SensitiveImagesShared,
+			r.NodeRadioEnergyJ/1e3,
+			r.NodeComputeEnergyJ/1e3,
+			r.CloudComputeEnergyJ/1e3,
+			r.Specialised)
+	}
+	return b.String()
+}

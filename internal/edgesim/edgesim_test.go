@@ -1,0 +1,157 @@
+package edgesim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/edgeml/edgetrain/internal/device"
+)
+
+func TestSimulateDefaultFleet(t *testing.T) {
+	results, err := Simulate(DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Strategies) {
+		t.Fatalf("expected %d strategies, got %d", len(Strategies), len(results))
+	}
+	byStrategy := map[Strategy]Result{}
+	for _, r := range results {
+		byStrategy[r.Strategy] = r
+	}
+	cloud := byStrategy[StrategyCloudTraining]
+	edge := byStrategy[StrategyEdgeTraining]
+	static := byStrategy[StrategyStaticModel]
+
+	// The paper's argument: transferring training data to the cloud costs far
+	// more network traffic than training in situ.
+	if cloud.UplinkBytes < 10*edge.UplinkBytes {
+		t.Fatalf("cloud training uplink %d should dwarf edge training uplink %d", cloud.UplinkBytes, edge.UplinkBytes)
+	}
+	// Privacy: only cloud training ships raw images off the node.
+	if cloud.SensitiveImagesShared == 0 {
+		t.Fatal("cloud training must expose captured images")
+	}
+	if edge.SensitiveImagesShared != 0 || static.SensitiveImagesShared != 0 {
+		t.Fatal("edge training and static models must not expose images")
+	}
+	// Radio energy follows traffic.
+	if cloud.NodeRadioEnergyJ <= edge.NodeRadioEnergyJ {
+		t.Fatal("cloud training should cost more radio energy than edge training")
+	}
+	// Edge training pays with local compute energy instead.
+	if edge.NodeComputeEnergyJ <= 0 {
+		t.Fatal("edge training must spend node compute energy")
+	}
+	if cloud.NodeComputeEnergyJ != 0 {
+		t.Fatal("cloud training should not spend node compute energy on training")
+	}
+	// Only the training strategies specialise the per-node model.
+	if !cloud.Specialised || !edge.Specialised || static.Specialised {
+		t.Fatal("specialisation flags wrong")
+	}
+	// The captured working set fits the node storage (Section III).
+	if !edge.StorageOK {
+		t.Fatal("the captured dataset should fit the Waggle storage")
+	}
+}
+
+func TestSimulateBandwidthScale(t *testing.T) {
+	cfg := DefaultFleetConfig()
+	results, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Strategy != StrategyCloudTraining {
+			continue
+		}
+		// Sanity: the sustained per-node uplink must be far below the node's
+		// 10 Mbps link (otherwise the simulation parameters are absurd), but
+		// clearly non-zero.
+		if r.MeanUplinkMbpsPerNode <= 0 || r.MeanUplinkMbpsPerNode > cfg.Edge.NetworkMbps {
+			t.Fatalf("cloud-training uplink %.3f Mbps implausible", r.MeanUplinkMbpsPerNode)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cfg := DefaultFleetConfig()
+	cfg.Nodes = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	cfg = DefaultFleetConfig()
+	cfg.Node.TrackLength = 0
+	if _, err := Simulate(cfg); err == nil {
+		t.Fatal("zero track length accepted")
+	}
+}
+
+func TestSimulateDeterministicForSeed(t *testing.T) {
+	a, err := Simulate(DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].UplinkBytes != b[i].UplinkBytes || a[i].CapturedImages != b[i].CapturedImages {
+			t.Fatal("simulation is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	results, err := Simulate(DefaultFleetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(results)
+	for _, s := range Strategies {
+		if !strings.Contains(out, string(s)) {
+			t.Fatalf("render missing strategy %s:\n%s", s, out)
+		}
+	}
+}
+
+func TestDefaultNodeConfigStorageClaim(t *testing.T) {
+	// The default workload accumulates well under the node's storage over a
+	// month: 200 detections/day * 30 frames * 10 kB * 30 days ≈ 1.8 GB.
+	cfg := DefaultNodeConfig()
+	bytes := int64(cfg.DetectionsPerDay) * int64(cfg.TrackLength) * cfg.ImageBytes * 30
+	if bytes > device.Waggle().StorageBytes {
+		t.Fatalf("default workload (%d bytes) should fit the Waggle storage", bytes)
+	}
+}
+
+// Property: for any fleet size and duration, cloud-training uplink dominates
+// edge-training uplink and total traffic scales with the node count.
+func TestCloudDominatesEdgeTrafficProperty(t *testing.T) {
+	f := func(nodesRaw, daysRaw, seedRaw uint8) bool {
+		cfg := DefaultFleetConfig()
+		cfg.Nodes = int(nodesRaw%50) + 1
+		cfg.Days = int(daysRaw%60) + 1
+		cfg.Seed = uint64(seedRaw) + 1
+		results, err := Simulate(cfg)
+		if err != nil {
+			return false
+		}
+		var cloud, edge Result
+		for _, r := range results {
+			switch r.Strategy {
+			case StrategyCloudTraining:
+				cloud = r
+			case StrategyEdgeTraining:
+				edge = r
+			}
+		}
+		return cloud.UplinkBytes > edge.UplinkBytes && cloud.SensitiveImagesShared > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

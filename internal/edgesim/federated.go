@@ -1,0 +1,95 @@
+package edgesim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Federated-style model updates are the natural middle ground between the
+// paper's two poles (ship all data to the cloud vs. train fully in situ):
+// every node trains locally but periodically exchanges model-sized updates
+// with an aggregator. Section I argues this is exactly the case where Edge
+// training stops being attractive — "transferring a model update back and
+// forth between the different nodes might introduce excessive communication".
+// This file quantifies that trade-off so the ablation benchmarks can show
+// where each strategy wins.
+
+// FederatedConfig describes a federated-averaging style deployment.
+type FederatedConfig struct {
+	Fleet FleetConfig
+	// Rounds is the number of aggregation rounds over the simulated period.
+	Rounds int
+	// UpdateFraction is the size of one uploaded update relative to the full
+	// model (1.0 for full weights, smaller for sparsified/quantised updates).
+	UpdateFraction float64
+}
+
+// DefaultFederatedConfig runs weekly aggregation rounds with full-model
+// updates over the default fleet.
+func DefaultFederatedConfig() FederatedConfig {
+	return FederatedConfig{
+		Fleet:          DefaultFleetConfig(),
+		Rounds:         4,
+		UpdateFraction: 1.0,
+	}
+}
+
+// FederatedResult extends Result with the round structure of the exchange.
+type FederatedResult struct {
+	Result
+	Rounds          int
+	BytesPerRound   int64 // per node: upload + download of one round
+	UsefulWhenLocal bool  // whether the per-node specialisation survives averaging
+}
+
+// SimulateFederated computes the traffic and energy of the federated strategy
+// and returns it alongside the plain strategies for comparison.
+func SimulateFederated(cfg FederatedConfig) (FederatedResult, []Result, error) {
+	if cfg.Rounds <= 0 {
+		return FederatedResult{}, nil, fmt.Errorf("edgesim: federated rounds must be positive, got %d", cfg.Rounds)
+	}
+	if cfg.UpdateFraction <= 0 || cfg.UpdateFraction > 1 {
+		return FederatedResult{}, nil, fmt.Errorf("edgesim: update fraction %v outside (0, 1]", cfg.UpdateFraction)
+	}
+	base, err := Simulate(cfg.Fleet)
+	if err != nil {
+		return FederatedResult{}, nil, err
+	}
+
+	node := cfg.Fleet.Node
+	updateBytes := int64(float64(node.ModelBytes) * cfg.UpdateFraction)
+	perRound := updateBytes + node.ModelBytes // upload the update, download the aggregate
+	fleetNodes := int64(cfg.Fleet.Nodes)
+
+	res := FederatedResult{Rounds: cfg.Rounds, BytesPerRound: perRound}
+	res.Strategy = "federated"
+	res.UplinkBytes = fleetNodes * updateBytes * int64(cfg.Rounds)
+	res.DownlinkBytes = fleetNodes * node.ModelBytes * int64(cfg.Rounds)
+	res.SensitiveImagesShared = 0
+	res.Specialised = false // averaging across viewpoints undoes per-node specialisation
+	res.UsefulWhenLocal = false
+	res.NodeRadioEnergyJ = float64(cfg.Fleet.Nodes) * cfg.Fleet.Edge.TransferEnergyJoules(perRound*int64(cfg.Rounds))
+
+	// Local training cost is the same as the edge-training strategy.
+	for _, r := range base {
+		if r.Strategy == StrategyEdgeTraining {
+			res.NodeComputeEnergyJ = r.NodeComputeEnergyJ
+			res.CapturedImages = r.CapturedImages
+			res.StorageOK = r.StorageOK
+		}
+	}
+	periodSeconds := float64(cfg.Fleet.Days) * 24 * 3600
+	res.MeanUplinkMbpsPerNode = float64(res.UplinkBytes) / float64(cfg.Fleet.Nodes) * 8 / periodSeconds / 1e6
+	return res, base, nil
+}
+
+// RenderFederated formats the federated result next to the plain strategies.
+func RenderFederated(fed FederatedResult, base []Result) string {
+	var b strings.Builder
+	b.WriteString(Render(append(append([]Result{}, base...), fed.Result)))
+	fmt.Fprintf(&b, "\nfederated exchange: %d rounds of %.1f MB per node per round\n",
+		fed.Rounds, float64(fed.BytesPerRound)/1e6)
+	b.WriteString("note: averaging across nodes undoes the per-viewpoint specialisation that Section III is after;\n")
+	b.WriteString("federated updates are attractive when nodes share a common viewpoint distribution, not here.\n")
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package memmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/edgeml/edgetrain/internal/resnet"
+)
+
+func TestModelBasicProperties(t *testing.T) {
+	fp, err := Model(resnet.ResNet18, 224, 1, DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.TotalBytes() != fp.WeightBytes+fp.ActBytes {
+		t.Fatal("TotalBytes inconsistent")
+	}
+	if fp.MB() <= 0 || fp.GB() <= 0 {
+		t.Fatal("non-positive footprint")
+	}
+	if !fp.FitsIn(EdgeDeviceMemoryBytes) {
+		t.Fatal("ResNet-18 at batch 1 / 224 must fit the 2 GB device (Table I)")
+	}
+	if len(fp.String()) == 0 {
+		t.Fatal("empty String")
+	}
+	if _, err := Model(resnet.ResNet18, 224, 0, DefaultAccounting); err == nil {
+		t.Fatal("zero batch size should be rejected")
+	}
+	if _, err := Model(resnet.Variant(9), 224, 1, DefaultAccounting); err == nil {
+		t.Fatal("unknown variant should be rejected")
+	}
+}
+
+func TestAccountingDefaultsAndSGD(t *testing.T) {
+	zero := Accounting{}
+	full, err := Model(resnet.ResNet34, 224, 2, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Model(resnet.ResNet34, 224, 2, DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalBytes() != def.TotalBytes() {
+		t.Fatal("zero-value accounting should behave like the default")
+	}
+	sgd, err := Model(resnet.ResNet34, 224, 2, SGDAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sgd.WeightBytes*2 != def.WeightBytes {
+		t.Fatal("SGD accounting should halve the weight state")
+	}
+	if sgd.ActBytes != def.ActBytes {
+		t.Fatal("activation accounting should not depend on the optimiser")
+	}
+}
+
+func compareWithin(t *testing.T, tbl *Table, paper PaperTable, tol float64) {
+	t.Helper()
+	cmp, err := Compare(tbl, paper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disagreements := 0
+	for _, c := range cmp {
+		if math.Abs(c.RelativeDiff) > tol {
+			t.Errorf("%s row=%d %s: reproduced %.2f vs paper %.2f (%.1f%%) exceeds tolerance",
+				tbl.Name, c.Row, c.Variant, c.Ours, c.Paper, 100*c.RelativeDiff)
+		}
+		if !c.FitsAgrees {
+			disagreements++
+		}
+	}
+	if disagreements > 1 {
+		t.Errorf("%s: %d cells disagree with the paper about the 2 GB fit", tbl.Name, disagreements)
+	}
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	tbl, err := Table1(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareWithin(t, tbl, PaperTable1, 0.15)
+}
+
+func TestTable2MatchesPaperShape(t *testing.T) {
+	tbl, err := Table2(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareWithin(t, tbl, PaperTable2, 0.15)
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	tbl, err := Table3(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareWithin(t, tbl, PaperTable3, 0.15)
+}
+
+func TestTable1Monotonicity(t *testing.T) {
+	tbl, err := Table1(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory grows with batch size for every variant, and with depth for
+	// every batch size.
+	for j := range tbl.Columns {
+		for i := 1; i < len(tbl.Rows); i++ {
+			if tbl.Cells[i][j].Value <= tbl.Cells[i-1][j].Value {
+				t.Fatalf("memory did not grow with batch size for %s", tbl.Columns[j])
+			}
+		}
+	}
+	for i := range tbl.Rows {
+		for j := 1; j < len(tbl.Columns); j++ {
+			if tbl.Cells[i][j].Value <= tbl.Cells[i][j-1].Value {
+				t.Fatalf("memory did not grow with depth at batch %d", tbl.Rows[i])
+			}
+		}
+	}
+}
+
+func TestTable1HeadlineClaims(t *testing.T) {
+	// Section III: "all models fit in 2GB" at batch 1 / image 224, but
+	// "increasing the batch size to 3 makes it impossible to keep ResNet152
+	// in memory and further increase makes even the smallest models require
+	// more than 2GB".
+	tbl, err := Table1(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range resnet.Variants {
+		c, err := tbl.Lookup(1, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Fits {
+			t.Errorf("%s at batch 1 should fit 2 GB", v)
+		}
+	}
+	c152, err := tbl.Lookup(3, resnet.ResNet152)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c152.Fits {
+		t.Error("ResNet-152 at batch 3 should not fit 2 GB")
+	}
+	c18, err := tbl.Lookup(50, resnet.ResNet18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c18.Fits {
+		t.Error("ResNet-18 at batch 50 should not fit 2 GB")
+	}
+}
+
+func TestTable3HeadlineClaim(t *testing.T) {
+	// Section III: at batch size 8 "one cannot use a neural network with more
+	// than 50 layers even for the smallest possible image size" — i.e. at 224
+	// the 101- and 152-layer models exceed 2 GB.
+	tbl, err := Table3(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tbl.Lookup(224, resnet.ResNet101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fits {
+		t.Error("ResNet-101 at batch 8 / image 224 should not fit 2 GB")
+	}
+	c, err = tbl.Lookup(224, resnet.ResNet152)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fits {
+		t.Error("ResNet-152 at batch 8 / image 224 should not fit 2 GB")
+	}
+}
+
+func TestTableLookupErrors(t *testing.T) {
+	tbl, err := Table1(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Lookup(7, resnet.ResNet18); err == nil {
+		t.Fatal("unknown row accepted")
+	}
+	if _, err := tbl.Lookup(1, resnet.Variant(12)); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl, err := Table2(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "ResNet152") || !strings.Contains(out, "Table II") {
+		t.Fatalf("render missing expected content:\n%s", out)
+	}
+	// Some cells must be marked as not fitting.
+	if !strings.Contains(out, "*") {
+		t.Fatal("render should mark cells exceeding 2 GB")
+	}
+}
+
+func TestCompareRowMismatch(t *testing.T) {
+	tbl, err := Table1(DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperTable{Name: "x", Rows: []int{1}, Data: [][]float64{{1, 1, 1, 1, 1}}}
+	if _, err := Compare(tbl, bad); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+}
+
+func TestHeterogeneousStateBytes(t *testing.T) {
+	states, err := HeterogeneousStateBytes(resnet.ResNet18, 224, 2, DefaultAccounting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := resnet.Count(resnet.ResNet18, 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != len(counts)+1 {
+		t.Fatalf("expected %d states, got %d", len(counts)+1, len(states))
+	}
+	if states[0] != int64(3*224*224)*2*8 {
+		t.Fatalf("input state bytes %d wrong", states[0])
+	}
+	if _, err := HeterogeneousStateBytes(resnet.Variant(9), 224, 1, DefaultAccounting); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+// Property: memory scales linearly in batch size for the activation part and
+// the weight part is batch-independent.
+func TestMemoryBatchLinearityProperty(t *testing.T) {
+	f := func(bRaw uint8) bool {
+		b := int(bRaw%32) + 1
+		one, err := Model(resnet.ResNet34, 224, 1, DefaultAccounting)
+		if err != nil {
+			return false
+		}
+		many, err := Model(resnet.ResNet34, 224, b, DefaultAccounting)
+		if err != nil {
+			return false
+		}
+		return many.WeightBytes == one.WeightBytes && many.ActBytes == int64(b)*one.ActBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

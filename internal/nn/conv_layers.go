@@ -1,0 +1,428 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over NCHW tensors.
+type Conv2D struct {
+	name                string
+	InC, OutC           int
+	Kernel, Stride, Pad int
+	W, B                *Param
+	hasBias             bool
+	lastIn              *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer with Kaiming-initialised weights.
+func NewConv2D(name string, inC, outC, kernel, stride, pad int, bias bool, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		name: name, InC: inC, OutC: outC,
+		Kernel: kernel, Stride: stride, Pad: pad, hasBias: bias,
+	}
+	c.W = NewParam(name+".weight", tensor.KaimingConv(rng, outC, inC, kernel, kernel))
+	if bias {
+		c.B = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 4, "Conv2D")
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InC, x.Dim(1)))
+	}
+	c.lastIn = x.Clone()
+	var bias *tensor.Tensor
+	if c.hasBias {
+		bias = c.B.Value
+	}
+	return tensor.Conv2D(x, c.W.Value, bias, c.Stride, c.Pad)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("nn: Conv2D.Backward called before Forward")
+	}
+	gi, gw, gb := tensor.Conv2DBackward(c.lastIn, c.W.Value, c.hasBias, gradOut, c.Stride, c.Pad)
+	c.W.Grad.AddInPlace(gw)
+	if c.hasBias {
+		c.B.Grad.AddInPlace(gb)
+	}
+	return gi
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.hasBias {
+		return []*Param{c.W, c.B}
+	}
+	return []*Param{c.W}
+}
+
+// OutputShape implements Layer.
+func (c *Conv2D) OutputShape(in []int) []int {
+	g := tensor.NewConvGeom(in[1], in[2], in[3], c.OutC, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	return g.OutputShape(in[0])
+}
+
+// Stats implements StatsProvider.
+func (c *Conv2D) Stats(in []int) Stats {
+	out := c.OutputShape(in)
+	params := c.OutC * c.InC * c.Kernel * c.Kernel
+	if c.hasBias {
+		params += c.OutC
+	}
+	outElems := prod(out)
+	macsPerOut := int64(c.InC * c.Kernel * c.Kernel)
+	return Stats{
+		ParamCount:      params,
+		ActivationElems: prod(in),
+		OutputElems:     outElems,
+		ForwardFLOPs:    2 * outElems * macsPerOut,
+		BackwardFLOPs:   4 * outElems * macsPerOut,
+	}
+}
+
+// BatchNorm2D normalises each channel of an NCHW tensor over the batch and
+// spatial dimensions, with learnable scale (gamma) and shift (beta).
+type BatchNorm2D struct {
+	name        string
+	C           int
+	Eps         float64
+	Momentum    float64
+	Gamma, Beta *Param
+	// Running statistics for inference mode.
+	RunningMean, RunningVar *tensor.Tensor
+	// Backward cache.
+	lastIn    *tensor.Tensor
+	batchMean []float64
+	batchVar  []float64
+	xhat      *tensor.Tensor
+}
+
+// NewBatchNorm2D creates a batch-norm layer for c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	bn := &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		RunningMean: tensor.New(c),
+		RunningVar:  tensor.Ones(c),
+	}
+	bn.Gamma = NewParam(name+".gamma", tensor.Ones(c))
+	bn.Beta = NewParam(name+".beta", tensor.New(c))
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm2D) Name() string { return bn.name }
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	mustRank(x, 4, "BatchNorm2D")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.C {
+		panic(fmt.Sprintf("nn: BatchNorm2D %s expects %d channels, got %d", bn.name, bn.C, c))
+	}
+	out := tensor.New(x.Shape()...)
+	bn.lastIn = x.Clone()
+	bn.xhat = tensor.New(x.Shape()...)
+	bn.batchMean = make([]float64, c)
+	bn.batchVar = make([]float64, c)
+	area := h * w
+	count := float64(n * area)
+
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			sum := 0.0
+			for b := 0; b < n; b++ {
+				off := ((b * c) + ch) * area
+				for i := 0; i < area; i++ {
+					sum += x.Data()[off+i]
+				}
+			}
+			mean = sum / count
+			sq := 0.0
+			for b := 0; b < n; b++ {
+				off := ((b * c) + ch) * area
+				for i := 0; i < area; i++ {
+					d := x.Data()[off+i] - mean
+					sq += d * d
+				}
+			}
+			variance = sq / count
+			// Update running statistics (exponential moving average).
+			bn.RunningMean.Data()[ch] = (1-bn.Momentum)*bn.RunningMean.Data()[ch] + bn.Momentum*mean
+			bn.RunningVar.Data()[ch] = (1-bn.Momentum)*bn.RunningVar.Data()[ch] + bn.Momentum*variance
+		} else {
+			mean = bn.RunningMean.Data()[ch]
+			variance = bn.RunningVar.Data()[ch]
+		}
+		bn.batchMean[ch] = mean
+		bn.batchVar[ch] = variance
+		invStd := 1.0 / math.Sqrt(variance+bn.Eps)
+		g := bn.Gamma.Value.Data()[ch]
+		bta := bn.Beta.Value.Data()[ch]
+		for b := 0; b < n; b++ {
+			off := ((b * c) + ch) * area
+			for i := 0; i < area; i++ {
+				xh := (x.Data()[off+i] - mean) * invStd
+				bn.xhat.Data()[off+i] = xh
+				out.Data()[off+i] = g*xh + bta
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. It implements the standard batch-norm gradient
+// for training mode (batch statistics).
+func (bn *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if bn.lastIn == nil {
+		panic("nn: BatchNorm2D.Backward called before Forward")
+	}
+	n, c, h, w := bn.lastIn.Dim(0), bn.lastIn.Dim(1), bn.lastIn.Dim(2), bn.lastIn.Dim(3)
+	area := h * w
+	count := float64(n * area)
+	gradIn := tensor.New(bn.lastIn.Shape()...)
+
+	for ch := 0; ch < c; ch++ {
+		invStd := 1.0 / math.Sqrt(bn.batchVar[ch]+bn.Eps)
+		g := bn.Gamma.Value.Data()[ch]
+
+		var sumDy, sumDyXhat float64
+		for b := 0; b < n; b++ {
+			off := ((b * c) + ch) * area
+			for i := 0; i < area; i++ {
+				dy := gradOut.Data()[off+i]
+				sumDy += dy
+				sumDyXhat += dy * bn.xhat.Data()[off+i]
+			}
+		}
+		// Parameter gradients.
+		bn.Gamma.Grad.Data()[ch] += sumDyXhat
+		bn.Beta.Grad.Data()[ch] += sumDy
+
+		// Input gradient:
+		// dx = (gamma*invStd/count) * (count*dy - sumDy - xhat*sumDyXhat)
+		scale := g * invStd / count
+		for b := 0; b < n; b++ {
+			off := ((b * c) + ch) * area
+			for i := 0; i < area; i++ {
+				dy := gradOut.Data()[off+i]
+				xh := bn.xhat.Data()[off+i]
+				gradIn.Data()[off+i] = scale * (count*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
+
+// OutputShape implements Layer.
+func (bn *BatchNorm2D) OutputShape(in []int) []int { return append([]int(nil), in...) }
+
+// Stats implements StatsProvider.
+func (bn *BatchNorm2D) Stats(in []int) Stats {
+	n := prod(in)
+	return Stats{
+		ParamCount:      2 * bn.C,
+		ActivationElems: 2 * n, // input and normalised xhat are retained
+		OutputElems:     n,
+		ForwardFLOPs:    4 * n,
+		BackwardFLOPs:   8 * n,
+	}
+}
+
+// MaxPool2D is a max pooling layer.
+type MaxPool2D struct {
+	name    string
+	Kernel  int
+	Stride  int
+	inShape []int
+	argmax  []int
+}
+
+// NewMaxPool2D creates a max-pool layer.
+func NewMaxPool2D(name string, kernel, stride int) *MaxPool2D {
+	return &MaxPool2D{name: name, Kernel: kernel, Stride: stride}
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return m.name }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 4, "MaxPool2D")
+	m.inShape = x.Shape()
+	out, arg := tensor.MaxPool2D(x, m.Kernel, m.Stride)
+	m.argmax = arg
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if m.argmax == nil {
+		panic("nn: MaxPool2D.Backward called before Forward")
+	}
+	return tensor.MaxPool2DBackward(m.inShape, m.argmax, gradOut)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (m *MaxPool2D) OutputShape(in []int) []int {
+	outH := (in[2]-m.Kernel)/m.Stride + 1
+	outW := (in[3]-m.Kernel)/m.Stride + 1
+	return []int{in[0], in[1], outH, outW}
+}
+
+// Stats implements StatsProvider.
+func (m *MaxPool2D) Stats(in []int) Stats {
+	out := m.OutputShape(in)
+	return Stats{
+		ActivationElems: prod(out), // argmax indices, same cardinality as output
+		OutputElems:     prod(out),
+		ForwardFLOPs:    prod(in),
+		BackwardFLOPs:   prod(out),
+	}
+}
+
+// GlobalAvgPool2D averages each channel map to a single value, producing (N, C).
+type GlobalAvgPool2D struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool2D creates a global average pooling layer.
+func NewGlobalAvgPool2D(name string) *GlobalAvgPool2D { return &GlobalAvgPool2D{name: name} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool2D) Name() string { return g.name }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 4, "GlobalAvgPool2D")
+	g.inShape = x.Shape()
+	return tensor.GlobalAvgPool2D(x)
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if g.inShape == nil {
+		panic("nn: GlobalAvgPool2D.Backward called before Forward")
+	}
+	return tensor.GlobalAvgPool2DBackward(g.inShape, gradOut)
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (g *GlobalAvgPool2D) OutputShape(in []int) []int { return []int{in[0], in[1]} }
+
+// Stats implements StatsProvider.
+func (g *GlobalAvgPool2D) Stats(in []int) Stats {
+	return Stats{
+		OutputElems:   int64(in[0] * in[1]),
+		ForwardFLOPs:  prod(in),
+		BackwardFLOPs: prod(in),
+	}
+}
+
+// AvgPool2D is an average pooling layer with a square window.
+type AvgPool2D struct {
+	name    string
+	Kernel  int
+	Stride  int
+	inShape []int
+}
+
+// NewAvgPool2D creates an average pooling layer.
+func NewAvgPool2D(name string, kernel, stride int) *AvgPool2D {
+	return &AvgPool2D{name: name, Kernel: kernel, Stride: stride}
+}
+
+// Name implements Layer.
+func (a *AvgPool2D) Name() string { return a.name }
+
+// Forward implements Layer.
+func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 4, "AvgPool2D")
+	a.inShape = x.Shape()
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	outH := (h-a.Kernel)/a.Stride + 1
+	outW := (w-a.Kernel)/a.Stride + 1
+	out := tensor.New(n, c, outH, outW)
+	win := float64(a.Kernel * a.Kernel)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					s := 0.0
+					for kh := 0; kh < a.Kernel; kh++ {
+						for kw := 0; kw < a.Kernel; kw++ {
+							s += x.At(b, ch, oh*a.Stride+kh, ow*a.Stride+kw)
+						}
+					}
+					out.Set(s/win, b, ch, oh, ow)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if a.inShape == nil {
+		panic("nn: AvgPool2D.Backward called before Forward")
+	}
+	gradIn := tensor.New(a.inShape...)
+	n, c := a.inShape[0], a.inShape[1]
+	outH, outW := gradOut.Dim(2), gradOut.Dim(3)
+	win := float64(a.Kernel * a.Kernel)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					g := gradOut.At(b, ch, oh, ow) / win
+					for kh := 0; kh < a.Kernel; kh++ {
+						for kw := 0; kw < a.Kernel; kw++ {
+							ih, iw := oh*a.Stride+kh, ow*a.Stride+kw
+							gradIn.Set(gradIn.At(b, ch, ih, iw)+g, b, ch, ih, iw)
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (a *AvgPool2D) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (a *AvgPool2D) OutputShape(in []int) []int {
+	outH := (in[2]-a.Kernel)/a.Stride + 1
+	outW := (in[3]-a.Kernel)/a.Stride + 1
+	return []int{in[0], in[1], outH, outW}
+}
+
+// Stats implements StatsProvider.
+func (a *AvgPool2D) Stats(in []int) Stats {
+	out := a.OutputShape(in)
+	return Stats{OutputElems: prod(out), ForwardFLOPs: prod(in), BackwardFLOPs: prod(in)}
+}

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// GroupNorm2D normalises groups of channels within each sample. Unlike batch
+// normalisation it does not depend on the batch dimension at all, which makes
+// it the natural choice for Edge training where checkpointing and memory
+// limits push the batch size towards 1-2 (the regime Section IV warns about
+// for batch statistics).
+type GroupNorm2D struct {
+	name        string
+	C, Groups   int
+	Eps         float64
+	Gamma, Beta *Param
+
+	lastIn   *tensor.Tensor
+	xhat     *tensor.Tensor
+	groupVar []float64
+}
+
+// NewGroupNorm2D creates a group-norm layer for c channels split into the
+// given number of groups (which must divide c).
+func NewGroupNorm2D(name string, c, groups int) *GroupNorm2D {
+	if groups <= 0 || c%groups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm2D %s: %d channels not divisible into %d groups", name, c, groups))
+	}
+	gn := &GroupNorm2D{name: name, C: c, Groups: groups, Eps: 1e-5}
+	gn.Gamma = NewParam(name+".gamma", tensor.Ones(c))
+	gn.Beta = NewParam(name+".beta", tensor.New(c))
+	return gn
+}
+
+// Name implements Layer.
+func (gn *GroupNorm2D) Name() string { return gn.name }
+
+// Forward implements Layer.
+func (gn *GroupNorm2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 4, "GroupNorm2D")
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != gn.C {
+		panic(fmt.Sprintf("nn: GroupNorm2D %s expects %d channels, got %d", gn.name, gn.C, c))
+	}
+	gn.lastIn = x.Clone()
+	gn.xhat = tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	chPerGroup := c / gn.Groups
+	area := h * w
+	groupSize := float64(chPerGroup * area)
+	gn.groupVar = make([]float64, n*gn.Groups)
+
+	for b := 0; b < n; b++ {
+		for g := 0; g < gn.Groups; g++ {
+			var sum float64
+			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
+				off := ((b * c) + ch) * area
+				for i := 0; i < area; i++ {
+					sum += x.Data()[off+i]
+				}
+			}
+			mean := sum / groupSize
+			var sq float64
+			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
+				off := ((b * c) + ch) * area
+				for i := 0; i < area; i++ {
+					d := x.Data()[off+i] - mean
+					sq += d * d
+				}
+			}
+			variance := sq / groupSize
+			gn.groupVar[b*gn.Groups+g] = variance
+			invStd := 1 / math.Sqrt(variance+gn.Eps)
+			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
+				off := ((b * c) + ch) * area
+				gamma := gn.Gamma.Value.Data()[ch]
+				beta := gn.Beta.Value.Data()[ch]
+				for i := 0; i < area; i++ {
+					xh := (x.Data()[off+i] - mean) * invStd
+					gn.xhat.Data()[off+i] = xh
+					out.Data()[off+i] = gamma*xh + beta
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (gn *GroupNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if gn.lastIn == nil {
+		panic("nn: GroupNorm2D.Backward called before Forward")
+	}
+	n, c, h, w := gn.lastIn.Dim(0), gn.lastIn.Dim(1), gn.lastIn.Dim(2), gn.lastIn.Dim(3)
+	area := h * w
+	chPerGroup := c / gn.Groups
+	groupSize := float64(chPerGroup * area)
+	gradIn := tensor.New(gn.lastIn.Shape()...)
+
+	// Parameter gradients.
+	for ch := 0; ch < c; ch++ {
+		var dGamma, dBeta float64
+		for b := 0; b < n; b++ {
+			off := ((b * c) + ch) * area
+			for i := 0; i < area; i++ {
+				dy := gradOut.Data()[off+i]
+				dGamma += dy * gn.xhat.Data()[off+i]
+				dBeta += dy
+			}
+		}
+		gn.Gamma.Grad.Data()[ch] += dGamma
+		gn.Beta.Grad.Data()[ch] += dBeta
+	}
+
+	// Input gradient, per (sample, group).
+	for b := 0; b < n; b++ {
+		for g := 0; g < gn.Groups; g++ {
+			invStd := 1 / math.Sqrt(gn.groupVar[b*gn.Groups+g]+gn.Eps)
+			var sumDy, sumDyXhat float64
+			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
+				off := ((b * c) + ch) * area
+				gamma := gn.Gamma.Value.Data()[ch]
+				for i := 0; i < area; i++ {
+					dy := gradOut.Data()[off+i] * gamma
+					sumDy += dy
+					sumDyXhat += dy * gn.xhat.Data()[off+i]
+				}
+			}
+			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
+				off := ((b * c) + ch) * area
+				gamma := gn.Gamma.Value.Data()[ch]
+				for i := 0; i < area; i++ {
+					dy := gradOut.Data()[off+i] * gamma
+					xh := gn.xhat.Data()[off+i]
+					gradIn.Data()[off+i] = invStd / groupSize * (groupSize*dy - sumDy - xh*sumDyXhat)
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (gn *GroupNorm2D) Params() []*Param { return []*Param{gn.Gamma, gn.Beta} }
+
+// OutputShape implements Layer.
+func (gn *GroupNorm2D) OutputShape(in []int) []int { return append([]int(nil), in...) }
+
+// Stats implements StatsProvider.
+func (gn *GroupNorm2D) Stats(in []int) Stats {
+	n := prod(in)
+	return Stats{
+		ParamCount:      2 * gn.C,
+		ActivationElems: 2 * n,
+		OutputElems:     n,
+		ForwardFLOPs:    4 * n,
+		BackwardFLOPs:   8 * n,
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+func TestGroupNormForwardNormalises(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	gn := NewGroupNorm2D("gn", 4, 2)
+	x := tensor.RandNormal(rng, 3, 2, 2, 4, 5, 5)
+	out := gn.Forward(x, true)
+	// Each (sample, group) block of the output should have mean ~0 and
+	// variance ~1 (gamma=1, beta=0).
+	for b := 0; b < 2; b++ {
+		for g := 0; g < 2; g++ {
+			var sum, sq float64
+			count := 0
+			for ch := g * 2; ch < (g+1)*2; ch++ {
+				for i := 0; i < 5; i++ {
+					for j := 0; j < 5; j++ {
+						v := out.At(b, ch, i, j)
+						sum += v
+						sq += v * v
+						count++
+					}
+				}
+			}
+			mean := sum / float64(count)
+			variance := sq/float64(count) - mean*mean
+			if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-3 {
+				t.Fatalf("group (%d,%d) not normalised: mean=%v var=%v", b, g, mean, variance)
+			}
+		}
+	}
+}
+
+func TestGroupNormBatchIndependence(t *testing.T) {
+	// The output for one sample must not depend on the other samples in the
+	// batch — the property batch norm lacks at tiny batch sizes.
+	rng := tensor.NewRNG(2)
+	gn := NewGroupNorm2D("gn", 4, 2)
+	a := tensor.RandNormal(rng, 0, 1, 1, 4, 6, 6)
+	b := tensor.RandNormal(rng, 5, 3, 1, 4, 6, 6)
+
+	outSolo := gn.Forward(a, true).Clone()
+
+	combined := tensor.New(2, 4, 6, 6)
+	copy(combined.Data()[:a.Size()], a.Data())
+	copy(combined.Data()[a.Size():], b.Data())
+	outBatch := gn.Forward(combined, true)
+	firstHalf := tensor.FromSlice(append([]float64(nil), outBatch.Data()[:a.Size()]...), 1, 4, 6, 6)
+	if !tensor.AllClose(outSolo, firstHalf, 1e-9) {
+		t.Fatal("group norm output changed when another sample joined the batch")
+	}
+}
+
+func TestGroupNormGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	gn := NewGroupNorm2D("gn", 6, 3)
+	x := tensor.RandNormal(rng, 1, 2, 2, 6, 3, 3)
+	checkLayerGradients(t, gn, x, rng, 12, 2e-3)
+}
+
+func TestGroupNormSingleGroupMatchesLayerNormStyle(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	gn := NewGroupNorm2D("gn", 4, 1)
+	x := tensor.RandNormal(rng, 0, 1, 1, 4, 4, 4)
+	out := gn.Forward(x, true)
+	if math.Abs(out.Mean()) > 1e-9 {
+		t.Fatalf("single-group norm should zero the per-sample mean, got %v", out.Mean())
+	}
+}
+
+func TestGroupNormValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible group count accepted")
+		}
+	}()
+	NewGroupNorm2D("bad", 5, 2)
+}
+
+func TestGroupNormStatsAndShape(t *testing.T) {
+	gn := NewGroupNorm2D("gn", 8, 4)
+	if got := gn.OutputShape([]int{2, 8, 5, 5}); got[1] != 8 {
+		t.Fatalf("OutputShape wrong: %v", got)
+	}
+	st := gn.Stats([]int{2, 8, 5, 5})
+	if st.ParamCount != 16 {
+		t.Fatalf("param count %d, want 16", st.ParamCount)
+	}
+	if len(gn.Params()) != 2 {
+		t.Fatal("group norm should expose gamma and beta")
+	}
+}

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	name string
+	mask []bool // true where the input was positive, used by backward
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	d := out.Data()
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != gradOut.Size() {
+		panic("nn: ReLU.Backward called before Forward or with mismatched size")
+	}
+	gradIn := gradOut.Clone()
+	d := gradIn.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return gradIn
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (r *ReLU) OutputShape(in []int) []int { return append([]int(nil), in...) }
+
+// Stats implements StatsProvider.
+func (r *ReLU) Stats(in []int) Stats {
+	n := prod(in)
+	return Stats{ActivationElems: n, OutputElems: n, ForwardFLOPs: n, BackwardFLOPs: n}
+}
+
+// Flatten reshapes (N, ...) into (N, rest).
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Clone().Reshape(n, -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Clone().Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutputShape implements Layer.
+func (f *Flatten) OutputShape(in []int) []int {
+	rest := 1
+	for _, d := range in[1:] {
+		rest *= d
+	}
+	return []int{in[0], rest}
+}
+
+// Stats implements StatsProvider.
+func (f *Flatten) Stats(in []int) Stats {
+	n := prod(in)
+	return Stats{OutputElems: n}
+}
+
+// Linear is a fully connected layer: y = x W^T + b with x of shape (N, in).
+type Linear struct {
+	name    string
+	In, Out int
+	W, B    *Param
+	hasBias bool
+	lastIn  *tensor.Tensor
+}
+
+// NewLinear creates a fully connected layer with Kaiming-initialised weights.
+func NewLinear(name string, in, out int, bias bool, rng *tensor.RNG) *Linear {
+	l := &Linear{name: name, In: in, Out: out, hasBias: bias}
+	l.W = NewParam(name+".weight", tensor.KaimingLinear(rng, out, in))
+	if bias {
+		l.B = NewParam(name+".bias", tensor.New(out))
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	mustRank(x, 2, "Linear")
+	if x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear %s expects %d features, got %d", l.name, l.In, x.Dim(1)))
+	}
+	l.lastIn = x.Clone()
+	out := tensor.MatMul(x, tensor.Transpose(l.W.Value)) // (N, out)
+	if l.hasBias {
+		n := out.Dim(0)
+		for i := 0; i < n; i++ {
+			for j := 0; j < l.Out; j++ {
+				out.Set(out.At(i, j)+l.B.Value.At(j), i, j)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: Linear.Backward called before Forward")
+	}
+	// dW += gradOut^T x ; dB += column sums of gradOut ; dX = gradOut W
+	dW := tensor.MatMul(tensor.Transpose(gradOut), l.lastIn)
+	l.W.Grad.AddInPlace(dW)
+	if l.hasBias {
+		n := gradOut.Dim(0)
+		for j := 0; j < l.Out; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += gradOut.At(i, j)
+			}
+			l.B.Grad.Set(l.B.Grad.At(j)+s, j)
+		}
+	}
+	return tensor.MatMul(gradOut, l.W.Value)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.hasBias {
+		return []*Param{l.W, l.B}
+	}
+	return []*Param{l.W}
+}
+
+// OutputShape implements Layer.
+func (l *Linear) OutputShape(in []int) []int { return []int{in[0], l.Out} }
+
+// Stats implements StatsProvider.
+func (l *Linear) Stats(in []int) Stats {
+	n := int64(in[0])
+	params := l.In * l.Out
+	if l.hasBias {
+		params += l.Out
+	}
+	return Stats{
+		ParamCount:      params,
+		ActivationElems: n * int64(l.In),
+		OutputElems:     n * int64(l.Out),
+		ForwardFLOPs:    2 * n * int64(l.In) * int64(l.Out),
+		BackwardFLOPs:   4 * n * int64(l.In) * int64(l.Out),
+	}
+}
+
+// SoftmaxCrossEntropy is a fused softmax + cross-entropy loss over class
+// logits. It is not a Layer (its forward takes labels); the trainer uses it
+// as the loss head.
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// NewSoftmaxCrossEntropy creates the loss head.
+func NewSoftmaxCrossEntropy() *SoftmaxCrossEntropy { return &SoftmaxCrossEntropy{} }
+
+// Forward computes the mean cross-entropy loss of logits (N, C) against the
+// integer labels and caches the softmax probabilities for Backward.
+func (s *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
+	mustRank(logits, 2, "SoftmaxCrossEntropy")
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d rows", len(labels), n))
+	}
+	s.probs = tensor.New(n, c)
+	s.labels = append([]int(nil), labels...)
+	loss := 0.0
+	for i := 0; i < n; i++ {
+		// Numerically stable softmax.
+		maxV := logits.At(i, 0)
+		for j := 1; j < c; j++ {
+			if v := logits.At(i, j); v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j := 0; j < c; j++ {
+			e := math.Exp(logits.At(i, j) - maxV)
+			s.probs.Set(e, i, j)
+			sum += e
+		}
+		for j := 0; j < c; j++ {
+			s.probs.Set(s.probs.At(i, j)/sum, i, j)
+		}
+		p := s.probs.At(i, labels[i])
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(n)
+}
+
+// Backward returns dLoss/dLogits for the last Forward call.
+func (s *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
+	if s.probs == nil {
+		panic("nn: SoftmaxCrossEntropy.Backward called before Forward")
+	}
+	n, c := s.probs.Dim(0), s.probs.Dim(1)
+	grad := s.probs.Clone()
+	inv := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		grad.Set(grad.At(i, s.labels[i])-1, i, s.labels[i])
+		for j := 0; j < c; j++ {
+			grad.Set(grad.At(i, j)*inv, i, j)
+		}
+	}
+	return grad
+}
+
+// Probabilities returns the cached softmax probabilities from the last Forward.
+func (s *SoftmaxCrossEntropy) Probabilities() *tensor.Tensor { return s.probs }
+
+// Accuracy computes the fraction of rows of logits whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	preds := tensor.ArgmaxRows(logits)
+	if len(preds) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(preds))
+}

@@ -1,0 +1,187 @@
+// Package nn implements the neural-network layers used by the
+// Training-on-the-Edge reproduction: convolutions, batch normalisation,
+// ReLU, pooling, linear layers and residual blocks, each with a true
+// forward and backward pass and per-layer parameter/activation accounting.
+//
+// The layers are deliberately simple (single-threaded, float64) — the paper's
+// evaluation is about memory footprints and recompute schedules, and the
+// layers here exist so that the checkpointed-backpropagation engine in
+// internal/chain can be validated against real gradients rather than a
+// purely analytical model.
+package nn
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Param is a trainable parameter: a value tensor and its accumulated
+// gradient. Optimisers in internal/trainer attach per-parameter state
+// (momentum, Adam moments) keyed by the Param pointer.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter with a zeroed gradient of matching shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Count returns the number of scalar values in the parameter.
+func (p *Param) Count() int { return p.Value.Size() }
+
+// Layer is a differentiable module. Forward stores whatever it needs to run
+// Backward; calling Forward again overwrites that cache, which is exactly the
+// behaviour the checkpointed executor relies on when it recomputes a segment.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward computes the layer output for input x. When train is false the
+	// layer runs in inference mode (e.g. batch norm uses running statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient with respect to the layer output and
+	// returns the gradient with respect to the layer input, accumulating
+	// parameter gradients as a side effect. It must be called after Forward.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+	// OutputShape maps an input shape to the layer's output shape without
+	// running the layer; it is used for memory accounting and model assembly.
+	OutputShape(in []int) []int
+}
+
+// Stats describes the static cost of a layer for a given input shape. It is
+// the bridge between live layers and the analytical memory model.
+type Stats struct {
+	ParamCount       int   // trainable scalars
+	ActivationElems  int64 // elements the layer must retain for backward (per forward call)
+	OutputElems      int64 // elements in the layer output
+	ForwardFLOPs     int64 // approximate multiply-accumulate count for one forward pass
+	BackwardFLOPs    int64 // approximate cost of the backward pass
+	ParamBytesFP32   int64 // 4 bytes per parameter
+	ActBytesFP32     int64 // 4 bytes per retained activation element
+	OutputBytesFP32  int64
+	ParamStateCopies int // value+grad+optimiser moments, filled in by callers
+}
+
+// StatsProvider is implemented by layers that can report their static costs.
+type StatsProvider interface {
+	Stats(in []int) Stats
+}
+
+func prod(shape []int) int64 {
+	p := int64(1)
+	for _, d := range shape {
+		p *= int64(d)
+	}
+	return p
+}
+
+// CountParams sums the parameter counts of all layers.
+func CountParams(layers []Layer) int {
+	total := 0
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			total += p.Count()
+		}
+	}
+	return total
+}
+
+// ZeroGrads clears the gradients of all parameters of all layers.
+func ZeroGrads(layers []Layer) {
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			p.ZeroGrad()
+		}
+	}
+}
+
+// Sequential is an ordered chain of layers, itself usable as a Layer.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x
+	for _, l := range s.Layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Backward runs every layer's backward pass in reverse order.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := gradOut
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		g = s.Layers[i].Backward(g)
+	}
+	return g
+}
+
+// Params returns the concatenation of all layers' parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutputShape threads the input shape through every layer.
+func (s *Sequential) OutputShape(in []int) []int {
+	shape := in
+	for _, l := range s.Layers {
+		shape = l.OutputShape(shape)
+	}
+	return shape
+}
+
+// Stats aggregates the stats of all contained layers.
+func (s *Sequential) Stats(in []int) Stats {
+	var total Stats
+	shape := in
+	for _, l := range s.Layers {
+		if sp, ok := l.(StatsProvider); ok {
+			st := sp.Stats(shape)
+			total.ParamCount += st.ParamCount
+			total.ActivationElems += st.ActivationElems
+			total.ForwardFLOPs += st.ForwardFLOPs
+			total.BackwardFLOPs += st.BackwardFLOPs
+		}
+		shape = l.OutputShape(shape)
+	}
+	total.OutputElems = prod(shape)
+	total.ParamBytesFP32 = int64(total.ParamCount) * 4
+	total.ActBytesFP32 = total.ActivationElems * 4
+	total.OutputBytesFP32 = total.OutputElems * 4
+	return total
+}
+
+// Len returns the number of layers in the container.
+func (s *Sequential) Len() int { return len(s.Layers) }
+
+// At returns the i-th layer.
+func (s *Sequential) At(i int) Layer { return s.Layers[i] }
+
+func mustRank(x *tensor.Tensor, rank int, who string) {
+	if x.Rank() != rank {
+		panic(fmt.Sprintf("nn: %s expects a rank-%d input, got rank %d (shape %v)", who, rank, x.Rank(), x.Shape()))
+	}
+}

@@ -1,0 +1,271 @@
+// Package resnet describes the ResNet family used by the paper's memory
+// analysis (Tables I-III and the LinearResNet homogenisation of Section VI)
+// and provides small runnable ResNets built on internal/nn for end-to-end
+// training experiments.
+//
+// The architecture specifications follow the published ResNet family
+// (He et al., 2015) as implemented by torchvision: a 7x7/stride-2 stem,
+// a 3x3/stride-2 max pool, four stages of residual blocks (BasicBlock for
+// ResNet-18/34, Bottleneck for ResNet-50/101/152), global average pooling and
+// a 1000-way fully connected classifier.
+package resnet
+
+import "fmt"
+
+// Variant identifies one member of the ResNet family.
+type Variant int
+
+// The five ResNet variants analysed in the paper.
+const (
+	ResNet18  Variant = 18
+	ResNet34  Variant = 34
+	ResNet50  Variant = 50
+	ResNet101 Variant = 101
+	ResNet152 Variant = 152
+)
+
+// Variants lists the family members in the order used by the paper's tables.
+var Variants = []Variant{ResNet18, ResNet34, ResNet50, ResNet101, ResNet152}
+
+// String implements fmt.Stringer.
+func (v Variant) String() string { return fmt.Sprintf("ResNet%d", int(v)) }
+
+// config returns the per-stage block counts and whether bottleneck blocks are
+// used for the variant.
+func (v Variant) config() (blocks [4]int, bottleneck bool, err error) {
+	switch v {
+	case ResNet18:
+		return [4]int{2, 2, 2, 2}, false, nil
+	case ResNet34:
+		return [4]int{3, 4, 6, 3}, false, nil
+	case ResNet50:
+		return [4]int{3, 4, 6, 3}, true, nil
+	case ResNet101:
+		return [4]int{3, 4, 23, 3}, true, nil
+	case ResNet152:
+		return [4]int{3, 8, 36, 3}, true, nil
+	default:
+		return blocks, false, fmt.Errorf("resnet: unknown variant %d", int(v))
+	}
+}
+
+// Depth returns the nominal depth of the variant: the number of convolution
+// and fully connected layers, which is the "l" used by the LinearResNet
+// homogenisation in Section VI (18, 34, 50, 101 or 152).
+func (v Variant) Depth() int {
+	blocks, bottleneck, err := v.config()
+	if err != nil {
+		return 0
+	}
+	total := 0
+	for _, b := range blocks {
+		total += b
+	}
+	per := 2
+	if bottleneck {
+		per = 3
+	}
+	return total*per + 2 // stem conv + fc
+}
+
+// NumClasses is the classifier width used by the published ResNets.
+const NumClasses = 1000
+
+// LayerCount is the static cost of one counted operation of the network for a
+// given input image size: its trainable parameters and the number of output
+// elements per sample (the activation that must be retained for backward when
+// no checkpointing is used).
+type LayerCount struct {
+	Name        string
+	Kind        string // "conv", "bn", "relu", "maxpool", "avgpool", "fc", "add"
+	Params      int64
+	OutputElems int64 // per sample
+	// Retained reports whether plain backpropagation must keep this output
+	// alive until the backward pass. Residual-add outputs and downsample
+	// branch outputs are not retained: the add's backward needs neither
+	// input, and the downsample convolution's backward needs the block input
+	// (already retained), so frameworks reuse those buffers.
+	Retained bool
+}
+
+// counter walks the architecture accumulating LayerCounts.
+type counter struct {
+	c, h, w int
+	counts  []LayerCount
+}
+
+func convOut(in, kernel, stride, pad int) int { return (in+2*pad-kernel)/stride + 1 }
+
+func (ct *counter) conv(name string, outC, kernel, stride, pad int) {
+	params := int64(outC) * int64(ct.c) * int64(kernel) * int64(kernel)
+	ct.h = convOut(ct.h, kernel, stride, pad)
+	ct.w = convOut(ct.w, kernel, stride, pad)
+	ct.c = outC
+	ct.counts = append(ct.counts, LayerCount{
+		Name: name, Kind: "conv", Params: params,
+		OutputElems: int64(ct.c) * int64(ct.h) * int64(ct.w),
+		Retained:    true,
+	})
+}
+
+func (ct *counter) bn(name string) {
+	ct.counts = append(ct.counts, LayerCount{
+		Name: name, Kind: "bn", Params: 2 * int64(ct.c),
+		OutputElems: int64(ct.c) * int64(ct.h) * int64(ct.w),
+		Retained:    true,
+	})
+}
+
+func (ct *counter) relu(name string) {
+	ct.counts = append(ct.counts, LayerCount{
+		Name: name, Kind: "relu",
+		OutputElems: int64(ct.c) * int64(ct.h) * int64(ct.w),
+		Retained:    true,
+	})
+}
+
+func (ct *counter) maxpool(name string, kernel, stride, pad int) {
+	ct.h = convOut(ct.h, kernel, stride, pad)
+	ct.w = convOut(ct.w, kernel, stride, pad)
+	ct.counts = append(ct.counts, LayerCount{
+		Name: name, Kind: "maxpool",
+		OutputElems: int64(ct.c) * int64(ct.h) * int64(ct.w),
+		Retained:    true,
+	})
+}
+
+func (ct *counter) add(name string) {
+	ct.counts = append(ct.counts, LayerCount{
+		Name: name, Kind: "add",
+		OutputElems: int64(ct.c) * int64(ct.h) * int64(ct.w),
+		Retained:    false,
+	})
+}
+
+// basicBlock appends the counts of a BasicBlock with the given output width.
+func (ct *counter) basicBlock(name string, planes, stride int) {
+	inC, inH, inW := ct.c, ct.h, ct.w
+	ct.conv(name+".conv1", planes, 3, stride, 1)
+	ct.bn(name + ".bn1")
+	ct.relu(name + ".relu1")
+	ct.conv(name+".conv2", planes, 3, 1, 1)
+	ct.bn(name + ".bn2")
+	if stride != 1 || inC != planes {
+		// Downsample path operates on the block input.
+		downParams := int64(planes) * int64(inC)
+		outH := convOut(inH, 1, stride, 0)
+		outW := convOut(inW, 1, stride, 0)
+		ct.counts = append(ct.counts,
+			LayerCount{Name: name + ".downsample.conv", Kind: "conv", Params: downParams,
+				OutputElems: int64(planes) * int64(outH) * int64(outW), Retained: false},
+			LayerCount{Name: name + ".downsample.bn", Kind: "bn", Params: 2 * int64(planes),
+				OutputElems: int64(planes) * int64(outH) * int64(outW), Retained: false},
+		)
+	}
+	ct.add(name + ".add")
+	ct.relu(name + ".relu_out")
+}
+
+// bottleneckBlock appends the counts of a Bottleneck block.
+func (ct *counter) bottleneckBlock(name string, planes, stride int) {
+	const expansion = 4
+	inC, inH, inW := ct.c, ct.h, ct.w
+	outC := planes * expansion
+	ct.conv(name+".conv1", planes, 1, 1, 0)
+	ct.bn(name + ".bn1")
+	ct.relu(name + ".relu1")
+	ct.conv(name+".conv2", planes, 3, stride, 1)
+	ct.bn(name + ".bn2")
+	ct.relu(name + ".relu2")
+	ct.conv(name+".conv3", outC, 1, 1, 0)
+	ct.bn(name + ".bn3")
+	if stride != 1 || inC != outC {
+		downParams := int64(outC) * int64(inC)
+		outH := convOut(inH, 1, stride, 0)
+		outW := convOut(inW, 1, stride, 0)
+		ct.counts = append(ct.counts,
+			LayerCount{Name: name + ".downsample.conv", Kind: "conv", Params: downParams,
+				OutputElems: int64(outC) * int64(outH) * int64(outW), Retained: false},
+			LayerCount{Name: name + ".downsample.bn", Kind: "bn", Params: 2 * int64(outC),
+				OutputElems: int64(outC) * int64(outH) * int64(outW), Retained: false},
+		)
+	}
+	ct.add(name + ".add")
+	ct.relu(name + ".relu_out")
+}
+
+// Count returns the per-operation parameter and activation counts of the
+// variant applied to square RGB images of the given side length. The counts
+// are per sample; activation memory scales linearly with batch size.
+func Count(v Variant, imageSize int) ([]LayerCount, error) {
+	if imageSize < 32 {
+		return nil, fmt.Errorf("resnet: image size %d too small for the published architecture", imageSize)
+	}
+	blocks, bottleneck, err := v.config()
+	if err != nil {
+		return nil, err
+	}
+	ct := &counter{c: 3, h: imageSize, w: imageSize}
+	ct.conv("conv1", 64, 7, 2, 3)
+	ct.bn("bn1")
+	ct.relu("relu1")
+	ct.maxpool("maxpool", 3, 2, 1)
+
+	planes := []int{64, 128, 256, 512}
+	strides := []int{1, 2, 2, 2}
+	for stage := 0; stage < 4; stage++ {
+		for b := 0; b < blocks[stage]; b++ {
+			stride := 1
+			if b == 0 {
+				stride = strides[stage]
+			}
+			name := fmt.Sprintf("layer%d.block%d", stage+1, b)
+			if bottleneck {
+				ct.bottleneckBlock(name, planes[stage], stride)
+			} else {
+				ct.basicBlock(name, planes[stage], stride)
+			}
+		}
+	}
+	// Global average pooling and the classifier.
+	ct.counts = append(ct.counts, LayerCount{Name: "avgpool", Kind: "avgpool", OutputElems: int64(ct.c), Retained: true})
+	fcIn := int64(ct.c)
+	ct.counts = append(ct.counts, LayerCount{
+		Name: "fc", Kind: "fc",
+		Params:      fcIn*NumClasses + NumClasses,
+		OutputElems: NumClasses,
+		Retained:    true,
+	})
+	return ct.counts, nil
+}
+
+// ParamCount returns the total number of trainable parameters of the variant.
+// It does not depend on the image size.
+func ParamCount(v Variant) (int64, error) {
+	counts, err := Count(v, 224)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c.Params
+	}
+	return total, nil
+}
+
+// ActivationElemsPerSample returns the total number of activation elements
+// retained by plain backpropagation for one sample at the given image size
+// (the outputs of every counted operation whose Retained flag is set).
+func ActivationElemsPerSample(v Variant, imageSize int) (int64, error) {
+	counts, err := Count(v, imageSize)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		if c.Retained {
+			total += c.OutputElems
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,295 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling operation on
+// NCHW tensors.
+type ConvGeom struct {
+	InC, InH, InW  int // input channels and spatial size
+	KH, KW         int // kernel size
+	StrideH        int
+	StrideW        int
+	PadH, PadW     int
+	OutC           int // output channels (ignored by pooling)
+	OutH, OutW     int // computed output spatial size
+	ColRows, ColsN int // im2col matrix dimensions: (InC*KH*KW) x (OutH*OutW)
+}
+
+// NewConvGeom computes output sizes for the given convolution parameters.
+// It panics if the configuration produces an empty output.
+func NewConvGeom(inC, inH, inW, outC, kH, kW, stride, pad int) ConvGeom {
+	g := ConvGeom{
+		InC: inC, InH: inH, InW: inW,
+		KH: kH, KW: kW,
+		StrideH: stride, StrideW: stride,
+		PadH: pad, PadW: pad,
+		OutC: outC,
+	}
+	g.OutH = (inH+2*pad-kH)/stride + 1
+	g.OutW = (inW+2*pad-kW)/stride + 1
+	if g.OutH <= 0 || g.OutW <= 0 {
+		panic(fmt.Sprintf("tensor: convolution geometry produces empty output: in %dx%d kernel %dx%d stride %d pad %d",
+			inH, inW, kH, kW, stride, pad))
+	}
+	g.ColRows = inC * kH * kW
+	g.ColsN = g.OutH * g.OutW
+	return g
+}
+
+// OutputShape returns the NCHW output shape for batch size n.
+func (g ConvGeom) OutputShape(n int) []int { return []int{n, g.OutC, g.OutH, g.OutW} }
+
+// Im2Col expands a single image (C,H,W view into data) into a column matrix
+// of shape (InC*KH*KW, OutH*OutW) stored into col, which must have length
+// ColRows*ColsN. Padding positions contribute zeros.
+func (g ConvGeom) Im2Col(img []float64, col []float64) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(col) != g.ColRows*g.ColsN {
+		panic(fmt.Sprintf("tensor: Im2Col column length %d, want %d", len(col), g.ColRows*g.ColsN))
+	}
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < g.OutW; ow++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowOff := chOff + ih*g.InW
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							col[idx] = 0
+						} else {
+							col[idx] = img[rowOff+iw]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im accumulates a column matrix (as produced by Im2Col) back into an
+// image gradient buffer of length InC*InH*InW. The buffer is NOT zeroed; the
+// caller controls accumulation semantics.
+func (g ConvGeom) Col2Im(col []float64, img []float64) {
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	if len(col) != g.ColRows*g.ColsN {
+		panic(fmt.Sprintf("tensor: Col2Im column length %d, want %d", len(col), g.ColRows*g.ColsN))
+	}
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		chOff := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						idx += g.OutW
+						continue
+					}
+					rowOff := chOff + ih*g.InW
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw >= 0 && iw < g.InW {
+							img[rowOff+iw] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D performs a batched 2-D convolution of input (N, InC, InH, InW) with
+// weights (OutC, InC, KH, KW) and optional bias (OutC). It returns the output
+// tensor of shape (N, OutC, OutH, OutW). It is implemented with im2col + GEMM.
+func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	if input.Rank() != 4 || weight.Rank() != 4 {
+		panic("tensor: Conv2D requires rank-4 input and weight")
+	}
+	n, inC, inH, inW := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	outC, wInC, kH, kW := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	if inC != wInC {
+		panic(fmt.Sprintf("%v: Conv2D input channels %d vs weight channels %d", ErrShapeMismatch, inC, wInC))
+	}
+	g := NewConvGeom(inC, inH, inW, outC, kH, kW, stride, pad)
+	out := New(g.OutputShape(n)...)
+	col := make([]float64, g.ColRows*g.ColsN)
+	wMat := weight.Reshape(outC, g.ColRows)
+	imgLen := inC * inH * inW
+	outLen := outC * g.OutH * g.OutW
+	for b := 0; b < n; b++ {
+		img := input.data[b*imgLen : (b+1)*imgLen]
+		g.Im2Col(img, col)
+		colT := FromSlice(col, g.ColRows, g.ColsN)
+		res := MatMul(wMat, colT) // (outC, OutH*OutW)
+		dst := out.data[b*outLen : (b+1)*outLen]
+		copy(dst, res.data)
+		if bias != nil {
+			for c := 0; c < outC; c++ {
+				bv := bias.data[c]
+				seg := dst[c*g.ColsN : (c+1)*g.ColsN]
+				for i := range seg {
+					seg[i] += bv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes gradients of a Conv2D operation. Given the input,
+// weight and upstream gradient gradOut (N, OutC, OutH, OutW), it returns
+// (gradInput, gradWeight, gradBias). gradBias is nil if bias was nil.
+func Conv2DBackward(input, weight *Tensor, hasBias bool, gradOut *Tensor, stride, pad int) (gradInput, gradWeight, gradBias *Tensor) {
+	n, inC, inH, inW := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	outC, _, kH, kW := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
+	g := NewConvGeom(inC, inH, inW, outC, kH, kW, stride, pad)
+
+	gradInput = New(input.shape...)
+	gradWeight = New(weight.shape...)
+	if hasBias {
+		gradBias = New(outC)
+	}
+
+	wMat := weight.Reshape(outC, g.ColRows)
+	wMatT := Transpose(wMat) // (ColRows, outC)
+	col := make([]float64, g.ColRows*g.ColsN)
+	imgLen := inC * inH * inW
+	outLen := outC * g.OutH * g.OutW
+	gwMat := gradWeight.Reshape(outC, g.ColRows)
+
+	for b := 0; b < n; b++ {
+		img := input.data[b*imgLen : (b+1)*imgLen]
+		gOut := gradOut.data[b*outLen : (b+1)*outLen]
+		gOutMat := FromSlice(gOut, outC, g.ColsN)
+
+		// Weight gradient: dW += gOut (outC, cols) x col^T (cols, ColRows)
+		g.Im2Col(img, col)
+		colT := FromSlice(col, g.ColRows, g.ColsN)
+		dW := MatMul(gOutMat, Transpose(colT))
+		gwMat.AddInPlace(dW)
+
+		// Bias gradient: sum over spatial positions.
+		if hasBias {
+			for c := 0; c < outC; c++ {
+				s := 0.0
+				seg := gOut[c*g.ColsN : (c+1)*g.ColsN]
+				for _, v := range seg {
+					s += v
+				}
+				gradBias.data[c] += s
+			}
+		}
+
+		// Input gradient: col grad = W^T x gOut, then col2im.
+		dCol := MatMul(wMatT, gOutMat) // (ColRows, ColsN)
+		gImg := gradInput.data[b*imgLen : (b+1)*imgLen]
+		g.Col2Im(dCol.data, gImg)
+	}
+	return gradInput, gradWeight, gradBias
+}
+
+// MaxPool2D performs 2-D max pooling on an NCHW tensor and returns the pooled
+// output along with the flat argmax index (into each image) used for backward.
+func MaxPool2D(input *Tensor, k, stride int) (*Tensor, []int) {
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	outH := (h-k)/stride + 1
+	outW := (w-k)/stride + 1
+	out := New(n, c, outH, outW)
+	arg := make([]int, n*c*outH*outW)
+	imgLen := c * h * w
+	for b := 0; b < n; b++ {
+		img := input.data[b*imgLen : (b+1)*imgLen]
+		for ch := 0; ch < c; ch++ {
+			chOff := ch * h * w
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := -1
+					bestV := 0.0
+					for kh := 0; kh < k; kh++ {
+						for kw := 0; kw < k; kw++ {
+							ih := oh*stride + kh
+							iw := ow*stride + kw
+							idx := chOff + ih*w + iw
+							if best == -1 || img[idx] > bestV {
+								best, bestV = idx, img[idx]
+							}
+						}
+					}
+					oidx := ((b*c+ch)*outH+oh)*outW + ow
+					out.data[oidx] = bestV
+					arg[oidx] = best
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters the upstream gradient back through a max-pool
+// using the argmax indices produced by MaxPool2D.
+func MaxPool2DBackward(inputShape []int, arg []int, gradOut *Tensor) *Tensor {
+	gradIn := New(inputShape...)
+	n := inputShape[0]
+	imgLen := inputShape[1] * inputShape[2] * inputShape[3]
+	perImage := len(arg) / n
+	for b := 0; b < n; b++ {
+		base := b * imgLen
+		for i := 0; i < perImage; i++ {
+			oidx := b*perImage + i
+			gradIn.data[base+arg[oidx]] += gradOut.data[oidx]
+		}
+	}
+	return gradIn
+}
+
+// GlobalAvgPool2D averages each channel's spatial map, producing (N, C).
+func GlobalAvgPool2D(input *Tensor) *Tensor {
+	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
+	out := New(n, c)
+	area := float64(h * w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			off := ((b * c) + ch) * h * w
+			s := 0.0
+			for i := 0; i < h*w; i++ {
+				s += input.data[off+i]
+			}
+			out.data[b*c+ch] = s / area
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2DBackward broadcasts the (N, C) gradient evenly over each
+// channel's spatial map of the original (N, C, H, W) input shape.
+func GlobalAvgPool2DBackward(inputShape []int, gradOut *Tensor) *Tensor {
+	n, c, h, w := inputShape[0], inputShape[1], inputShape[2], inputShape[3]
+	gradIn := New(inputShape...)
+	area := float64(h * w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			g := gradOut.data[b*c+ch] / area
+			off := ((b * c) + ch) * h * w
+			for i := 0; i < h*w; i++ {
+				gradIn.data[off+i] = g
+			}
+		}
+	}
+	return gradIn
+}

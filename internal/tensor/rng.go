@@ -1,0 +1,144 @@
+package tensor
+
+import "math"
+
+// RNG is a small, deterministic pseudo-random number generator (SplitMix64 +
+// xoshiro256** style mixing) used for reproducible weight initialisation and
+// synthetic data generation. A dedicated generator avoids the global state of
+// math/rand and keeps every experiment seedable and repeatable.
+type RNG struct {
+	state [4]uint64
+	// cached spare normal deviate for the Box-Muller transform
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG creates a generator seeded from a single 64-bit seed via SplitMix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	s := seed
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.state {
+		r.state[i] = next()
+	}
+	// Avoid the (astronomically unlikely) all-zero state.
+	if r.state[0]|r.state[1]|r.state[2]|r.state[3] == 0 {
+		r.state[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.state[1]*5, 7) * 9
+	t := r.state[1] << 17
+	r.state[2] ^= r.state[0]
+	r.state[3] ^= r.state[1]
+	r.state[1] ^= r.state[2]
+	r.state[0] ^= r.state[3]
+	r.state[2] ^= t
+	r.state[3] = rotl(r.state[3], 45)
+	return result
+}
+
+// Float64 returns a uniform deviate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform deviate in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed deviate with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, std float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + std*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return mean + std*u*f
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// RandUniform creates a tensor with elements drawn uniformly from [lo, hi).
+func RandUniform(r *RNG, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = r.Range(lo, hi)
+	}
+	return t
+}
+
+// RandNormal creates a tensor with normally distributed elements.
+func RandNormal(r *RNG, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = r.Normal(mean, std)
+	}
+	return t
+}
+
+// KaimingConv initialises a convolution weight tensor (outC, inC, kH, kW)
+// with Kaiming/He normal initialisation appropriate for ReLU networks.
+func KaimingConv(r *RNG, outC, inC, kH, kW int) *Tensor {
+	fanIn := inC * kH * kW
+	std := math.Sqrt(2.0 / float64(fanIn))
+	return RandNormal(r, 0, std, outC, inC, kH, kW)
+}
+
+// KaimingLinear initialises a linear weight tensor (out, in) with Kaiming
+// normal initialisation.
+func KaimingLinear(r *RNG, out, in int) *Tensor {
+	std := math.Sqrt(2.0 / float64(in))
+	return RandNormal(r, 0, std, out, in)
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values out of 50", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) did not hit all values after 1000 draws: %v", seen)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.08 {
+		t.Fatalf("sample mean %v too far from 2", mean)
+	}
+	if math.Abs(variance-9) > 0.5 {
+		t.Fatalf("sample variance %v too far from 9", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := NewRNG(9)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum2 := 0
+	for _, v := range vals {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("Shuffle changed the multiset: %v", vals)
+	}
+}
+
+func TestRandUniformBounds(t *testing.T) {
+	r := NewRNG(13)
+	a := RandUniform(r, -2, 5, 1000)
+	lo, _ := a.Min()
+	hi, _ := a.Max()
+	if lo < -2 || hi >= 5 {
+		t.Fatalf("RandUniform out of bounds: [%v, %v]", lo, hi)
+	}
+}
+
+func TestKaimingConvScale(t *testing.T) {
+	r := NewRNG(17)
+	w := KaimingConv(r, 64, 32, 3, 3)
+	if w.Dim(0) != 64 || w.Dim(3) != 3 {
+		t.Fatalf("KaimingConv shape wrong: %v", w.Shape())
+	}
+	// Empirical std should be close to sqrt(2/fanIn) = sqrt(2/288).
+	want := math.Sqrt(2.0 / 288.0)
+	var sumSq float64
+	for _, v := range w.Data() {
+		sumSq += v * v
+	}
+	std := math.Sqrt(sumSq / float64(w.Size()))
+	if math.Abs(std-want)/want > 0.1 {
+		t.Fatalf("Kaiming std %v, want about %v", std, want)
+	}
+}
+
+func TestKaimingLinearShape(t *testing.T) {
+	r := NewRNG(19)
+	w := KaimingLinear(r, 10, 20)
+	if w.Dim(0) != 10 || w.Dim(1) != 20 {
+		t.Fatalf("KaimingLinear shape wrong: %v", w.Shape())
+	}
+}
+
+// Property: Perm always returns a permutation, for any seed and size.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint16, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRNG(uint64(seed)).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Range(lo, hi) stays within [lo, hi) for lo < hi.
+func TestRangeProperty(t *testing.T) {
+	f := func(seed uint16, a, b int8) bool {
+		lo, hi := float64(a), float64(b)
+		if lo == hi {
+			hi = lo + 1
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := NewRNG(uint64(seed))
+		for i := 0; i < 20; i++ {
+			v := r.Range(lo, hi)
+			if v < lo || v >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

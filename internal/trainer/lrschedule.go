@@ -1,0 +1,127 @@
+package trainer
+
+import (
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/nn"
+)
+
+// Learning-rate schedules. Opportunistic edge training proceeds in bursts
+// spread over days (the idle scheduler), so runs are long in wall-clock time
+// and short in step count; simple, stateless schedules keyed on the step
+// index are the right tool.
+
+// LRSchedule maps an optimisation step index (0-based) to a learning rate.
+type LRSchedule interface {
+	// LR returns the learning rate to use for the given step.
+	LR(step int) float64
+	// Name returns a short identifier.
+	Name() string
+}
+
+// ConstantLR always returns the same learning rate.
+type ConstantLR struct{ Value float64 }
+
+// LR implements LRSchedule.
+func (c ConstantLR) LR(int) float64 { return c.Value }
+
+// Name implements LRSchedule.
+func (c ConstantLR) Name() string { return "constant" }
+
+// StepDecayLR multiplies the base rate by Factor every Every steps.
+type StepDecayLR struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR implements LRSchedule.
+func (s StepDecayLR) LR(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	drops := step / s.Every
+	return s.Base * math.Pow(s.Factor, float64(drops))
+}
+
+// Name implements LRSchedule.
+func (s StepDecayLR) Name() string { return "step-decay" }
+
+// CosineLR anneals the rate from Base to Min over Horizon steps, then stays
+// at Min.
+type CosineLR struct {
+	Base    float64
+	Min     float64
+	Horizon int
+}
+
+// LR implements LRSchedule.
+func (c CosineLR) LR(step int) float64 {
+	if c.Horizon <= 0 || step >= c.Horizon {
+		return c.Min
+	}
+	progress := float64(step) / float64(c.Horizon)
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*progress))
+}
+
+// Name implements LRSchedule.
+func (c CosineLR) Name() string { return "cosine" }
+
+// WarmupLR wraps another schedule with a linear warm-up over the first
+// WarmupSteps steps — useful when a student resumes from a checkpointed
+// optimiser state after a long idle gap.
+type WarmupLR struct {
+	Inner       LRSchedule
+	WarmupSteps int
+}
+
+// LR implements LRSchedule.
+func (w WarmupLR) LR(step int) float64 {
+	base := w.Inner.LR(step)
+	if w.WarmupSteps <= 0 || step >= w.WarmupSteps {
+		return base
+	}
+	return base * float64(step+1) / float64(w.WarmupSteps)
+}
+
+// Name implements LRSchedule.
+func (w WarmupLR) Name() string { return "warmup+" + w.Inner.Name() }
+
+// ScheduledOptimizer wraps an optimiser so its learning rate follows a
+// schedule. It supports the optimisers defined in this package (SGD, Momentum
+// and Adam); wrapping anything else leaves the inner learning rate untouched.
+type ScheduledOptimizer struct {
+	Opt      Optimizer
+	Schedule LRSchedule
+	step     int
+}
+
+// NewScheduledOptimizer wraps opt with the schedule.
+func NewScheduledOptimizer(opt Optimizer, schedule LRSchedule) *ScheduledOptimizer {
+	return &ScheduledOptimizer{Opt: opt, Schedule: schedule}
+}
+
+// Name implements Optimizer.
+func (s *ScheduledOptimizer) Name() string { return s.Opt.Name() + "+" + s.Schedule.Name() }
+
+// StateBytesPerParam implements Optimizer.
+func (s *ScheduledOptimizer) StateBytesPerParam() int64 { return s.Opt.StateBytesPerParam() }
+
+// CurrentLR returns the learning rate the next Step call will use.
+func (s *ScheduledOptimizer) CurrentLR() float64 { return s.Schedule.LR(s.step) }
+
+// Step implements Optimizer: it sets the wrapped optimiser's learning rate
+// from the schedule, applies the update, and advances the step counter.
+func (s *ScheduledOptimizer) Step(params []*nn.Param) {
+	lr := s.Schedule.LR(s.step)
+	switch opt := s.Opt.(type) {
+	case *SGD:
+		opt.LR = lr
+	case *Momentum:
+		opt.LR = lr
+	case *Adam:
+		opt.LR = lr
+	}
+	s.Opt.Step(params)
+	s.step++
+}

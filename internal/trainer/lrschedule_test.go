@@ -1,0 +1,123 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR{Value: 0.1}
+	if s.LR(0) != 0.1 || s.LR(1000) != 0.1 {
+		t.Fatal("constant schedule should not vary")
+	}
+	if s.Name() != "constant" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestStepDecayLR(t *testing.T) {
+	s := StepDecayLR{Base: 1.0, Factor: 0.5, Every: 10}
+	if s.LR(0) != 1.0 || s.LR(9) != 1.0 {
+		t.Fatal("no decay before the first boundary")
+	}
+	if s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("decay wrong: %v %v", s.LR(10), s.LR(25))
+	}
+	if (StepDecayLR{Base: 0.3, Factor: 0.1, Every: 0}).LR(100) != 0.3 {
+		t.Fatal("Every=0 should disable decay")
+	}
+}
+
+func TestCosineLR(t *testing.T) {
+	s := CosineLR{Base: 1.0, Min: 0.1, Horizon: 100}
+	if math.Abs(s.LR(0)-1.0) > 1e-12 {
+		t.Fatalf("cosine should start at the base rate, got %v", s.LR(0))
+	}
+	mid := s.LR(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("cosine midpoint %v, want 0.55", mid)
+	}
+	if s.LR(100) != 0.1 || s.LR(500) != 0.1 {
+		t.Fatal("cosine should clamp to Min after the horizon")
+	}
+	// Monotone non-increasing over the horizon.
+	prev := s.LR(0)
+	for i := 1; i <= 100; i++ {
+		cur := s.LR(i)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine increased at step %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestWarmupLR(t *testing.T) {
+	s := WarmupLR{Inner: ConstantLR{Value: 1.0}, WarmupSteps: 4}
+	want := []float64{0.25, 0.5, 0.75, 1.0, 1.0}
+	for i, w := range want {
+		if math.Abs(s.LR(i)-w) > 1e-12 {
+			t.Fatalf("warmup LR(%d) = %v, want %v", i, s.LR(i), w)
+		}
+	}
+	if s.Name() != "warmup+constant" {
+		t.Fatalf("name wrong: %s", s.Name())
+	}
+}
+
+func TestScheduledOptimizerAppliesSchedule(t *testing.T) {
+	sgd := NewSGD(123) // inner LR will be overwritten by the schedule
+	sched := NewScheduledOptimizer(sgd, StepDecayLR{Base: 1.0, Factor: 0.1, Every: 1})
+	p := nn.NewParam("w", tensor.New(1))
+	// Gradient of 1 at every step: the updates should be -1, -0.1, -0.01.
+	expect := []float64{-1, -1.1, -1.11}
+	for step := 0; step < 3; step++ {
+		p.Grad.Fill(1)
+		if sched.CurrentLR() <= 0 {
+			t.Fatal("CurrentLR should be positive")
+		}
+		sched.Step([]*nn.Param{p})
+		if math.Abs(p.Value.At(0)-expect[step]) > 1e-12 {
+			t.Fatalf("after step %d value = %v, want %v", step, p.Value.At(0), expect[step])
+		}
+	}
+	if sched.Name() != "sgd+step-decay" {
+		t.Fatalf("name wrong: %s", sched.Name())
+	}
+	if sched.StateBytesPerParam() != 0 {
+		t.Fatal("state bytes should delegate to the inner optimiser")
+	}
+}
+
+func TestScheduledOptimizerWithAdamAndMomentum(t *testing.T) {
+	for _, inner := range []Optimizer{NewAdam(0.5), NewMomentum(0.5, 0.9)} {
+		sched := NewScheduledOptimizer(inner, ConstantLR{Value: 0.01})
+		p := nn.NewParam("w", tensor.Full(1, 2))
+		p.Grad.Fill(1)
+		sched.Step([]*nn.Param{p})
+		if p.Value.At(0) >= 1 {
+			t.Fatalf("%s did not update the parameter", sched.Name())
+		}
+	}
+}
+
+// Property: warm-up never exceeds the inner schedule and cosine never leaves
+// the [Min, Base] interval.
+func TestScheduleBoundsProperty(t *testing.T) {
+	f := func(stepRaw uint16) bool {
+		step := int(stepRaw % 2000)
+		w := WarmupLR{Inner: CosineLR{Base: 1, Min: 0.05, Horizon: 1000}, WarmupSteps: 50}
+		inner := w.Inner.LR(step)
+		v := w.LR(step)
+		if v > inner+1e-12 {
+			return false
+		}
+		return inner >= 0.05-1e-12 && inner <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

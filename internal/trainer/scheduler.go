@@ -1,0 +1,123 @@
+package trainer
+
+import "fmt"
+
+// Section III: "Since the training of the student model is not time critical,
+// it can be scheduled to run only when the node's CPU does not have a higher
+// priority task." IdleScheduler simulates that policy: given a trace of CPU
+// load from the node's primary (inference) workload, it decides in which time
+// slices training steps may run and how long a training job therefore takes
+// to complete.
+
+// LoadSlice is one interval of the node's CPU-load trace.
+type LoadSlice struct {
+	Seconds float64 // duration of the slice
+	Load    float64 // fraction of CPU consumed by higher-priority work (0..1)
+}
+
+// IdleScheduler schedules opportunistic training into the idle fraction of a
+// load trace.
+type IdleScheduler struct {
+	// IdleThreshold is the maximum primary load at which training may run
+	// (default 0.5): above it the slice is considered busy and training is
+	// paused entirely, mirroring the "only when idle" policy.
+	IdleThreshold float64
+	// TrainShare is the fraction of the CPU training may consume inside an
+	// idle slice (default: whatever is left, 1 - Load).
+	TrainShare float64
+}
+
+// DefaultIdleScheduler pauses training whenever the primary workload uses
+// more than half the CPU and otherwise lets training soak up the remainder.
+var DefaultIdleScheduler = IdleScheduler{IdleThreshold: 0.5}
+
+func (s IdleScheduler) normalized() IdleScheduler {
+	if s.IdleThreshold <= 0 {
+		s.IdleThreshold = 0.5
+	}
+	return s
+}
+
+// ScheduleResult describes how a training job of a given CPU-seconds cost
+// fits into a load trace.
+type ScheduleResult struct {
+	Completed       bool
+	ElapsedSeconds  float64 // wall-clock time until the job finished (or the trace ended)
+	TrainingSeconds float64 // CPU-seconds actually granted to training
+	BusySeconds     float64 // wall-clock time during which training was paused
+	Utilisation     float64 // TrainingSeconds / ElapsedSeconds
+}
+
+// Schedule simulates running a training job that needs cpuSeconds of CPU time
+// against the load trace. It returns when the job completes or the trace is
+// exhausted.
+func (s IdleScheduler) Schedule(trace []LoadSlice, cpuSeconds float64) (ScheduleResult, error) {
+	s = s.normalized()
+	if cpuSeconds < 0 {
+		return ScheduleResult{}, fmt.Errorf("trainer: negative training cost %v", cpuSeconds)
+	}
+	res := ScheduleResult{}
+	remaining := cpuSeconds
+	for _, slice := range trace {
+		if slice.Seconds <= 0 {
+			continue
+		}
+		if remaining <= 0 {
+			break
+		}
+		if slice.Load > s.IdleThreshold {
+			// Busy slice: training is paused for its whole duration.
+			res.ElapsedSeconds += slice.Seconds
+			res.BusySeconds += slice.Seconds
+			continue
+		}
+		share := 1 - slice.Load
+		if s.TrainShare > 0 && s.TrainShare < share {
+			share = s.TrainShare
+		}
+		if share <= 0 {
+			res.ElapsedSeconds += slice.Seconds
+			res.BusySeconds += slice.Seconds
+			continue
+		}
+		available := slice.Seconds * share
+		if available >= remaining {
+			// The job finishes inside this slice.
+			res.ElapsedSeconds += remaining / share
+			res.TrainingSeconds += remaining
+			remaining = 0
+			break
+		}
+		res.ElapsedSeconds += slice.Seconds
+		res.TrainingSeconds += available
+		remaining -= available
+	}
+	res.Completed = remaining <= 1e-9
+	if res.ElapsedSeconds > 0 {
+		res.Utilisation = res.TrainingSeconds / res.ElapsedSeconds
+	}
+	return res, nil
+}
+
+// DielLoadTrace builds a simple day/night load trace for a street-monitoring
+// node: high inference load during the day (people and cars to count), low
+// load at night. days is the number of 24-hour periods; resolution is the
+// slice length in seconds.
+func DielLoadTrace(days int, resolution float64, dayLoad, nightLoad float64) []LoadSlice {
+	if days <= 0 || resolution <= 0 {
+		return nil
+	}
+	var trace []LoadSlice
+	secondsPerDay := 24 * 3600.0
+	for d := 0; d < days; d++ {
+		for t := 0.0; t < secondsPerDay; t += resolution {
+			hour := t / 3600.0
+			load := nightLoad
+			if hour >= 7 && hour < 22 {
+				load = dayLoad
+			}
+			trace = append(trace, LoadSlice{Seconds: resolution, Load: load})
+		}
+	}
+	return trace
+}

@@ -1,0 +1,115 @@
+package vision
+
+import (
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Detection is the tracker's summary of one frame: whether a subject was
+// found, its intensity-weighted centroid (in pixel coordinates) and its mass
+// (the number of foreground pixels).
+type Detection struct {
+	Found   bool
+	CenterX float64
+	CenterY float64
+	Mass    float64
+	MinX    int
+	MinY    int
+	MaxX    int
+	MaxY    int
+}
+
+// DetectThreshold is the foreground intensity threshold used by the tracker.
+const DetectThreshold = 0.55
+
+// Detect locates the subject in a single (1, 1, H, W) frame by thresholding
+// and computing the centroid and bounding box of the foreground pixels.
+func Detect(frame *tensor.Tensor) Detection {
+	h, w := frame.Dim(2), frame.Dim(3)
+	d := Detection{MinX: w, MinY: h, MaxX: -1, MaxY: -1}
+	var sx, sy float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if frame.At(0, 0, y, x) >= DetectThreshold {
+				d.Mass++
+				sx += float64(x)
+				sy += float64(y)
+				if x < d.MinX {
+					d.MinX = x
+				}
+				if y < d.MinY {
+					d.MinY = y
+				}
+				if x > d.MaxX {
+					d.MaxX = x
+				}
+				if y > d.MaxY {
+					d.MaxY = y
+				}
+			}
+		}
+	}
+	if d.Mass < 4 {
+		return Detection{}
+	}
+	d.Found = true
+	d.CenterX = sx / d.Mass
+	d.CenterY = sy / d.Mass
+	return d
+}
+
+// TrackerConfig bounds how much the subject may move or change between
+// consecutive frames for the tracker to consider it the same object.
+type TrackerConfig struct {
+	// MaxJump is the maximum centroid displacement between consecutive frames
+	// in pixels.
+	MaxJump float64
+	// MaxMassRatio bounds the frame-to-frame change of the foreground mass.
+	MaxMassRatio float64
+}
+
+// DefaultTrackerConfig matches the synthetic track generator (the subject
+// moves a few pixels per frame).
+var DefaultTrackerConfig = TrackerConfig{MaxJump: 5.0, MaxMassRatio: 2.5}
+
+// TrackResult is the output of running the tracker over a frame sequence.
+type TrackResult struct {
+	Detections []Detection
+	// Consistent is true when a subject was found in every frame and its
+	// motion between consecutive frames stayed within the tracker bounds:
+	// only then may a label from the final frame be propagated backwards.
+	Consistent bool
+}
+
+// TrackObject runs the tracker over the frames of a Track.
+func TrackObject(tr Track, cfg TrackerConfig) TrackResult {
+	if cfg.MaxJump <= 0 {
+		cfg = DefaultTrackerConfig
+	}
+	res := TrackResult{Consistent: true}
+	var prev Detection
+	for i, f := range tr.Frames {
+		d := Detect(f)
+		res.Detections = append(res.Detections, d)
+		if !d.Found {
+			res.Consistent = false
+			continue
+		}
+		if i > 0 && prev.Found {
+			jump := math.Hypot(d.CenterX-prev.CenterX, d.CenterY-prev.CenterY)
+			if jump > cfg.MaxJump {
+				res.Consistent = false
+			}
+			ratio := d.Mass / prev.Mass
+			if ratio < 1/cfg.MaxMassRatio || ratio > cfg.MaxMassRatio {
+				res.Consistent = false
+			}
+		}
+		prev = d
+	}
+	if len(res.Detections) == 0 {
+		res.Consistent = false
+	}
+	return res
+}

@@ -1,0 +1,219 @@
+// Package vision provides the synthetic visual workload used to reproduce the
+// viewpoint problem of Section III: a parametric scene generator whose
+// "camera viewpoint" skews the rendered objects, a frame-sequence generator
+// that moves a subject across the field of view, and a simple object tracker
+// that propagates a label from the frame where the teacher recognised the
+// subject back through the earlier frames.
+//
+// The paper's deployment uses real street-camera footage from the Array of
+// Things, which is not available; the synthetic generator preserves the
+// property the argument needs — a controlled distribution shift between the
+// teacher's training viewpoint and the node's viewpoint — while remaining
+// fully reproducible.
+package vision
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Class is the category of the rendered subject.
+type Class int
+
+// The four synthetic subject categories.
+const (
+	Square Class = iota
+	Disk
+	Cross
+	Stripes
+)
+
+// NumClasses is the number of subject categories.
+const NumClasses = 4
+
+// ClassNames maps classes to human-readable names.
+var ClassNames = [NumClasses]string{"square", "disk", "cross", "stripes"}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return ClassNames[c]
+}
+
+// RenderParams describes one rendered frame.
+type RenderParams struct {
+	Size      int     // square frame side length in pixels
+	Class     Class   // subject category
+	CenterX   float64 // subject centre, in [0, 1] frame coordinates
+	CenterY   float64
+	Scale     float64 // subject half-size relative to the frame (0..0.5)
+	Viewpoint float64 // camera skew in [0, 1]: 0 = canonical, 1 = extreme
+	Noise     float64 // Gaussian pixel noise standard deviation
+}
+
+// shapeMembership reports whether the shape covers the local coordinate
+// (u, v) in [-1, 1]^2 (the subject's own frame).
+func shapeMembership(c Class, u, v float64) bool {
+	switch c {
+	case Square:
+		return math.Abs(u) <= 0.85 && math.Abs(v) <= 0.85
+	case Disk:
+		return u*u+v*v <= 0.85*0.85
+	case Cross:
+		return (math.Abs(u) <= 0.3 && math.Abs(v) <= 0.95) || (math.Abs(v) <= 0.3 && math.Abs(u) <= 0.95)
+	case Stripes:
+		if math.Abs(u) > 0.9 || math.Abs(v) > 0.9 {
+			return false
+		}
+		// Three horizontal bars.
+		band := math.Mod(v+1, 0.66)
+		return band < 0.33
+	default:
+		return false
+	}
+}
+
+// Render draws one frame as a (1, 1, Size, Size) tensor with values in [0, 1].
+// The viewpoint skew squashes the subject vertically and shears it
+// horizontally, imitating a camera mounted above the scene at an angle.
+func Render(rng *tensor.RNG, p RenderParams) *tensor.Tensor {
+	if p.Size <= 0 {
+		p.Size = 16
+	}
+	if p.Scale <= 0 {
+		p.Scale = 0.35
+	}
+	img := tensor.New(1, 1, p.Size, p.Size)
+	// Viewpoint transform parameters.
+	squash := 1 - 0.65*p.Viewpoint // vertical compression
+	shear := 0.9 * p.Viewpoint     // horizontal shear with height
+	drop := 0.15 * p.Viewpoint     // subjects appear lower in the frame
+
+	for y := 0; y < p.Size; y++ {
+		for x := 0; x < p.Size; x++ {
+			// Normalised frame coordinates in [0, 1].
+			fx := (float64(x) + 0.5) / float64(p.Size)
+			fy := (float64(y) + 0.5) / float64(p.Size)
+			// Position relative to the subject centre, in subject units.
+			dx := (fx - p.CenterX) / p.Scale
+			dy := (fy - (p.CenterY + drop)) / p.Scale
+			// Invert the viewpoint transform: the camera squashes v and
+			// shears u by v, so the subject's own coordinates are recovered
+			// by undoing that mapping.
+			v := dy / squash
+			u := dx - shear*v
+			val := 0.0
+			if shapeMembership(p.Class, u, v) {
+				val = 1.0
+			}
+			if p.Noise > 0 && rng != nil {
+				val += rng.Normal(0, p.Noise)
+			}
+			if val < 0 {
+				val = 0
+			}
+			if val > 1 {
+				val = 1
+			}
+			img.Set(val, 0, 0, y, x)
+		}
+	}
+	return img
+}
+
+// Sample renders a frame of the given class with a randomised position and
+// scale at the given viewpoint.
+func Sample(rng *tensor.RNG, c Class, viewpoint float64, size int) *tensor.Tensor {
+	return Render(rng, RenderParams{
+		Size:      size,
+		Class:     c,
+		CenterX:   0.35 + 0.3*rng.Float64(),
+		CenterY:   0.35 + 0.2*rng.Float64(),
+		Scale:     0.28 + 0.12*rng.Float64(),
+		Viewpoint: clamp01(viewpoint + rng.Normal(0, 0.03)),
+		Noise:     0.06,
+	})
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// LabelledSet is a set of single-frame samples with labels, the common
+// currency between the generator, the tracker and the trainer.
+type LabelledSet struct {
+	Images []*tensor.Tensor
+	Labels []int
+}
+
+// Append adds one sample.
+func (s *LabelledSet) Append(img *tensor.Tensor, label int) {
+	s.Images = append(s.Images, img)
+	s.Labels = append(s.Labels, label)
+}
+
+// Len returns the number of samples.
+func (s *LabelledSet) Len() int { return len(s.Images) }
+
+// Dataset generates n labelled frames uniformly over the classes at the given
+// viewpoint.
+func Dataset(rng *tensor.RNG, n int, viewpoint float64, size int) *LabelledSet {
+	set := &LabelledSet{}
+	for i := 0; i < n; i++ {
+		c := Class(i % NumClasses)
+		set.Append(Sample(rng, c, viewpoint, size), int(c))
+	}
+	return set
+}
+
+// Track is a sequence of frames following one subject across the field of
+// view. The subject enters at the left under the node's full viewpoint skew
+// and leaves at the right where the skew has decayed towards the canonical
+// view — the situation in which the paper's teacher model finally recognises
+// it.
+type Track struct {
+	Frames     []*tensor.Tensor
+	Class      Class
+	Viewpoints []float64
+}
+
+// GenerateTrack produces a track of n frames for a subject of class c on a
+// node whose camera skew is nodeViewpoint.
+func GenerateTrack(rng *tensor.RNG, c Class, nodeViewpoint float64, n, size int) Track {
+	if n < 2 {
+		n = 2
+	}
+	tr := Track{Class: c}
+	scale := 0.3 + 0.1*rng.Float64()
+	cy := 0.4 + 0.15*rng.Float64()
+	for i := 0; i < n; i++ {
+		progress := float64(i) / float64(n-1)
+		// The subject walks from left to right; the skew relaxes towards the
+		// canonical view only near the end of the track (quadratically), so
+		// most harvested frames carry the node's characteristic distortion
+		// while the final frame is recognisable by the canonical teacher.
+		vp := nodeViewpoint * (1 - 0.92*progress*progress)
+		p := RenderParams{
+			Size:      size,
+			Class:     c,
+			CenterX:   0.24 + 0.42*progress,
+			CenterY:   cy,
+			Scale:     scale,
+			Viewpoint: vp,
+			Noise:     0.06,
+		}
+		tr.Frames = append(tr.Frames, Render(rng, p))
+		tr.Viewpoints = append(tr.Viewpoints, vp)
+	}
+	return tr
+}

@@ -1,0 +1,213 @@
+package vision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+func TestRenderBasics(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	img := Render(rng, RenderParams{Size: 16, Class: Square, CenterX: 0.5, CenterY: 0.5, Scale: 0.35})
+	if img.Rank() != 4 || img.Dim(2) != 16 || img.Dim(3) != 16 {
+		t.Fatalf("render shape %v", img.Shape())
+	}
+	lo, _ := img.Min()
+	hi, _ := img.Max()
+	if lo < 0 || hi > 1 {
+		t.Fatalf("pixel range [%v, %v] outside [0,1]", lo, hi)
+	}
+	// A centred square must light up the central pixel and leave a corner dark.
+	if img.At(0, 0, 8, 8) < 0.9 {
+		t.Fatal("centre pixel should be foreground")
+	}
+	if img.At(0, 0, 0, 0) > 0.2 {
+		t.Fatal("corner pixel should be background")
+	}
+	// Defaults applied for zero size/scale.
+	d := Render(nil, RenderParams{Class: Disk, CenterX: 0.5, CenterY: 0.5})
+	if d.Dim(2) != 16 {
+		t.Fatalf("default size not applied: %v", d.Shape())
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	base := RenderParams{Size: 16, CenterX: 0.5, CenterY: 0.5, Scale: 0.35}
+	imgs := make([]*tensor.Tensor, NumClasses)
+	for c := 0; c < NumClasses; c++ {
+		p := base
+		p.Class = Class(c)
+		imgs[c] = Render(rng, p)
+	}
+	for i := 0; i < NumClasses; i++ {
+		for j := i + 1; j < NumClasses; j++ {
+			if tensor.MaxAbsDiff(imgs[i], imgs[j]) < 0.5 {
+				t.Errorf("classes %v and %v render almost identically", Class(i), Class(j))
+			}
+		}
+	}
+}
+
+func TestViewpointChangesAppearance(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	p := RenderParams{Size: 16, Class: Disk, CenterX: 0.5, CenterY: 0.5, Scale: 0.35}
+	canonical := Render(rng, p)
+	p.Viewpoint = 0.9
+	skewed := Render(rng, p)
+	if tensor.MaxAbsDiff(canonical, skewed) < 0.5 {
+		t.Fatal("a strong viewpoint change should alter the image substantially")
+	}
+	// The squash reduces the number of lit pixels.
+	if skewed.Sum() >= canonical.Sum() {
+		t.Fatalf("squashed subject should cover fewer pixels: %v vs %v", skewed.Sum(), canonical.Sum())
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Square.String() != "square" || Stripes.String() != "stripes" {
+		t.Fatal("class names wrong")
+	}
+	if Class(17).String() == "" {
+		t.Fatal("unknown class should still render")
+	}
+}
+
+func TestDatasetBalanced(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	set := Dataset(rng, 40, 0.2, 16)
+	if set.Len() != 40 {
+		t.Fatalf("dataset size %d", set.Len())
+	}
+	counts := map[int]int{}
+	for _, l := range set.Labels {
+		counts[l]++
+	}
+	for c := 0; c < NumClasses; c++ {
+		if counts[c] != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, counts[c])
+		}
+	}
+}
+
+func TestGenerateTrackProperties(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	tr := GenerateTrack(rng, Cross, 0.8, 10, 16)
+	if len(tr.Frames) != 10 || len(tr.Viewpoints) != 10 {
+		t.Fatalf("track length wrong: %d frames", len(tr.Frames))
+	}
+	if tr.Viewpoints[0] <= tr.Viewpoints[len(tr.Viewpoints)-1] {
+		t.Fatal("viewpoint skew should decay along the track")
+	}
+	if tr.Viewpoints[len(tr.Viewpoints)-1] > 0.15 {
+		t.Fatalf("final frame should be nearly canonical, got %v", tr.Viewpoints[len(tr.Viewpoints)-1])
+	}
+	// The subject should move to the right across the track.
+	first := Detect(tr.Frames[0])
+	last := Detect(tr.Frames[len(tr.Frames)-1])
+	if !first.Found || !last.Found {
+		t.Fatal("tracker should find the subject in the first and last frames")
+	}
+	if last.CenterX <= first.CenterX {
+		t.Fatalf("subject should move rightwards: %v -> %v", first.CenterX, last.CenterX)
+	}
+	// Degenerate length is clamped.
+	short := GenerateTrack(rng, Disk, 0.5, 1, 16)
+	if len(short.Frames) != 2 {
+		t.Fatalf("track length should clamp to 2, got %d", len(short.Frames))
+	}
+}
+
+func TestDetectEmptyFrame(t *testing.T) {
+	empty := tensor.New(1, 1, 16, 16)
+	if Detect(empty).Found {
+		t.Fatal("an empty frame must not produce a detection")
+	}
+}
+
+func TestDetectCentroidAccuracy(t *testing.T) {
+	img := Render(nil, RenderParams{Size: 32, Class: Disk, CenterX: 0.25, CenterY: 0.75, Scale: 0.15})
+	d := Detect(img)
+	if !d.Found {
+		t.Fatal("disk not detected")
+	}
+	// Expected centroid near (0.25*32, 0.75*32) = (8, 24).
+	if d.CenterX < 6 || d.CenterX > 10 || d.CenterY < 22 || d.CenterY > 26 {
+		t.Fatalf("centroid (%.1f, %.1f) far from (8, 24)", d.CenterX, d.CenterY)
+	}
+	if d.MinX > int(d.CenterX) || d.MaxX < int(d.CenterX) {
+		t.Fatal("bounding box does not contain the centroid")
+	}
+}
+
+func TestTrackObjectConsistency(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	tr := GenerateTrack(rng, Square, 0.7, 12, 16)
+	res := TrackObject(tr, DefaultTrackerConfig)
+	if !res.Consistent {
+		t.Fatal("a well-formed synthetic track should be consistent")
+	}
+	if len(res.Detections) != 12 {
+		t.Fatalf("expected 12 detections, got %d", len(res.Detections))
+	}
+
+	// A track with a teleporting subject must be rejected.
+	jumpy := Track{Class: Square}
+	jumpy.Frames = append(jumpy.Frames,
+		Render(rng, RenderParams{Size: 16, Class: Square, CenterX: 0.2, CenterY: 0.5, Scale: 0.2}),
+		Render(rng, RenderParams{Size: 16, Class: Square, CenterX: 0.85, CenterY: 0.5, Scale: 0.2}),
+	)
+	if TrackObject(jumpy, DefaultTrackerConfig).Consistent {
+		t.Fatal("a large jump between frames should break consistency")
+	}
+
+	// A track with an empty frame must be rejected.
+	withGap := Track{Class: Disk}
+	withGap.Frames = append(withGap.Frames,
+		Render(rng, RenderParams{Size: 16, Class: Disk, CenterX: 0.5, CenterY: 0.5, Scale: 0.3}),
+		tensor.New(1, 1, 16, 16),
+	)
+	if TrackObject(withGap, DefaultTrackerConfig).Consistent {
+		t.Fatal("a frame without a subject should break consistency")
+	}
+
+	// An empty track is inconsistent.
+	if TrackObject(Track{}, DefaultTrackerConfig).Consistent {
+		t.Fatal("an empty track cannot be consistent")
+	}
+}
+
+func TestLabelledSetAppend(t *testing.T) {
+	s := &LabelledSet{}
+	s.Append(tensor.New(1, 1, 4, 4), 2)
+	if s.Len() != 1 || s.Labels[0] != 2 {
+		t.Fatal("Append failed")
+	}
+}
+
+// Property: rendering is deterministic for a nil RNG and bounded in [0, 1]
+// for any parameters.
+func TestRenderBoundedProperty(t *testing.T) {
+	f := func(classRaw, vpRaw, posRaw uint8) bool {
+		p := RenderParams{
+			Size:      16,
+			Class:     Class(int(classRaw) % NumClasses),
+			CenterX:   0.2 + 0.6*float64(posRaw)/255,
+			CenterY:   0.2 + 0.6*float64(posRaw)/255,
+			Scale:     0.3,
+			Viewpoint: float64(vpRaw) / 255,
+		}
+		a := Render(nil, p)
+		b := Render(nil, p)
+		if !tensor.AllClose(a, b, 0) {
+			return false
+		}
+		lo, _ := a.Min()
+		hi, _ := a.Max()
+		return lo >= 0 && hi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
