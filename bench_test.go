@@ -20,6 +20,8 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
 )
 
 // --- E1-E3: Tables I, II, III -------------------------------------------------
@@ -219,7 +221,7 @@ func BenchmarkCheckpointedBackpropPlain(b *testing.B) {
 // overhead and memory reduction.
 func BenchmarkCheckpointedBackpropRevolve(b *testing.B) {
 	c, x, lossGrad := buildBenchChain(1)
-	sched, err := checkpoint.PlanRevolve(c.Len(), 2)
+	sched, err := plan.Build("revolve", plan.ChainSpec{Length: c.Len()}, plan.WithSlots(2))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -239,7 +241,7 @@ func BenchmarkCheckpointedBackpropRevolve(b *testing.B) {
 // PyTorch-style uniform-segment policy.
 func BenchmarkCheckpointedBackpropSequential(b *testing.B) {
 	c, x, lossGrad := buildBenchChain(1)
-	sched, err := checkpoint.PlanSequential(c.Len(), 3)
+	sched, err := plan.Build("sequential", plan.ChainSpec{Length: c.Len()}, plan.WithSegments(3))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -286,13 +288,13 @@ func BenchmarkHeterogeneousChain(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sched, err := checkpoint.PlanRevolve(len(states)-1, 10)
+	sched, err := plan.Build("revolve", plan.ChainSpec{Length: len(states) - 1}, plan.WithSlots(10))
 	if err != nil {
 		b.Fatal(err)
 	}
 	var peak int64
 	for i := 0; i < b.N; i++ {
-		peak, err = checkpoint.PeakBytesForSchedule(sched, states)
+		peak, err = schedule.PeakBytes(sched, states)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,18 +359,39 @@ func BenchmarkBatchAmortization(b *testing.B) {
 	b.ReportMetric(float64(epochImages)/8, "steps_per_epoch_b8")
 }
 
-// BenchmarkRevolvePlanner measures the planner itself: dynamic program plus
-// schedule generation and validation for a 152-step chain with 8 slots.
+// BenchmarkRevolvePlanner measures the planner itself through the public
+// registry: dynamic program plus schedule generation and validation for a
+// 152-step chain with 8 slots.
 func BenchmarkRevolvePlanner(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sched, err := checkpoint.PlanRevolve(152, 8)
+		sched, err := plan.Build("revolve", plan.ChainSpec{Length: 152}, plan.WithSlots(8))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sched.Trace(); err != nil {
+		if _, err := schedule.Run(sched); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamingStoreAll validates the lazily generated store-all stream
+// for a long chain, measuring the cost of streaming consumption (the plan is
+// never materialized).
+func BenchmarkStreamingStoreAll(b *testing.B) {
+	const l = 10000
+	var tr *schedule.Trace
+	for i := 0; i < b.N; i++ {
+		sched, err := plan.Build("storeall", plan.ChainSpec{Length: l})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err = schedule.Run(sched)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Forwards), "forwards")
+	b.ReportMetric(float64(tr.PeakSlots), "peak_slots")
 }
 
 // BenchmarkIdleScheduler measures the opportunistic scheduler over a month of

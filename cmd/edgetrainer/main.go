@@ -6,16 +6,21 @@
 //
 // Usage:
 //
+// The -policy flag accepts any strategy registered in the public plan
+// registry (storeall, revolve, sequential, periodic, logspaced, twolevel).
+//
 //	edgetrainer                                   # store-all baseline
 //	edgetrainer -policy revolve -slots 3          # optimal checkpointing
 //	edgetrainer -policy revolve -rho 1.8          # slot count chosen from a rho budget
 //	edgetrainer -policy sequential -segments 4    # PyTorch-style baseline
+//	edgetrainer -policy logspaced                 # logarithmic placement
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/checkpoint"
@@ -24,13 +29,17 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
+	"github.com/edgeml/edgetrain/plan"
 )
 
 func main() {
-	policy := flag.String("policy", "store-all", "checkpointing policy: store-all, revolve or sequential")
+	policy := flag.String("policy", "storeall",
+		"checkpointing strategy: "+strings.Join(plan.Strategies(), ", "))
 	slots := flag.Int("slots", 0, "checkpoint slots for the revolve policy")
 	rho := flag.Float64("rho", 0, "recompute budget for the revolve policy (used when -slots is 0)")
 	segments := flag.Int("segments", 4, "segments for the sequential policy")
+	interval := flag.Int("interval", 0, "checkpoint period for the periodic policy")
+	diskSlots := flag.Int("disk-slots", 0, "flash checkpoints for the twolevel policy")
 	epochs := flag.Int("epochs", 3, "training epochs")
 	batch := flag.Int("batch", 8, "batch size")
 	samples := flag.Int("samples", 160, "synthetic training samples")
@@ -55,7 +64,8 @@ func main() {
 	}
 	dataset := trainer.NewSliceDataset(ds)
 
-	pol := chain.Policy{Kind: *policy, Slots: *slots, Segments: *segments, Rho: *rho, Cost: checkpoint.DefaultCostModel}
+	pol := chain.Policy{Kind: *policy, Slots: *slots, Segments: *segments, Interval: *interval,
+		DiskSlots: *diskSlots, Rho: *rho, Cost: checkpoint.DefaultCostModel}
 	tr, err := trainer.New(c, trainer.Config{
 		Epochs:    *epochs,
 		BatchSize: *batch,

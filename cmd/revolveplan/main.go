@@ -1,39 +1,59 @@
-// Command revolveplan inspects optimal (Revolve/binomial) checkpointing
-// schedules and compares them against PyTorch's checkpoint_sequential: the
-// minimal forward work for a slot budget, the minimal slots for a recompute
-// budget, the Section V memory formula and its 2*sqrt(l) lower bound, and the
-// full action listing of a schedule.
+// Command revolveplan inspects checkpointing schedules planned through the
+// public strategy registry and compares them against PyTorch's
+// checkpoint_sequential: the minimal forward work for a slot budget, the
+// minimal slots for a recompute budget, the Section V memory formula and its
+// 2*sqrt(l) lower bound, and the full action listing of a schedule.
 //
 // Usage:
 //
-//	revolveplan -l 152 -slots 8            # cost summary for one configuration
-//	revolveplan -l 50 -slots 3 -print      # full action listing
-//	revolveplan -l 152 -rho 2              # minimal slots for a recompute budget
-//	revolveplan -l 152 -sequential         # Section V formula sweep over segments
-//	revolveplan -l 152 -sweep              # slots vs forwards/rho table
+//	revolveplan -l 152 -slots 8                   # cost summary for one configuration
+//	revolveplan -l 50 -slots 3 -print             # full action listing
+//	revolveplan -l 60 -strategy logspaced         # any registered strategy
+//	revolveplan -l 80 -strategy twolevel -slots 2 -disk-slots 4
+//	revolveplan -l 152 -rho 2                     # minimal slots for a recompute budget
+//	revolveplan -l 152 -sequential                # Section V formula sweep over segments
+//	revolveplan -l 152 -sweep                     # slots vs forwards/rho table
+//	revolveplan -list                             # the registered strategies
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
 )
 
 func main() {
 	l := flag.Int("l", 152, "chain length (network depth)")
+	strategy := flag.String("strategy", "revolve", "planning strategy (see -list)")
 	slots := flag.Int("slots", 0, "checkpoint slot budget")
+	diskSlots := flag.Int("disk-slots", 0, "flash-tier checkpoints for the twolevel strategy")
+	segments := flag.Int("segments", 0, "segment count for the sequential strategy")
+	interval := flag.Int("interval", 0, "checkpoint period for the periodic strategy")
 	rho := flag.Float64("rho", 0, "recompute-factor budget (selects minimal slots)")
 	backward := flag.Float64("backward-ratio", 2.0, "cost of a backward step relative to a forward step")
 	print := flag.Bool("print", false, "print the full schedule action listing")
 	sequential := flag.Bool("sequential", false, "sweep the checkpoint_sequential formula over segment counts")
 	sweep := flag.Bool("sweep", false, "print forwards and rho for every slot count")
+	list := flag.Bool("list", false, "list the registered planning strategies")
 	flag.Parse()
 
 	cost := checkpoint.CostModel{BackwardRatio: *backward}
 
 	switch {
+	case *list:
+		fmt.Println("registered planning strategies:")
+		for _, info := range plan.Describe() {
+			opts := ""
+			if len(info.Options) > 0 {
+				opts = fmt.Sprintf(" (options: %s)", strings.Join(info.Options, ", "))
+			}
+			fmt.Printf("  %-12s %s%s\n", info.Name, info.Description, opts)
+		}
 	case *sequential:
 		fmt.Printf("checkpoint_sequential on a homogeneous chain of l=%d blocks\n", *l)
 		fmt.Printf("lower bound 2*sqrt(l) = %.2f activation slots\n\n", checkpoint.SequentialLowerBound(*l))
@@ -61,7 +81,7 @@ func main() {
 				continue
 			}
 		}
-	case *rho > 0:
+	case *rho > 0 && *strategy == "revolve" && *slots == 0:
 		res := checkpoint.MinSlotsForRho(*l, *rho, cost)
 		fmt.Printf("chain l=%d, recompute budget rho<=%.3f (backward ratio %.1f):\n", *l, *rho, *backward)
 		fmt.Printf("  minimal checkpoint slots: %d\n", res.Slots)
@@ -69,29 +89,41 @@ func main() {
 		fmt.Printf("  achieved rho:             %.3f\n", cost.Rho(*l, res.Forwards))
 		fmt.Printf("  feasible:                 %v\n", res.Feasible)
 	default:
-		c := *slots
-		if c <= 0 {
-			c = 8
+		opts := []plan.Option{plan.WithBackwardRatio(*backward)}
+		if c := *slots; c > 0 {
+			opts = append(opts, plan.WithSlots(c))
+		} else if *strategy == "revolve" && *rho == 0 {
+			opts = append(opts, plan.WithSlots(8))
 		}
-		sched, err := checkpoint.PlanRevolve(*l, c)
+		if *diskSlots > 0 {
+			opts = append(opts, plan.WithDiskSlots(*diskSlots))
+		}
+		if *segments > 0 {
+			opts = append(opts, plan.WithSegments(*segments))
+		}
+		if *interval > 0 {
+			opts = append(opts, plan.WithInterval(*interval))
+		}
+		if *rho > 0 {
+			opts = append(opts, plan.WithRho(*rho))
+		}
+		sched, tr, err := plan.Validate(*strategy, plan.ChainSpec{Length: *l}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tr, err := sched.Trace()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("revolve schedule for l=%d with %d slots:\n", *l, c)
-		fmt.Printf("  forward executions: %d (optimum %d)\n", tr.Forwards, checkpoint.MinForwards(*l, c))
+		fmt.Printf("%s schedule for l=%d with %d slots:\n", sched.Policy(), *l, sched.Slots())
+		fmt.Printf("  forward executions: %d (revolve optimum for %d slots: %d)\n",
+			tr.Forwards, tr.PeakSlots, checkpoint.MinForwards(*l, tr.PeakSlots))
 		fmt.Printf("  peak slots used:    %d\n", tr.PeakSlots)
 		fmt.Printf("  restores:           %d\n", tr.Restores)
 		fmt.Printf("  max step reruns:    %d\n", tr.MaxStepExecutions)
 		fmt.Printf("  recompute factor:   %.3f\n", cost.Rho(*l, tr.Forwards))
-		seq := checkpoint.SequentialMemorySlots(*l, c+1)
-		fmt.Printf("  checkpoint_sequential with %d segments would retain %d activations (vs %d here)\n", c+1, seq, tr.PeakSlots+1)
+		seq := checkpoint.SequentialMemorySlots(*l, tr.PeakSlots+1)
+		fmt.Printf("  checkpoint_sequential with %d segments would retain %d activations (vs %d here)\n",
+			tr.PeakSlots+1, seq, tr.PeakSlots+1)
 		if *print {
 			fmt.Println()
-			fmt.Print(sched.Render())
+			fmt.Print(schedule.Render(sched))
 		}
 	}
 }

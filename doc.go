@@ -12,10 +12,17 @@
 //     architecture specifications and the analytical memory model that
 //     regenerates Tables I-III and the LinearResNet homogenisation of
 //     Section VI.
+//   - schedule — the public schedule vocabulary: the Action type, the
+//     streaming Schedule interface consumed identically for precomputed and
+//     lazily generated plans, and the validating trace simulator.
+//   - plan — the public planning API: the Strategy interface and the
+//     name-keyed registry ("revolve", "periodic", "logspaced", "sequential",
+//     "storeall", "twolevel") through which every caller selects a planner.
 //   - internal/checkpoint — the paper's core subject: optimal
 //     (Revolve/binomial) checkpointing schedules, the PyTorch
 //     checkpoint_sequential baseline, and the recompute-factor (rho)
-//     budgeted search used to draw Figure 1.
+//     budgeted search used to draw Figure 1. The algorithms are registered
+//     into the plan registry.
 //   - internal/chain — an executor that runs real networks under any
 //     checkpointing schedule and reproduces baseline gradients exactly.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
@@ -32,7 +39,3 @@
 // per-experiment index, and EXPERIMENTS.md for the paper-versus-reproduction
 // comparison.
 package edgetrain
-
-// Version is the library version. The reproduction is tagged as a whole; the
-// individual internal packages do not carry separate versions.
-const Version = "1.0.0"

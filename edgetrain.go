@@ -1,0 +1,68 @@
+package edgetrain
+
+// The root package re-exports the public planning API so callers can depend
+// on github.com/edgeml/edgetrain alone: the Strategy interface and registry
+// from plan/, and the streaming Schedule vocabulary from schedule/. The
+// algorithms themselves live in internal/checkpoint and are reached through
+// the registry.
+
+import (
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// Re-exported planning types; see package plan.
+type (
+	// Strategy plans checkpointing schedules for sequential chains.
+	Strategy = plan.Strategy
+	// StrategyInfo describes a registered strategy.
+	StrategyInfo = plan.StrategyInfo
+	// ChainSpec describes the chain a schedule is planned for.
+	ChainSpec = plan.ChainSpec
+	// Option tunes a strategy; see plan.WithSlots and friends.
+	Option = plan.Option
+)
+
+// Re-exported schedule types; see package schedule.
+type (
+	// Schedule is the streaming interface all planned schedules implement.
+	Schedule = schedule.Schedule
+	// Action is one primitive operation of a schedule.
+	Action = schedule.Action
+	// ActionKind enumerates the primitive schedule operations.
+	ActionKind = schedule.ActionKind
+	// Trace is the validated cost summary of a schedule.
+	Trace = schedule.Trace
+)
+
+// Registry entry points; see package plan.
+var (
+	// Register makes a strategy selectable by name.
+	Register = plan.Register
+	// Lookup returns the strategy registered under a name.
+	Lookup = plan.Lookup
+	// Strategies returns the sorted names of all registered strategies.
+	Strategies = plan.Strategies
+	// Plan builds a schedule by strategy name (plan.Build).
+	Plan = plan.Build
+)
+
+// Re-exported strategy options; see package plan.
+var (
+	// WithSlots sets the checkpoint-slot budget.
+	WithSlots = plan.WithSlots
+	// WithSegments sets the uniform segment count.
+	WithSegments = plan.WithSegments
+	// WithInterval sets the periodic checkpoint interval.
+	WithInterval = plan.WithInterval
+	// WithDiskSlots sets the flash-tier checkpoint count.
+	WithDiskSlots = plan.WithDiskSlots
+	// WithRho sets a recompute-factor budget.
+	WithRho = plan.WithRho
+	// WithBackwardRatio sets the backward/forward cost ratio.
+	WithBackwardRatio = plan.WithBackwardRatio
+)
+
+// Version is the library version. The reproduction is tagged as a whole; the
+// individual internal packages do not carry separate versions.
+const Version = "2.0.0"

@@ -19,6 +19,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/resnet"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/plan"
 )
 
 func main() {
@@ -44,8 +45,10 @@ func main() {
 	fmt.Printf("at a recompute budget of rho=2.0 the planner needs %d slots -> %.0f MB peak instead of %.0f MB\n",
 		res.Slots, float64(lin.MemoryWithSlots(res.Slots))/1e6, float64(lin.MemoryNoCheckpoint())/1e6)
 
-	// 3. Execution: run one checkpointed training step on a real (small)
-	//    network and confirm the gradients match plain backpropagation.
+	// 3. Execution: pick the planner from the public strategy registry, run
+	//    one checkpointed training step on a real (small) network and confirm
+	//    the gradients match plain backpropagation.
+	fmt.Printf("\nregistered planning strategies: %v\n", plan.Strategies())
 	rng := tensor.NewRNG(1)
 	build := func() *chain.Chain {
 		r := tensor.NewRNG(42)
@@ -70,7 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched, err := checkpoint.PlanRevolve(ckChain.Len(), 2)
+	sched, err := plan.Build("revolve", plan.ChainSpec{Length: ckChain.Len()}, plan.WithSlots(2))
 	if err != nil {
 		log.Fatal(err)
 	}

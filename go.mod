@@ -1,0 +1,3 @@
+module github.com/edgeml/edgetrain
+
+go 1.24

@@ -17,6 +17,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
+	"github.com/edgeml/edgetrain/schedule"
 )
 
 // TestTablesToFigurePipeline checks that the quantities flowing from the
@@ -139,5 +140,77 @@ func TestModelShipmentSizeConsistency(t *testing.T) {
 func TestVersionIsSet(t *testing.T) {
 	if Version == "" {
 		t.Fatal("Version must be set")
+	}
+}
+
+// TestRootAPIPlansEveryStrategy drives the re-exported root surface the way
+// an external caller would: enumerate the registry, plan each strategy by
+// name, and validate the schedule through the streaming trace simulator.
+func TestRootAPIPlansEveryStrategy(t *testing.T) {
+	names := Strategies()
+	if len(names) < 6 {
+		t.Fatalf("expected at least the six built-in strategies, got %v", names)
+	}
+	spec := ChainSpec{Length: 24}
+	opts := map[string][]Option{
+		"revolve":    {WithSlots(3)},
+		"sequential": {WithSegments(4)},
+		"periodic":   {WithInterval(5)},
+		"twolevel":   {WithSlots(2), WithDiskSlots(3)},
+	}
+	for _, name := range names {
+		sched, err := Plan(name, spec, opts[name]...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tr, err := schedule.Run(sched)
+		if err != nil {
+			t.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		if len(tr.BackpropOrder) != spec.Length {
+			t.Fatalf("%s: %d adjoints performed, want %d", name, len(tr.BackpropOrder), spec.Length)
+		}
+	}
+	if _, err := Lookup("no-such-strategy"); err == nil {
+		t.Fatal("Lookup of an unknown strategy must fail")
+	}
+}
+
+// TestRootAPIExecutesRegistrySchedule runs a registry-planned schedule on a
+// real network through the chain executor and cross-checks the executor's
+// forward count against the schedule trace — the full public path from
+// strategy name to gradients.
+func TestRootAPIExecutesRegistrySchedule(t *testing.T) {
+	cfg := resnet.DefaultSmallConfig()
+	net, err := resnet.BuildSmall(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chain.FromSequential(net)
+	sched, err := Plan("revolve", ChainSpec{Length: c.Len()}, WithSlots(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := schedule.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(11)
+	x := tensor.RandNormal(rng, 0, 1, 2, cfg.InputChannels, 16, 16)
+	labels := []int{1, 2}
+	lossGrad := func(out *tensor.Tensor) *tensor.Tensor {
+		ce := nn.NewSoftmaxCrossEntropy()
+		ce.Forward(out, labels)
+		return ce.Backward()
+	}
+	res, err := chain.Execute(c, x, lossGrad, sched, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.ForwardEvals) != tr.Forwards {
+		t.Fatalf("executor ran %d forwards, trace says %d", res.ForwardEvals, tr.Forwards)
+	}
+	if res.PeakStates > tr.PeakSlots+1 {
+		t.Fatalf("executor retained %d states, trace allows %d plus the input", res.PeakStates, tr.PeakSlots)
 	}
 }

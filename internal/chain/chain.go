@@ -13,6 +13,8 @@ import (
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
 )
 
 // Chain is a sequential network viewed as a list of checkpointable stages.
@@ -76,14 +78,15 @@ var ErrNoLossGrad = errors.New("chain: nil loss-gradient callback")
 // following the given checkpointing schedule. Parameter gradients are
 // accumulated into the stages' Params; the caller applies the optimiser.
 //
-// The schedule's length must equal the chain length. train selects the
-// layers' training mode (batch statistics for batch norm).
-func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoint.Schedule, train bool) (*Result, error) {
+// The schedule is consumed as a stream, so lazily generated plans execute
+// identically to materialized ones. Its length must equal the chain length.
+// train selects the layers' training mode (batch statistics for batch norm).
+func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.Schedule, train bool) (*Result, error) {
 	if lossGrad == nil {
 		return nil, ErrNoLossGrad
 	}
-	if sched.Length != c.Len() {
-		return nil, fmt.Errorf("chain: schedule length %d does not match chain length %d", sched.Length, c.Len())
+	if sched.Length() != c.Len() {
+		return nil, fmt.Errorf("chain: schedule length %d does not match chain length %d", sched.Length(), c.Len())
 	}
 	l := c.Len()
 	res := &Result{}
@@ -92,8 +95,8 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoin
 	// of stage i); index 0 is the chain input.
 	current := x
 	currentIdx := 0
-	slots := make([]*tensor.Tensor, sched.Slots)
-	slotIdx := make([]int, sched.Slots)
+	slots := make([]*tensor.Tensor, sched.Slots())
+	slotIdx := make([]int, sched.Slots())
 	for i := range slotIdx {
 		slotIdx[i] = -1
 	}
@@ -123,23 +126,24 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoin
 		return c.Stages[stage-1].Forward(input, train)
 	}
 
-	for ai, a := range sched.Actions {
+	ai := 0
+	for a := range sched.Actions() {
 		switch a.Kind {
-		case checkpoint.ActionAdvance:
+		case schedule.ActionAdvance:
 			for s := 0; s < a.Steps; s++ {
 				current = runForward(currentIdx+1, current)
 				currentIdx++
 				res.ForwardEvals++
 			}
-		case checkpoint.ActionSnapshot:
+		case schedule.ActionSnapshot:
 			if a.Slot < 0 || a.Slot >= len(slots) {
 				return nil, fmt.Errorf("chain: action %d: slot %d out of range", ai, a.Slot)
 			}
 			slots[a.Slot] = current
 			slotIdx[a.Slot] = currentIdx
 			trackPeak()
-		case checkpoint.ActionRestore:
-			if a.Slot == checkpoint.InputSlot {
+		case schedule.ActionRestore:
+			if a.Slot == schedule.InputSlot {
 				current, currentIdx = x, 0
 			} else {
 				if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
@@ -147,13 +151,13 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoin
 				}
 				current, currentIdx = slots[a.Slot], slotIdx[a.Slot]
 			}
-		case checkpoint.ActionFree:
+		case schedule.ActionFree:
 			if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
 				return nil, fmt.Errorf("chain: action %d: freeing empty slot %d", ai, a.Slot)
 			}
 			slots[a.Slot] = nil
 			slotIdx[a.Slot] = -1
-		case checkpoint.ActionBackprop:
+		case schedule.ActionBackprop:
 			if pending == 0 {
 				return nil, fmt.Errorf("chain: action %d: no adjoint steps left", ai)
 			}
@@ -177,6 +181,7 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched *checkpoin
 		default:
 			return nil, fmt.Errorf("chain: action %d: unknown kind %d", ai, a.Kind)
 		}
+		ai++
 	}
 	if pending != 0 {
 		return nil, fmt.Errorf("chain: schedule left %d adjoint steps unexecuted", pending)
@@ -221,50 +226,72 @@ func ExecutePlain(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, train bool)
 	return res, nil
 }
 
-// Policy selects how Step plans its checkpointing schedule.
+// Policy selects how Step plans its checkpointing schedule. Kind names a
+// strategy in the public plan registry; the remaining fields are forwarded as
+// the matching plan options.
 type Policy struct {
-	// Kind is "store-all", "revolve" or "sequential".
+	// Kind is a registered strategy name ("storeall", "revolve", "sequential",
+	// "periodic", "logspaced", "twolevel"). The legacy spelling "store-all"
+	// and the empty string select "storeall".
 	Kind string
-	// Slots is the checkpoint budget for "revolve".
+	// Slots is the checkpoint budget for "revolve" (and the RAM tier of
+	// "twolevel").
 	Slots int
 	// Segments is the segment count for "sequential".
 	Segments int
-	// Rho, when positive and Kind is "revolve" with Slots == 0, selects the
-	// minimal slot count whose recompute factor stays below Rho.
+	// Interval is the checkpoint period for "periodic".
+	Interval int
+	// DiskSlots is the flash-tier checkpoint count for "twolevel".
+	DiskSlots int
+	// Rho, when positive, is a recompute budget from which strategies derive
+	// their memory tunable (e.g. "revolve" with Slots == 0).
 	Rho float64
 	// Cost is the cost model used for the Rho-based selection.
 	Cost checkpoint.CostModel
 }
 
-// Plan materialises the policy into a schedule for a chain of length l.
-func (p Policy) Plan(l int) (*checkpoint.Schedule, error) {
+// strategyName normalises the policy kind to a registry name. Only the
+// legacy spelling "store-all" (and the empty default) is rewritten; every
+// other kind is passed through verbatim so user-registered strategies with
+// any name keep working.
+func (p Policy) strategyName() string {
 	switch p.Kind {
 	case "", "store-all":
-		return checkpoint.PlanStoreAll(l)
-	case "revolve":
-		slots := p.Slots
-		if slots <= 0 && p.Rho > 0 {
-			res := checkpoint.MinSlotsForRho(l, p.Rho, p.Cost)
-			slots = res.Slots
-		}
-		if slots <= 0 {
-			return nil, fmt.Errorf("chain: revolve policy needs Slots or Rho")
-		}
-		return checkpoint.PlanRevolve(l, slots)
-	case "sequential":
-		if p.Segments <= 0 {
-			return nil, fmt.Errorf("chain: sequential policy needs Segments")
-		}
-		return checkpoint.PlanSequential(l, p.Segments)
+		return "storeall"
 	default:
-		return nil, fmt.Errorf("chain: unknown policy kind %q", p.Kind)
+		return p.Kind
 	}
+}
+
+// Plan materialises the policy into a schedule for a chain of length l by
+// looking the strategy up in the public plan registry.
+func (p Policy) Plan(l int) (schedule.Schedule, error) {
+	var opts []plan.Option
+	if p.Slots > 0 {
+		opts = append(opts, plan.WithSlots(p.Slots))
+	}
+	if p.Segments > 0 {
+		opts = append(opts, plan.WithSegments(p.Segments))
+	}
+	if p.Interval > 0 {
+		opts = append(opts, plan.WithInterval(p.Interval))
+	}
+	if p.DiskSlots > 0 {
+		opts = append(opts, plan.WithDiskSlots(p.DiskSlots))
+	}
+	if p.Rho > 0 {
+		opts = append(opts, plan.WithRho(p.Rho))
+	}
+	if p.Cost.BackwardRatio > 0 {
+		opts = append(opts, plan.WithBackwardRatio(p.Cost.BackwardRatio))
+	}
+	return plan.Build(p.strategyName(), plan.ChainSpec{Length: l}, opts...)
 }
 
 // Step plans a schedule for the chain according to the policy and executes
 // it. A store-all policy uses ExecutePlain.
 func Step(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, p Policy, train bool) (*Result, error) {
-	if p.Kind == "" || p.Kind == "store-all" {
+	if p.strategyName() == "storeall" {
 		return ExecutePlain(c, x, lossGrad, train)
 	}
 	sched, err := p.Plan(c.Len())

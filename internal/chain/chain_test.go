@@ -8,7 +8,20 @@ import (
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/resnet"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
 )
+
+// buildSched plans a schedule through the public registry for a chain of
+// length l.
+func buildSched(t testing.TB, strategy string, l int, opts ...plan.Option) schedule.Schedule {
+	t.Helper()
+	s, err := plan.Build(strategy, plan.ChainSpec{Length: l}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
 
 // buildTestChain creates a small but non-trivial convolutional chain with a
 // classifier head, suitable for gradient-equivalence tests.
@@ -69,15 +82,19 @@ func TestExecutePlainMatchesSequential(t *testing.T) {
 
 func TestCheckpointedGradientsMatchPlain(t *testing.T) {
 	policies := []struct {
-		name  string
-		sched func(l int) (*checkpoint.Schedule, error)
+		name     string
+		strategy string
+		opts     []plan.Option
 	}{
-		{"revolve-1", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 1) }},
-		{"revolve-2", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 2) }},
-		{"revolve-3", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanRevolve(l, 3) }},
-		{"sequential-2", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanSequential(l, 2) }},
-		{"sequential-3", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanSequential(l, 3) }},
-		{"store-all", func(l int) (*checkpoint.Schedule, error) { return checkpoint.PlanStoreAll(l) }},
+		{"revolve-1", "revolve", []plan.Option{plan.WithSlots(1)}},
+		{"revolve-2", "revolve", []plan.Option{plan.WithSlots(2)}},
+		{"revolve-3", "revolve", []plan.Option{plan.WithSlots(3)}},
+		{"sequential-2", "sequential", []plan.Option{plan.WithSegments(2)}},
+		{"sequential-3", "sequential", []plan.Option{plan.WithSegments(3)}},
+		{"periodic-3", "periodic", []plan.Option{plan.WithInterval(3)}},
+		{"logspaced", "logspaced", nil},
+		{"twolevel-2-1", "twolevel", []plan.Option{plan.WithSlots(1), plan.WithDiskSlots(2)}},
+		{"store-all", "storeall", nil},
 	}
 	for _, pol := range policies {
 		t.Run(pol.name, func(t *testing.T) {
@@ -93,10 +110,7 @@ func TestCheckpointedGradientsMatchPlain(t *testing.T) {
 			}
 			wantGrads := gradSnapshot(cPlain)
 
-			sched, err := pol.sched(cCheck.Len())
-			if err != nil {
-				t.Fatal(err)
-			}
+			sched := buildSched(t, pol.strategy, cCheck.Len(), pol.opts...)
 			got, err := Execute(cCheck, x, loss, sched, true)
 			if err != nil {
 				t.Fatal(err)
@@ -125,18 +139,12 @@ func TestCheckpointedMemoryAndRecomputeTradeoff(t *testing.T) {
 	cMany, _ := buildTestChain(5)
 	loss := fixedLossGrad(3)
 
-	schedFew, err := checkpoint.PlanRevolve(cFew.Len(), 1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	schedFew := buildSched(t, "revolve", cFew.Len(), plan.WithSlots(1))
 	few, err := Execute(cFew, x, loss, schedFew, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	schedMany, err := checkpoint.PlanRevolve(cMany.Len(), cMany.Len()-1)
-	if err != nil {
-		t.Fatal(err)
-	}
+	schedMany := buildSched(t, "revolve", cMany.Len(), plan.WithSlots(cMany.Len()-1))
 	many, err := Execute(cMany, x, loss, schedMany, true)
 	if err != nil {
 		t.Fatal(err)
@@ -154,11 +162,8 @@ func TestCheckpointedMemoryAndRecomputeTradeoff(t *testing.T) {
 
 func TestExecuteForwardCountMatchesScheduleTrace(t *testing.T) {
 	c, x := buildTestChain(11)
-	sched, err := checkpoint.PlanRevolve(c.Len(), 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr, err := sched.Trace()
+	sched := buildSched(t, "revolve", c.Len(), plan.WithSlots(2))
+	tr, err := schedule.Run(sched)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,17 +184,11 @@ func TestExecuteForwardCountMatchesScheduleTrace(t *testing.T) {
 
 func TestExecuteErrors(t *testing.T) {
 	c, x := buildTestChain(13)
-	sched, err := checkpoint.PlanRevolve(c.Len(), 2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sched := buildSched(t, "revolve", c.Len(), plan.WithSlots(2))
 	if _, err := Execute(c, x, nil, sched, true); err == nil {
 		t.Fatal("nil loss gradient accepted")
 	}
-	bad, err := checkpoint.PlanRevolve(c.Len()+1, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	bad := buildSched(t, "revolve", c.Len()+1, plan.WithSlots(2))
 	if _, err := Execute(c, x, fixedLossGrad(1), bad, true); err == nil {
 		t.Fatal("mismatched schedule length accepted")
 	}
@@ -219,6 +218,25 @@ func TestPolicyPlan(t *testing.T) {
 	}
 	if _, err := (Policy{}).Plan(10); err != nil {
 		t.Fatal("default policy should be store-all")
+	}
+}
+
+// hyphenStrategy delegates to storeall; it exists to pin that Policy.Kind is
+// passed to the registry verbatim, hyphens included.
+type hyphenStrategy struct{}
+
+func (hyphenStrategy) Plan(spec plan.ChainSpec, opts ...plan.Option) (schedule.Schedule, error) {
+	return plan.Build("storeall", spec)
+}
+
+func (hyphenStrategy) Describe() plan.StrategyInfo {
+	return plan.StrategyInfo{Name: "custom-hyphenated", Description: "test strategy"}
+}
+
+func TestPolicyKindWithHyphenReachesRegistry(t *testing.T) {
+	plan.Register("custom-hyphenated", hyphenStrategy{})
+	if _, err := (Policy{Kind: "custom-hyphenated"}).Plan(10); err != nil {
+		t.Fatalf("hyphenated registered strategy not reachable through Policy: %v", err)
 	}
 }
 
@@ -288,10 +306,7 @@ func TestSmallResNetUnderCheckpointing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sched, err := checkpoint.PlanRevolve(chainB.Len(), 2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	sched := buildSched(t, "revolve", chainB.Len(), plan.WithSlots(2))
 	ck, err := Execute(chainB, x, lossGrad, sched, true)
 	if err != nil {
 		t.Fatal(err)
@@ -334,7 +349,7 @@ func TestGradientEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		slots := int(slotsRaw%4) + 1
-		sched, err := checkpoint.PlanRevolve(cCheck.Len(), slots)
+		sched, err := plan.Build("revolve", plan.ChainSpec{Length: cCheck.Len()}, plan.WithSlots(slots))
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,6 @@
 package checkpoint
 
-import "fmt"
+import "github.com/edgeml/edgetrain/schedule"
 
 // ChainSpec is the homogeneous-chain ("LinearResNet") memory description used
 // by Section VI: a chain of Length equal steps, a fixed weight-related memory
@@ -123,48 +123,8 @@ func SequentialMemoryVsRho(cs ChainSpec, rhos []float64, m CostModel) []CurvePoi
 // PeakBytesForSchedule simulates a schedule against a heterogeneous chain
 // whose state i (the output of step i) occupies stateBytes[i] bytes, and
 // returns the peak number of bytes held in checkpoint slots plus the chain
-// input (stateBytes[0]). It is used by the heterogeneous-chain ablation.
-// stateBytes must have Length+1 entries (states x_0..x_L).
+// input (stateBytes[0]). It delegates to the shared simulator in the public
+// schedule package. stateBytes must have Length+1 entries (states x_0..x_L).
 func PeakBytesForSchedule(s *Schedule, stateBytes []int64) (int64, error) {
-	if len(stateBytes) != s.Length+1 {
-		return 0, fmt.Errorf("checkpoint: need %d state sizes, got %d", s.Length+1, len(stateBytes))
-	}
-	slotState := make([]int, s.Slots)
-	for i := range slotState {
-		slotState[i] = -1
-	}
-	current := 0
-	held := stateBytes[0]
-	peak := held
-	for i, a := range s.Actions {
-		switch a.Kind {
-		case ActionAdvance:
-			current += a.Steps
-		case ActionSnapshot:
-			if slotState[a.Slot] != -1 {
-				return 0, fmt.Errorf("action %d: slot %d already occupied", i, a.Slot)
-			}
-			slotState[a.Slot] = current
-			held += stateBytes[current]
-		case ActionRestore:
-			if a.Slot == InputSlot {
-				current = 0
-			} else {
-				current = slotState[a.Slot]
-			}
-		case ActionFree:
-			st := slotState[a.Slot]
-			if st == -1 {
-				return 0, fmt.Errorf("action %d: freeing empty slot %d", i, a.Slot)
-			}
-			held -= stateBytes[st]
-			slotState[a.Slot] = -1
-		case ActionBackprop:
-			// no effect on checkpoint storage
-		}
-		if held > peak {
-			peak = held
-		}
-	}
-	return peak, nil
+	return schedule.PeakBytes(s.Stream(), stateBytes)
 }

@@ -1,6 +1,9 @@
 package checkpoint
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Additional single-level baselines used by the ablation benchmarks: periodic
 // ("checkpoint every k-th state") and logarithmic ("checkpoint states at
@@ -163,4 +166,51 @@ func CompareBaselines(l int, rho float64, m CostModel) []BaselineComparison {
 		Rho: m.Rho(l, logFw), FeasibleFor: m.Rho(l, logFw) <= rho,
 	})
 	return out
+}
+
+// PlanLogSpaced builds an executable schedule for the logarithmic placement:
+// the initial sweep snapshots the states at power-of-two distances from the
+// end, and the backward sweep rebuilds every other state by advancing from
+// the nearest retained state below it. Its Trace().Forwards equals
+// LogSpacedForwards(l) and its peak slot usage equals LogSpacedMemorySlots(l).
+func PlanLogSpaced(l int) (*Schedule, error) {
+	if err := ValidateArgs(l, 0); err != nil {
+		return nil, err
+	}
+	states := LogSpacedStates(l)
+	sort.Ints(states)
+	p := newPlanner(l, max(len(states)-1, 0), "logspaced")
+
+	// Forward sweep: snapshot each retained state as it is passed.
+	for _, s := range states {
+		if s == 0 {
+			continue
+		}
+		p.emit(Action{Kind: ActionAdvance, Steps: s - p.current})
+		p.current = s
+		p.snapshot(s)
+	}
+
+	// Backward sweep: before each adjoint, rebuild its input from the nearest
+	// retained state at or below it. Retained states are never refreshed (the
+	// scheme's usual, simple formulation).
+	for step := l; step >= 1; step-- {
+		need := step - 1
+		if p.current != need {
+			from := need
+			for {
+				if _, ok := p.slotOf[from]; ok {
+					break
+				}
+				from--
+			}
+			p.restore(from)
+			if from < need {
+				p.emit(Action{Kind: ActionAdvance, Steps: need - from})
+				p.current = need
+			}
+		}
+		p.emit(Action{Kind: ActionBackprop})
+	}
+	return p.sched, nil
 }

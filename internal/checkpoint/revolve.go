@@ -48,8 +48,8 @@ func ensureDP(l, c int) ([][]int64, [][]int) {
 	if l <= dpCache.maxL && c <= dpCache.maxC {
 		return dpCache.table, dpCache.argmin
 	}
-	newL := maxInt(l, dpCache.maxL)
-	newC := maxInt(c, dpCache.maxC)
+	newL := max(l, dpCache.maxL)
+	newC := max(c, dpCache.maxC)
 	table := make([][]int64, newC+1)
 	argmin := make([][]int, newC+1)
 	for s := 0; s <= newC; s++ {
@@ -78,13 +78,6 @@ func ensureDP(l, c int) ([][]int64, [][]int) {
 	dpCache.maxL, dpCache.maxC = newL, newC
 	dpCache.table, dpCache.argmin = table, argmin
 	return table, argmin
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // MinForwards returns the minimal total number of forward-step executions

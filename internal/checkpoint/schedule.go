@@ -2,72 +2,49 @@ package checkpoint
 
 import (
 	"fmt"
-	"strings"
+
+	"github.com/edgeml/edgetrain/schedule"
 )
 
-// ActionKind enumerates the primitive operations a checkpointing schedule is
-// made of.
-type ActionKind int
+// The action vocabulary is defined once, in the public schedule package; the
+// algorithm layer re-exports it so the planners read naturally and existing
+// internal call sites keep working.
 
-// The schedule action vocabulary. Advance re-executes forward steps, Snapshot
-// and Free manage checkpoint slots, Restore switches the working state to a
-// stored one, and Backprop performs the adjoint of the next pending step.
+// ActionKind enumerates the primitive operations a schedule is made of.
+type ActionKind = schedule.ActionKind
+
+// The schedule action vocabulary, aliased from the public schedule package.
 const (
-	// ActionAdvance executes Steps forward steps from the current working
-	// state, moving it forward along the chain.
-	ActionAdvance ActionKind = iota
-	// ActionSnapshot copies the current working state into checkpoint slot
-	// Slot, which must be free.
-	ActionSnapshot
-	// ActionRestore loads the state stored in slot Slot (or the chain input
-	// when Slot == InputSlot) into the working buffer.
-	ActionRestore
-	// ActionFree releases checkpoint slot Slot.
-	ActionFree
-	// ActionBackprop performs the adjoint of the next pending step, which
-	// requires the working state to hold that step's input.
-	ActionBackprop
+	ActionAdvance  = schedule.ActionAdvance
+	ActionSnapshot = schedule.ActionSnapshot
+	ActionRestore  = schedule.ActionRestore
+	ActionFree     = schedule.ActionFree
+	ActionBackprop = schedule.ActionBackprop
 )
 
-// InputSlot is the pseudo-slot identifier for the chain input x_0, which is
-// always available and never counted against the checkpoint budget.
-const InputSlot = -1
+// InputSlot is the pseudo-slot identifier for the chain input x_0.
+const InputSlot = schedule.InputSlot
 
 // Action is one primitive operation of a schedule.
-type Action struct {
-	Kind  ActionKind
-	Steps int // ActionAdvance: number of forward steps to execute
-	Slot  int // Snapshot/Restore/Free: slot index, or InputSlot for Restore
-}
+type Action = schedule.Action
 
-// String renders the action compactly, e.g. "advance(3)" or "snapshot[2]".
-func (a Action) String() string {
-	switch a.Kind {
-	case ActionAdvance:
-		return fmt.Sprintf("advance(%d)", a.Steps)
-	case ActionSnapshot:
-		return fmt.Sprintf("snapshot[%d]", a.Slot)
-	case ActionRestore:
-		if a.Slot == InputSlot {
-			return "restore[input]"
-		}
-		return fmt.Sprintf("restore[%d]", a.Slot)
-	case ActionFree:
-		return fmt.Sprintf("free[%d]", a.Slot)
-	case ActionBackprop:
-		return "backprop"
-	default:
-		return fmt.Sprintf("unknown(%d)", int(a.Kind))
-	}
-}
+// Trace is the result of simulating a schedule; see schedule.Trace.
+type Trace = schedule.Trace
 
-// Schedule is an executable checkpointing plan for a chain of Length steps
-// using at most Slots checkpoint slots.
+// Schedule is a materialized checkpointing plan for a chain of Length steps
+// using at most Slots checkpoint slots. It is the planners' working
+// representation; Stream() adapts it to the public schedule.Schedule
+// interface consumed by the executor and the tools.
 type Schedule struct {
 	Length  int
 	Slots   int
 	Policy  string // human-readable name of the generating policy
 	Actions []Action
+}
+
+// Stream adapts the materialized plan to the public streaming interface.
+func (s *Schedule) Stream() *schedule.Memory {
+	return schedule.FromActions(s.Length, s.Slots, s.Policy, s.Actions)
 }
 
 // String summarises the schedule.
@@ -83,122 +60,15 @@ func (s *Schedule) String() string {
 // Render returns a multi-line listing of the schedule's actions, useful for
 // inspection from cmd/revolveplan.
 func (s *Schedule) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "# %s schedule: L=%d slots=%d\n", s.Policy, s.Length, s.Slots)
-	for i, a := range s.Actions {
-		fmt.Fprintf(&b, "%4d  %s\n", i, a.String())
-	}
-	return b.String()
-}
-
-// Trace is the result of simulating a schedule: cost and memory counters plus
-// the per-step order in which adjoints were performed.
-type Trace struct {
-	Forwards      int64 // forward-step executions by Advance actions
-	PeakSlots     int   // maximum simultaneously occupied checkpoint slots
-	Restores      int   // number of Restore actions executed
-	Snapshots     int   // number of Snapshot actions executed
-	BackpropOrder []int // step indices in the order their adjoints ran
-	// MaxStepExecutions is the largest number of times any single forward
-	// step was executed by Advance actions (the observed repetition count).
-	MaxStepExecutions int
+	return schedule.Render(s.Stream())
 }
 
 // Trace simulates the schedule and verifies that it is a correct reversal of
 // the chain: every adjoint step runs exactly once, in order L..1, with its
-// input state available, never exceeding the slot budget.
+// input state available, never exceeding the slot budget. The simulation is
+// the shared one in the schedule package.
 func (s *Schedule) Trace() (*Trace, error) {
-	type slotState struct {
-		occupied bool
-		state    int
-	}
-	slots := make([]slotState, s.Slots)
-	current := 0 // working state index; starts at the chain input x_0
-	currentValid := true
-	pending := s.Length // next adjoint step to perform
-	tr := &Trace{}
-	occupied := 0
-	stepRuns := make([]int, s.Length+1)
-
-	for i, a := range s.Actions {
-		switch a.Kind {
-		case ActionAdvance:
-			if !currentValid {
-				return nil, fmt.Errorf("action %d (%s): advance with no valid working state", i, a)
-			}
-			if a.Steps <= 0 {
-				return nil, fmt.Errorf("action %d (%s): non-positive advance", i, a)
-			}
-			if current+a.Steps > s.Length {
-				return nil, fmt.Errorf("action %d (%s): advance past end of chain (state %d + %d > %d)", i, a, current, a.Steps, s.Length)
-			}
-			for st := current + 1; st <= current+a.Steps; st++ {
-				stepRuns[st]++
-			}
-			current += a.Steps
-			tr.Forwards += int64(a.Steps)
-		case ActionSnapshot:
-			if !currentValid {
-				return nil, fmt.Errorf("action %d (%s): snapshot with no valid working state", i, a)
-			}
-			if a.Slot < 0 || a.Slot >= s.Slots {
-				return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
-			}
-			if slots[a.Slot].occupied {
-				return nil, fmt.Errorf("action %d (%s): slot already occupied by state %d", i, a, slots[a.Slot].state)
-			}
-			slots[a.Slot] = slotState{occupied: true, state: current}
-			occupied++
-			if occupied > tr.PeakSlots {
-				tr.PeakSlots = occupied
-			}
-			tr.Snapshots++
-		case ActionRestore:
-			if a.Slot == InputSlot {
-				current = 0
-				currentValid = true
-			} else {
-				if a.Slot < 0 || a.Slot >= s.Slots {
-					return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
-				}
-				if !slots[a.Slot].occupied {
-					return nil, fmt.Errorf("action %d (%s): restore from empty slot", i, a)
-				}
-				current = slots[a.Slot].state
-				currentValid = true
-			}
-			tr.Restores++
-		case ActionFree:
-			if a.Slot < 0 || a.Slot >= s.Slots {
-				return nil, fmt.Errorf("action %d (%s): slot out of range", i, a)
-			}
-			if !slots[a.Slot].occupied {
-				return nil, fmt.Errorf("action %d (%s): freeing an empty slot", i, a)
-			}
-			slots[a.Slot].occupied = false
-			occupied--
-		case ActionBackprop:
-			if pending == 0 {
-				return nil, fmt.Errorf("action %d (%s): all adjoint steps already performed", i, a)
-			}
-			if !currentValid || current != pending-1 {
-				return nil, fmt.Errorf("action %d (%s): adjoint of step %d requires working state %d, have %d", i, a, pending, pending-1, current)
-			}
-			tr.BackpropOrder = append(tr.BackpropOrder, pending)
-			pending--
-		default:
-			return nil, fmt.Errorf("action %d: unknown kind %d", i, a.Kind)
-		}
-	}
-	if pending != 0 {
-		return nil, fmt.Errorf("schedule incomplete: %d adjoint steps not performed", pending)
-	}
-	for _, runs := range stepRuns {
-		if runs > tr.MaxStepExecutions {
-			tr.MaxStepExecutions = runs
-		}
-	}
-	return tr, nil
+	return schedule.Run(s.Stream())
 }
 
 // planner carries the mutable state used while emitting a schedule.
@@ -325,7 +195,7 @@ func PlanRevolve(l, c int) (*Schedule, error) {
 		return nil, err
 	}
 	if c > l-1 {
-		c = maxInt(l-1, 0)
+		c = max(l-1, 0)
 	}
 	p := newPlanner(l, c, "revolve")
 	p.reverse(0, l, c)
@@ -339,7 +209,7 @@ func PlanStoreAll(l int) (*Schedule, error) {
 	if err := ValidateArgs(l, 0); err != nil {
 		return nil, err
 	}
-	slots := maxInt(l-1, 0)
+	slots := max(l-1, 0)
 	p := newPlanner(l, slots, "store-all")
 	for st := 1; st <= l-1; st++ {
 		p.emit(Action{Kind: ActionAdvance, Steps: 1})
@@ -386,8 +256,8 @@ func PlanSequential(l, segments int) (*Schedule, error) {
 	// Slot budget: segment-input checkpoints plus full storage of the longest
 	// segment (the last one holds the remainder).
 	lastLen := l - starts[segments-1]
-	maxSeg := maxInt(segLen, lastLen)
-	slots := (segments - 1) + maxInt(maxSeg-1, 0) + 1
+	maxSeg := max(segLen, lastLen)
+	slots := (segments - 1) + max(maxSeg-1, 0) + 1
 	p := newPlanner(l, slots, fmt.Sprintf("sequential(%d)", segments))
 
 	// Forward sweep: checkpoint each segment input (except x_0), then store

@@ -63,7 +63,7 @@ func PlanTwoLevelCost(l, diskCheckpoints int, cfg TwoLevelConfig) (TwoLevelCost,
 		return TwoLevelCost{}, fmt.Errorf("checkpoint: negative RAM slot budget %d", cfg.RAMSlots)
 	}
 	if diskCheckpoints > l-1 {
-		diskCheckpoints = maxInt(l-1, 0)
+		diskCheckpoints = max(l-1, 0)
 	}
 	cost := TwoLevelCost{DiskCheckpoints: diskCheckpoints}
 	if l <= 1 {
@@ -159,4 +159,56 @@ func TwoLevelMemory(cs ChainSpec, cost TwoLevelCost) int64 {
 		states = 1
 	}
 	return cs.WeightBytes + int64(states)*cs.ActivationBytes
+}
+
+// PlanTwoLevel builds an executable two-level schedule: d evenly spaced
+// boundary checkpoints are written during the initial sweep (the flash tier),
+// and each of the resulting d+1 segments is then reversed, last to first,
+// with the optimal (Revolve) schedule under the RAM slot budget. In the
+// emitted schedule the first d slot indices play the role of the flash tier;
+// the action vocabulary does not distinguish storage media, so the schedule
+// is executable by any consumer while TwoLevelCost accounts the IO.
+func PlanTwoLevel(l, diskCheckpoints, ramSlots int) (*Schedule, error) {
+	if err := ValidateArgs(l, ramSlots); err != nil {
+		return nil, err
+	}
+	if diskCheckpoints < 0 {
+		return nil, fmt.Errorf("checkpoint: negative flash checkpoint count %d", diskCheckpoints)
+	}
+	if diskCheckpoints > l-1 {
+		diskCheckpoints = max(l-1, 0)
+	}
+	segments := diskCheckpoints + 1
+	base := l / segments
+	extra := l % segments
+	starts := make([]int, segments+1)
+	for k := 1; k <= segments; k++ {
+		starts[k] = starts[k-1] + base
+		if k-1 < extra {
+			starts[k]++
+		}
+	}
+
+	p := newPlanner(l, diskCheckpoints+ramSlots, fmt.Sprintf("twolevel(%d)", diskCheckpoints))
+
+	// Initial sweep: write each internal segment boundary to its (flash) slot.
+	for k := 1; k < segments; k++ {
+		p.emit(Action{Kind: ActionAdvance, Steps: starts[k] - p.current})
+		p.current = starts[k]
+		p.snapshot(starts[k])
+	}
+
+	// Reverse segments from last to first, each with the optimal in-RAM
+	// schedule; release a segment's boundary once it has been reversed.
+	for k := segments - 1; k >= 0; k-- {
+		segLen := starts[k+1] - starts[k]
+		if segLen == 0 {
+			continue
+		}
+		p.reverse(starts[k], segLen, ramSlots)
+		if starts[k] != 0 {
+			p.free(starts[k])
+		}
+	}
+	return p.sched, nil
 }

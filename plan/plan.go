@@ -1,0 +1,135 @@
+// Package plan is the public planning API of the edgetrain library: a single
+// Strategy interface in front of every checkpointing planner, a name-keyed
+// registry so callers select strategies by string, and functional options for
+// the per-strategy tunables.
+//
+// The built-in strategies — "revolve", "periodic", "logspaced", "sequential",
+// "storeall", "twolevel" — are registered by this package's init and are
+// implemented by the algorithm layer in internal/checkpoint. New strategies
+// plug in through Register without touching any call site:
+//
+//	sched, err := plan.Build("revolve", plan.ChainSpec{Length: 152}, plan.WithSlots(8))
+//
+// Every strategy returns a schedule.Schedule, the streaming interface the
+// chain executor and the command-line tools consume; use schedule.Run to
+// validate a plan and obtain its cost trace.
+package plan
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// ChainSpec describes the chain a schedule is planned for. Length is the
+// number of steps; the memory fields are optional context some strategies or
+// callers use for capacity reasoning and may be left zero.
+type ChainSpec struct {
+	// Name is an optional label for the chain (e.g. "resnet50-b8-i500").
+	Name string
+	// Length is the number of chain steps L (the network depth).
+	Length int
+	// WeightBytes is the memory for weights, gradients and optimiser state.
+	WeightBytes int64
+	// ActivationBytes is the memory of one stored inter-stage state.
+	ActivationBytes int64
+}
+
+// StrategyInfo describes a registered strategy for discovery and help output.
+type StrategyInfo struct {
+	// Name is the registry key, e.g. "revolve".
+	Name string
+	// Description is a one-line summary of the placement policy.
+	Description string
+	// Options lists the option names the strategy consumes (for usage text).
+	Options []string
+}
+
+// Strategy plans checkpointing schedules for sequential chains. Plan must be
+// safe for concurrent use.
+type Strategy interface {
+	// Plan builds a schedule for the chain described by spec. Strategies
+	// return an error for option combinations they cannot satisfy (e.g.
+	// "revolve" with neither a slot budget nor a recompute budget).
+	Plan(spec ChainSpec, opts ...Option) (schedule.Schedule, error)
+	// Describe reports the strategy's name, summary and accepted options.
+	Describe() StrategyInfo
+}
+
+// Options collects the tunables shared by the built-in strategies. Strategies
+// read the fields they understand and ignore the rest; the zero value of a
+// field means "not set".
+type Options struct {
+	// Slots is the checkpoint-slot budget ("revolve"; the RAM tier of
+	// "twolevel").
+	Slots int
+	// Segments is the uniform segment count ("sequential").
+	Segments int
+	// Interval is the checkpoint period k ("periodic").
+	Interval int
+	// DiskSlots is the flash-tier checkpoint count ("twolevel").
+	DiskSlots int
+	// Rho is a recompute-factor budget; strategies that support it derive
+	// their memory tunable (slots or segments) as the minimum meeting it.
+	Rho float64
+	// BackwardRatio is the cost of a backward step relative to a forward
+	// step, used when resolving Rho. Zero selects the default (2).
+	BackwardRatio float64
+}
+
+// Option mutates the option set; see the With* constructors.
+type Option func(*Options)
+
+// Gather applies the options to a zero Options value.
+func Gather(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithSlots sets the checkpoint-slot budget.
+func WithSlots(n int) Option { return func(o *Options) { o.Slots = n } }
+
+// WithSegments sets the uniform segment count.
+func WithSegments(n int) Option { return func(o *Options) { o.Segments = n } }
+
+// WithInterval sets the periodic checkpoint interval.
+func WithInterval(k int) Option { return func(o *Options) { o.Interval = k } }
+
+// WithDiskSlots sets the flash-tier checkpoint count for "twolevel".
+func WithDiskSlots(d int) Option { return func(o *Options) { o.DiskSlots = d } }
+
+// WithRho sets a recompute-factor budget from which the strategy derives its
+// memory tunable.
+func WithRho(rho float64) Option { return func(o *Options) { o.Rho = rho } }
+
+// WithBackwardRatio sets the backward/forward cost ratio used when resolving
+// a Rho budget.
+func WithBackwardRatio(r float64) Option { return func(o *Options) { o.BackwardRatio = r } }
+
+// Build looks the strategy up by name and plans a schedule in one call. It is
+// the common path of the command-line tools and examples.
+func Build(name string, spec ChainSpec, opts ...Option) (schedule.Schedule, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(spec, opts...)
+}
+
+// Validate plans like Build and additionally runs the schedule through the
+// validating trace simulator, returning the schedule together with its cost
+// trace. Lazy schedules are consumed once for validation and remain reusable.
+func Validate(name string, spec ChainSpec, opts ...Option) (schedule.Schedule, *schedule.Trace, error) {
+	s, err := Build(name, spec, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := schedule.Run(s)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plan: strategy %q produced an invalid schedule: %w", name, err)
+	}
+	return s, tr, nil
+}

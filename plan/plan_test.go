@@ -1,0 +1,228 @@
+package plan_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// strategyOpts returns option sets that make the named strategy plannable at
+// the given memory tunable. Strategies without tunables get one empty set.
+func strategyOpts(name string, slots int) []plan.Option {
+	switch name {
+	case "revolve":
+		return []plan.Option{plan.WithSlots(slots)}
+	case "sequential":
+		return []plan.Option{plan.WithSegments(slots + 1)}
+	case "periodic":
+		return []plan.Option{plan.WithInterval(slots + 1)}
+	case "twolevel":
+		return []plan.Option{plan.WithSlots(slots), plan.WithDiskSlots(2)}
+	default:
+		return nil
+	}
+}
+
+// TestStrategyConformance is the registry-wide conformance suite: every
+// registered strategy, over a grid of chain lengths and slot tunables, must
+// produce a schedule that the validating trace simulator accepts — each step
+// back-propagated exactly once in order L..1, no slot misuse, and a peak slot
+// usage within the schedule's declared budget.
+func TestStrategyConformance(t *testing.T) {
+	lengths := []int{1, 2, 3, 5, 8, 13, 21, 34, 55}
+	slotGrid := []int{1, 2, 3, 5}
+	for _, name := range plan.Strategies() {
+		for _, l := range lengths {
+			for _, slots := range slotGrid {
+				t.Run(fmt.Sprintf("%s/l=%d/slots=%d", name, l, slots), func(t *testing.T) {
+					spec := plan.ChainSpec{Length: l}
+					sched, err := plan.Build(name, spec, strategyOpts(name, slots)...)
+					if err != nil {
+						t.Fatalf("plan failed: %v", err)
+					}
+					if sched.Length() != l {
+						t.Fatalf("schedule length %d, want %d", sched.Length(), l)
+					}
+					tr, err := schedule.Run(sched)
+					if err != nil {
+						t.Fatalf("invalid schedule: %v", err)
+					}
+					if len(tr.BackpropOrder) != l {
+						t.Fatalf("%d adjoint steps performed, want %d", len(tr.BackpropOrder), l)
+					}
+					for i, step := range tr.BackpropOrder {
+						if step != l-i {
+							t.Fatalf("adjoint order %v is not L..1", tr.BackpropOrder)
+						}
+					}
+					if tr.PeakSlots > sched.Slots() {
+						t.Fatalf("peak slot usage %d exceeds declared budget %d", tr.PeakSlots, sched.Slots())
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestRevolveMatchesOptimum(t *testing.T) {
+	for _, l := range []int{2, 10, 50, 152} {
+		for _, slots := range []int{1, 3, 8} {
+			_, tr, err := plan.Validate("revolve", plan.ChainSpec{Length: l}, plan.WithSlots(slots))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := checkpoint.MinForwards(l, slots); tr.Forwards != want {
+				t.Fatalf("revolve(l=%d, c=%d): %d forwards, optimum %d", l, slots, tr.Forwards, want)
+			}
+		}
+	}
+}
+
+func TestRhoBudgetSelection(t *testing.T) {
+	const l = 152
+	want := checkpoint.MinSlotsForRho(l, 2.0, checkpoint.DefaultCostModel)
+	_, tr, err := plan.Validate("revolve", plan.ChainSpec{Length: l}, plan.WithRho(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Forwards != want.Forwards {
+		t.Fatalf("rho-budgeted revolve ran %d forwards, want %d", tr.Forwards, want.Forwards)
+	}
+	if _, _, err := plan.Validate("sequential", plan.ChainSpec{Length: l}, plan.WithRho(2.0)); err != nil {
+		t.Fatalf("sequential with rho budget: %v", err)
+	}
+	if _, _, err := plan.Validate("periodic", plan.ChainSpec{Length: l}, plan.WithRho(2.0)); err != nil {
+		t.Fatalf("periodic with rho budget: %v", err)
+	}
+}
+
+func TestMissingOptionsAreRejected(t *testing.T) {
+	spec := plan.ChainSpec{Length: 20}
+	for _, name := range []string{"revolve", "sequential", "periodic", "twolevel"} {
+		if _, err := plan.Build(name, spec); err == nil {
+			t.Fatalf("%s without options should fail for a nontrivial chain", name)
+		}
+	}
+	// Trivial chains need no tunables at all.
+	for _, name := range plan.Strategies() {
+		if _, _, err := plan.Validate(name, plan.ChainSpec{Length: 1}); err != nil {
+			t.Fatalf("%s must plan a length-1 chain without options: %v", name, err)
+		}
+	}
+}
+
+// TestStoreAllStreamingMatchesMaterialized pins the streaming/in-memory mode
+// equivalence: the lazily generated store-all stream and the materialized
+// planner in internal/checkpoint produce identical traces.
+func TestStoreAllStreamingMatchesMaterialized(t *testing.T) {
+	for _, l := range []int{0, 1, 2, 7, 33} {
+		lazy := plan.StoreAllStream(l)
+		lazyTr, err := schedule.Run(lazy)
+		if err != nil {
+			t.Fatalf("l=%d: lazy store-all invalid: %v", l, err)
+		}
+		mat, err := checkpoint.PlanStoreAll(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matTr, err := schedule.Run(mat.Stream())
+		if err != nil {
+			t.Fatalf("l=%d: materialized store-all invalid: %v", l, err)
+		}
+		if lazyTr.Forwards != matTr.Forwards || lazyTr.PeakSlots != matTr.PeakSlots ||
+			lazyTr.Restores != matTr.Restores || lazyTr.Snapshots != matTr.Snapshots {
+			t.Fatalf("l=%d: lazy trace %+v differs from materialized %+v", l, lazyTr, matTr)
+		}
+		// And the action streams are identical, element for element.
+		lazyActs := schedule.Materialize(lazy).ActionSlice()
+		if len(lazyActs) != len(mat.Actions) {
+			t.Fatalf("l=%d: %d lazy actions vs %d materialized", l, len(lazyActs), len(mat.Actions))
+		}
+		for i := range lazyActs {
+			if lazyActs[i] != mat.Actions[i] {
+				t.Fatalf("l=%d: action %d differs: %v vs %v", l, i, lazyActs[i], mat.Actions[i])
+			}
+		}
+	}
+}
+
+func TestLogSpacedMatchesClosedForms(t *testing.T) {
+	for _, l := range []int{1, 2, 5, 16, 17, 64, 100} {
+		_, tr, err := plan.Validate("logspaced", plan.ChainSpec{Length: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := checkpoint.LogSpacedForwards(l); tr.Forwards != want {
+			t.Fatalf("l=%d: logspaced ran %d forwards, closed form says %d", l, tr.Forwards, want)
+		}
+		if want := checkpoint.LogSpacedMemorySlots(l); tr.PeakSlots != want {
+			t.Fatalf("l=%d: logspaced peaked at %d slots, closed form says %d", l, tr.PeakSlots, want)
+		}
+	}
+}
+
+func TestTwoLevelStaysWithinTiers(t *testing.T) {
+	const l, ram, disk = 60, 3, 4
+	_, tr, err := plan.Validate("twolevel", plan.ChainSpec{Length: l},
+		plan.WithSlots(ram), plan.WithDiskSlots(disk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PeakSlots > ram+disk {
+		t.Fatalf("two-level peak %d exceeds ram+disk=%d", tr.PeakSlots, ram+disk)
+	}
+	// The segmented plan must beat RAM-only revolve at the same RAM budget.
+	_, ramOnly, err := plan.Validate("revolve", plan.ChainSpec{Length: l}, plan.WithSlots(ram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Forwards >= ramOnly.Forwards {
+		t.Fatalf("two-level (%d forwards) should recompute less than RAM-only revolve (%d)", tr.Forwards, ramOnly.Forwards)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := plan.Strategies()
+	for _, want := range []string{"revolve", "periodic", "logspaced", "sequential", "storeall", "twolevel"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in strategy %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := plan.Lookup("nope"); err == nil || !strings.Contains(err.Error(), "revolve") {
+		t.Fatalf("unknown-strategy error should list registered names, got %v", err)
+	}
+	infos := plan.Describe()
+	if len(infos) != len(names) {
+		t.Fatalf("Describe returned %d infos for %d strategies", len(infos), len(names))
+	}
+	for _, info := range infos {
+		if info.Name == "" || info.Description == "" {
+			t.Fatalf("incomplete StrategyInfo: %+v", info)
+		}
+	}
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { plan.Register("", nil) })
+	mustPanic("nil strategy", func() { plan.Register("x-nil", nil) })
+	mustPanic("duplicate", func() {
+		s, _ := plan.Lookup("revolve")
+		plan.Register("revolve", s)
+	})
+}

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps strategy names to implementations. It follows the
+// database/sql driver idiom: implementations register themselves (typically
+// from init), callers look them up by name, and registration of a duplicate
+// or nil strategy panics because it is a programming error.
+var registry struct {
+	sync.RWMutex
+	strategies map[string]Strategy
+}
+
+// Register makes a strategy selectable by name through Lookup and Build. It
+// panics if the name is empty, the strategy is nil, or the name is already
+// taken.
+func Register(name string, s Strategy) {
+	registry.Lock()
+	defer registry.Unlock()
+	if name == "" {
+		panic("plan: Register with empty strategy name")
+	}
+	if s == nil {
+		panic("plan: Register with nil strategy")
+	}
+	if registry.strategies == nil {
+		registry.strategies = make(map[string]Strategy)
+	}
+	if _, dup := registry.strategies[name]; dup {
+		panic(fmt.Sprintf("plan: Register called twice for strategy %q", name))
+	}
+	registry.strategies[name] = s
+}
+
+// Lookup returns the strategy registered under name. The error lists the
+// registered names so a mistyped strategy is diagnosable from the message.
+func Lookup(name string) (Strategy, error) {
+	registry.RLock()
+	s, ok := registry.strategies[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("plan: unknown strategy %q (registered: %v)", name, Strategies())
+	}
+	return s, nil
+}
+
+// Strategies returns the sorted names of all registered strategies.
+func Strategies() []string {
+	registry.RLock()
+	names := make([]string, 0, len(registry.strategies))
+	for name := range registry.strategies {
+		names = append(names, name)
+	}
+	registry.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the StrategyInfo of every registered strategy, sorted by
+// name. It backs the -list output of the command-line tools.
+func Describe() []StrategyInfo {
+	names := Strategies()
+	infos := make([]StrategyInfo, 0, len(names))
+	for _, name := range names {
+		s, err := Lookup(name)
+		if err != nil {
+			continue // unregistered concurrently; skip
+		}
+		infos = append(infos, s.Describe())
+	}
+	return infos
+}

@@ -1,0 +1,217 @@
+package schedule
+
+import (
+	"fmt"
+	"iter"
+)
+
+// Trace is the result of simulating a schedule: cost and memory counters plus
+// the per-step order in which adjoints were performed.
+type Trace struct {
+	Forwards      int64 // forward-step executions by Advance actions
+	PeakSlots     int   // maximum simultaneously occupied checkpoint slots
+	Restores      int   // number of Restore actions executed
+	Snapshots     int   // number of Snapshot actions executed
+	BackpropOrder []int // step indices in the order their adjoints ran
+	// MaxStepExecutions is the largest number of times any single forward
+	// step was executed by Advance actions (the observed repetition count).
+	MaxStepExecutions int
+}
+
+// Validator simulates a schedule action by action, checking that the stream
+// is a correct reversal of the chain: every adjoint step runs exactly once,
+// in order L..1, with its input state available, never exceeding the slot
+// budget. It is the streaming core behind Run and Traced — consumers that
+// execute actions one at a time (a training loop, a remote executor) can feed
+// the validator in lockstep instead of pre-validating a materialized plan.
+type Validator struct {
+	length       int
+	slots        []validatorSlot
+	current      int
+	currentValid bool
+	pending      int
+	occupied     int
+	stepRuns     []int
+	index        int
+	trace        Trace
+}
+
+type validatorSlot struct {
+	occupied bool
+	state    int
+}
+
+// NewValidator starts a simulation of a chain of the given length with the
+// given checkpoint-slot budget. The working state begins at the chain input.
+func NewValidator(length, slots int) *Validator {
+	return &Validator{
+		length:       length,
+		slots:        make([]validatorSlot, slots),
+		currentValid: true,
+		pending:      length,
+		stepRuns:     make([]int, length+1),
+	}
+}
+
+// Apply simulates one action, returning an error if it is illegal in the
+// current simulated state. Once Apply has returned an error the validator's
+// state is undefined and it must be discarded.
+func (v *Validator) Apply(a Action) error {
+	i := v.index
+	v.index++
+	switch a.Kind {
+	case ActionAdvance:
+		if !v.currentValid {
+			return fmt.Errorf("action %d (%s): advance with no valid working state", i, a)
+		}
+		if a.Steps <= 0 {
+			return fmt.Errorf("action %d (%s): non-positive advance", i, a)
+		}
+		if v.current+a.Steps > v.length {
+			return fmt.Errorf("action %d (%s): advance past end of chain (state %d + %d > %d)", i, a, v.current, a.Steps, v.length)
+		}
+		for st := v.current + 1; st <= v.current+a.Steps; st++ {
+			v.stepRuns[st]++
+		}
+		v.current += a.Steps
+		v.trace.Forwards += int64(a.Steps)
+	case ActionSnapshot:
+		if !v.currentValid {
+			return fmt.Errorf("action %d (%s): snapshot with no valid working state", i, a)
+		}
+		if a.Slot < 0 || a.Slot >= len(v.slots) {
+			return fmt.Errorf("action %d (%s): slot out of range", i, a)
+		}
+		if v.slots[a.Slot].occupied {
+			return fmt.Errorf("action %d (%s): slot already occupied by state %d", i, a, v.slots[a.Slot].state)
+		}
+		v.slots[a.Slot] = validatorSlot{occupied: true, state: v.current}
+		v.occupied++
+		if v.occupied > v.trace.PeakSlots {
+			v.trace.PeakSlots = v.occupied
+		}
+		v.trace.Snapshots++
+	case ActionRestore:
+		if a.Slot == InputSlot {
+			v.current = 0
+			v.currentValid = true
+		} else {
+			if a.Slot < 0 || a.Slot >= len(v.slots) {
+				return fmt.Errorf("action %d (%s): slot out of range", i, a)
+			}
+			if !v.slots[a.Slot].occupied {
+				return fmt.Errorf("action %d (%s): restore from empty slot", i, a)
+			}
+			v.current = v.slots[a.Slot].state
+			v.currentValid = true
+		}
+		v.trace.Restores++
+	case ActionFree:
+		if a.Slot < 0 || a.Slot >= len(v.slots) {
+			return fmt.Errorf("action %d (%s): slot out of range", i, a)
+		}
+		if !v.slots[a.Slot].occupied {
+			return fmt.Errorf("action %d (%s): freeing an empty slot", i, a)
+		}
+		v.slots[a.Slot].occupied = false
+		v.occupied--
+	case ActionBackprop:
+		if v.pending == 0 {
+			return fmt.Errorf("action %d (%s): all adjoint steps already performed", i, a)
+		}
+		if !v.currentValid || v.current != v.pending-1 {
+			return fmt.Errorf("action %d (%s): adjoint of step %d requires working state %d, have %d", i, a, v.pending, v.pending-1, v.current)
+		}
+		v.trace.BackpropOrder = append(v.trace.BackpropOrder, v.pending)
+		v.pending--
+	default:
+		return fmt.Errorf("action %d: unknown kind %d", i, a.Kind)
+	}
+	return nil
+}
+
+// Finish checks that the stream performed every adjoint step and returns the
+// accumulated trace.
+func (v *Validator) Finish() (*Trace, error) {
+	if v.pending != 0 {
+		return nil, fmt.Errorf("schedule incomplete: %d adjoint steps not performed", v.pending)
+	}
+	for _, runs := range v.stepRuns {
+		if runs > v.trace.MaxStepExecutions {
+			v.trace.MaxStepExecutions = runs
+		}
+	}
+	return &v.trace, nil
+}
+
+// Run consumes the schedule's action stream once, validating every action,
+// and returns the trace. It is the one-shot form of the Validator.
+func Run(s Schedule) (*Trace, error) {
+	v := NewValidator(s.Length(), s.Slots())
+	for a := range s.Actions() {
+		if err := v.Apply(a); err != nil {
+			return nil, err
+		}
+	}
+	return v.Finish()
+}
+
+// Traced wraps a schedule so that its action stream is validated as it is
+// consumed. The wrapper streams: it never materializes the underlying plan,
+// so it composes with lazily generated schedules at no extra memory cost.
+//
+// After the stream has been fully consumed, Result returns the trace; if any
+// action was illegal the stream stops early and Result returns the error.
+type Traced struct {
+	inner Schedule
+	trace *Trace
+	err   error
+	done  bool
+}
+
+// NewTraced wraps the schedule in a validating pass-through.
+func NewTraced(s Schedule) *Traced { return &Traced{inner: s} }
+
+// Length returns the wrapped schedule's chain length.
+func (t *Traced) Length() int { return t.inner.Length() }
+
+// Slots returns the wrapped schedule's slot budget.
+func (t *Traced) Slots() int { return t.inner.Slots() }
+
+// Policy returns the wrapped schedule's policy name.
+func (t *Traced) Policy() string { return t.inner.Policy() }
+
+// Actions streams the wrapped schedule's actions, validating each one before
+// yielding it. On an illegal action the stream terminates early and the error
+// is reported by Result. Each call restarts the validation.
+func (t *Traced) Actions() iter.Seq[Action] {
+	return func(yield func(Action) bool) {
+		v := NewValidator(t.inner.Length(), t.inner.Slots())
+		t.trace, t.err, t.done = nil, nil, false
+		for a := range t.inner.Actions() {
+			if err := v.Apply(a); err != nil {
+				t.err = err
+				return
+			}
+			if !yield(a) {
+				return
+			}
+		}
+		tr, err := v.Finish()
+		t.trace, t.err = tr, err
+		t.done = err == nil
+	}
+}
+
+// Result returns the trace accumulated by a completed iteration, or the
+// validation error that stopped it. It returns an error if the stream has
+// not been fully consumed yet.
+func (t *Traced) Result() (*Trace, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if !t.done {
+		return nil, fmt.Errorf("schedule: trace not complete: stream has not been fully consumed")
+	}
+	return t.trace, nil
+}
