@@ -4,6 +4,16 @@
 // the executor re-runs stage forwards exactly where the schedule says to,
 // retains only the states the schedule snapshots, and produces gradients that
 // are identical to plain backpropagation.
+//
+// The recompute sweeps run on the parallel kernel engine in internal/tensor:
+// every stage forward re-executed by an Advance action uses the blocked,
+// batch-parallel, pool-backed kernels, so recomputation proceeds at the same
+// throughput as the initial sweep with no per-recompute scratch allocation.
+// Snapshots store stage outputs by reference — safe because the nn.Layer
+// contract guarantees Forward returns a fresh tensor, never a reused
+// internal buffer — and results are bit-identical at any worker count
+// (EDGETRAIN_WORKERS), so a checkpointed step reproduces plain
+// backpropagation exactly regardless of parallelism.
 package chain
 
 import (

@@ -6,6 +6,7 @@ import (
 
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/resnet"
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/plan"
@@ -361,5 +362,39 @@ func TestGradientEquivalenceProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCheckpointedExecuteBitIdenticalAcrossWorkerCounts asserts the engine's
+// determinism guarantee end to end: a checkpointed training step (with its
+// recompute sweeps) produces byte-for-byte identical outputs and gradients
+// whether the kernels run serially or on many workers.
+func TestCheckpointedExecuteBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) (*Result, []*tensor.Tensor) {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		c, x := buildTestChain(3)
+		sched := buildSched(t, "revolve", c.Len(), plan.WithSlots(2))
+		c.ZeroGrads()
+		res, err := Execute(c, x, fixedLossGrad(9), sched, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, gradSnapshot(c)
+	}
+	refRes, refGrads := run(1)
+	for _, w := range []int{2, 6} {
+		res, grads := run(w)
+		if d := tensor.MaxAbsDiff(refRes.Output, res.Output); d != 0 {
+			t.Errorf("workers=%d: output differs from serial by %g", w, d)
+		}
+		if d := tensor.MaxAbsDiff(refRes.InputGrad, res.InputGrad); d != 0 {
+			t.Errorf("workers=%d: input gradient differs from serial by %g", w, d)
+		}
+		for i := range refGrads {
+			if d := tensor.MaxAbsDiff(refGrads[i], grads[i]); d != 0 {
+				t.Errorf("workers=%d: parameter gradient %d differs from serial by %g", w, i, d)
+			}
+		}
 	}
 }

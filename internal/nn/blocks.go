@@ -24,8 +24,6 @@ type BasicBlock struct {
 	DownBN   *BatchNorm2D
 
 	reluOut *ReLU // final activation
-
-	lastIn *tensor.Tensor
 }
 
 // NewBasicBlock builds a basic residual block mapping inC channels to outC
@@ -50,7 +48,6 @@ func (b *BasicBlock) Name() string { return b.name }
 
 // Forward implements Layer.
 func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	b.lastIn = x
 	out := b.Conv1.Forward(x, train)
 	out = b.BN1.Forward(out, train)
 	out = b.Relu1.Forward(out, train)
@@ -64,7 +61,9 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		identity = x
 	}
-	out = tensor.Add(out, identity)
+	// out is BN2's freshly allocated output, so the residual sum can be
+	// accumulated in place without a temporary.
+	out.AddInPlace(identity)
 	return b.reluOut.Forward(out, train)
 }
 
@@ -72,9 +71,10 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (b *BasicBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := b.reluOut.Backward(gradOut)
 	// The addition fans the gradient out to both the residual branch and the
-	// shortcut branch.
+	// shortcut branch. Neither branch mutates its upstream gradient, so both
+	// can read g without a defensive copy.
 	gMain := g
-	gShortcut := g.Clone()
+	gShortcut := g
 
 	gMain = b.BN2.Backward(gMain)
 	gMain = b.Conv2.Backward(gMain)
@@ -86,7 +86,9 @@ func (b *BasicBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		gShortcut = b.DownBN.Backward(gShortcut)
 		gShortcut = b.DownConv.Backward(gShortcut)
 	}
-	return tensor.Add(gMain, gShortcut)
+	// gMain is Conv1's freshly allocated input gradient; fold the shortcut
+	// gradient into it in place.
+	return gMain.AddInPlace(gShortcut)
 }
 
 // Params implements Layer.
@@ -203,7 +205,7 @@ func (b *Bottleneck) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	} else {
 		identity = x
 	}
-	out = tensor.Add(out, identity)
+	out.AddInPlace(identity)
 	return b.reluOut.Forward(out, train)
 }
 
@@ -211,7 +213,7 @@ func (b *Bottleneck) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (b *Bottleneck) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := b.reluOut.Backward(gradOut)
 	gMain := g
-	gShortcut := g.Clone()
+	gShortcut := g
 
 	gMain = b.BN3.Backward(gMain)
 	gMain = b.Conv3.Backward(gMain)
@@ -226,7 +228,7 @@ func (b *Bottleneck) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		gShortcut = b.DownBN.Backward(gShortcut)
 		gShortcut = b.DownConv.Backward(gShortcut)
 	}
-	return tensor.Add(gMain, gShortcut)
+	return gMain.AddInPlace(gShortcut)
 }
 
 // Params implements Layer.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/tensor"
 )
 
@@ -39,7 +40,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InC, x.Dim(1)))
 	}
-	c.lastIn = x.Clone()
+	c.lastIn = x
 	var bias *tensor.Tensor
 	if c.hasBias {
 		bias = c.B.Value
@@ -102,8 +103,9 @@ type BatchNorm2D struct {
 	Gamma, Beta *Param
 	// Running statistics for inference mode.
 	RunningMean, RunningVar *tensor.Tensor
-	// Backward cache.
-	lastIn    *tensor.Tensor
+	// Backward cache. Only the normalised activations and per-channel
+	// statistics are retained — never the input itself, which would pin a
+	// full activation tensor for no computational purpose.
 	batchMean []float64
 	batchVar  []float64
 	xhat      *tensor.Tensor
@@ -131,98 +133,111 @@ func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if c != bn.C {
 		panic(fmt.Sprintf("nn: BatchNorm2D %s expects %d channels, got %d", bn.name, bn.C, c))
 	}
-	out := tensor.New(x.Shape()...)
-	bn.lastIn = x.Clone()
-	bn.xhat = tensor.New(x.Shape()...)
-	bn.batchMean = make([]float64, c)
-	bn.batchVar = make([]float64, c)
+	out := x.NewLike()
+	bn.xhat = tensor.EnsureLike(bn.xhat, x)
+	if cap(bn.batchMean) < c {
+		bn.batchMean = make([]float64, c)
+		bn.batchVar = make([]float64, c)
+	}
+	bn.batchMean = bn.batchMean[:c]
+	bn.batchVar = bn.batchVar[:c]
 	area := h * w
 	count := float64(n * area)
+	xd, xh, od := x.Data(), bn.xhat.Data(), out.Data()
+	rm, rv := bn.RunningMean.Data(), bn.RunningVar.Data()
+	gam, bet := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 
-	for ch := 0; ch < c; ch++ {
-		var mean, variance float64
-		if train {
-			sum := 0.0
+	// Channels are fully independent (statistics, running averages and the
+	// normalised outputs all live at per-channel offsets), so the channel
+	// loop parallelizes with bit-identical results at any worker count.
+	parallel.For(c, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			var mean, variance float64
+			if train {
+				sum := 0.0
+				for b := 0; b < n; b++ {
+					off := ((b * c) + ch) * area
+					for _, v := range xd[off : off+area] {
+						sum += v
+					}
+				}
+				mean = sum / count
+				sq := 0.0
+				for b := 0; b < n; b++ {
+					off := ((b * c) + ch) * area
+					for _, v := range xd[off : off+area] {
+						d := v - mean
+						sq += d * d
+					}
+				}
+				variance = sq / count
+				// Update running statistics (exponential moving average).
+				rm[ch] = (1-bn.Momentum)*rm[ch] + bn.Momentum*mean
+				rv[ch] = (1-bn.Momentum)*rv[ch] + bn.Momentum*variance
+			} else {
+				mean = rm[ch]
+				variance = rv[ch]
+			}
+			bn.batchMean[ch] = mean
+			bn.batchVar[ch] = variance
+			invStd := 1.0 / math.Sqrt(variance+bn.Eps)
+			g := gam[ch]
+			bta := bet[ch]
 			for b := 0; b < n; b++ {
 				off := ((b * c) + ch) * area
-				for i := 0; i < area; i++ {
-					sum += x.Data()[off+i]
+				for i := off; i < off+area; i++ {
+					v := (xd[i] - mean) * invStd
+					xh[i] = v
+					od[i] = g*v + bta
 				}
 			}
-			mean = sum / count
-			sq := 0.0
-			for b := 0; b < n; b++ {
-				off := ((b * c) + ch) * area
-				for i := 0; i < area; i++ {
-					d := x.Data()[off+i] - mean
-					sq += d * d
-				}
-			}
-			variance = sq / count
-			// Update running statistics (exponential moving average).
-			bn.RunningMean.Data()[ch] = (1-bn.Momentum)*bn.RunningMean.Data()[ch] + bn.Momentum*mean
-			bn.RunningVar.Data()[ch] = (1-bn.Momentum)*bn.RunningVar.Data()[ch] + bn.Momentum*variance
-		} else {
-			mean = bn.RunningMean.Data()[ch]
-			variance = bn.RunningVar.Data()[ch]
 		}
-		bn.batchMean[ch] = mean
-		bn.batchVar[ch] = variance
-		invStd := 1.0 / math.Sqrt(variance+bn.Eps)
-		g := bn.Gamma.Value.Data()[ch]
-		bta := bn.Beta.Value.Data()[ch]
-		for b := 0; b < n; b++ {
-			off := ((b * c) + ch) * area
-			for i := 0; i < area; i++ {
-				xh := (x.Data()[off+i] - mean) * invStd
-				bn.xhat.Data()[off+i] = xh
-				out.Data()[off+i] = g*xh + bta
-			}
-		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer. It implements the standard batch-norm gradient
 // for training mode (batch statistics).
 func (bn *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if bn.lastIn == nil {
+	if bn.xhat == nil {
 		panic("nn: BatchNorm2D.Backward called before Forward")
 	}
-	n, c, h, w := bn.lastIn.Dim(0), bn.lastIn.Dim(1), bn.lastIn.Dim(2), bn.lastIn.Dim(3)
+	n, c, h, w := bn.xhat.Dim(0), bn.xhat.Dim(1), bn.xhat.Dim(2), bn.xhat.Dim(3)
 	area := h * w
 	count := float64(n * area)
-	gradIn := tensor.New(bn.lastIn.Shape()...)
+	gradIn := bn.xhat.NewLike()
+	gd, xh, gid := gradOut.Data(), bn.xhat.Data(), gradIn.Data()
+	gam, gg, bg := bn.Gamma.Value.Data(), bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
 
-	for ch := 0; ch < c; ch++ {
-		invStd := 1.0 / math.Sqrt(bn.batchVar[ch]+bn.Eps)
-		g := bn.Gamma.Value.Data()[ch]
+	parallel.For(c, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			invStd := 1.0 / math.Sqrt(bn.batchVar[ch]+bn.Eps)
+			g := gam[ch]
 
-		var sumDy, sumDyXhat float64
-		for b := 0; b < n; b++ {
-			off := ((b * c) + ch) * area
-			for i := 0; i < area; i++ {
-				dy := gradOut.Data()[off+i]
-				sumDy += dy
-				sumDyXhat += dy * bn.xhat.Data()[off+i]
+			var sumDy, sumDyXhat float64
+			for b := 0; b < n; b++ {
+				off := ((b * c) + ch) * area
+				for i := off; i < off+area; i++ {
+					dy := gd[i]
+					sumDy += dy
+					sumDyXhat += dy * xh[i]
+				}
+			}
+			// Parameter gradients.
+			gg[ch] += sumDyXhat
+			bg[ch] += sumDy
+
+			// Input gradient:
+			// dx = (gamma*invStd/count) * (count*dy - sumDy - xhat*sumDyXhat)
+			scale := g * invStd / count
+			for b := 0; b < n; b++ {
+				off := ((b * c) + ch) * area
+				for i := off; i < off+area; i++ {
+					gid[i] = scale * (count*gd[i] - sumDy - xh[i]*sumDyXhat)
+				}
 			}
 		}
-		// Parameter gradients.
-		bn.Gamma.Grad.Data()[ch] += sumDyXhat
-		bn.Beta.Grad.Data()[ch] += sumDy
-
-		// Input gradient:
-		// dx = (gamma*invStd/count) * (count*dy - sumDy - xhat*sumDyXhat)
-		scale := g * invStd / count
-		for b := 0; b < n; b++ {
-			off := ((b * c) + ch) * area
-			for i := 0; i < area; i++ {
-				dy := gradOut.Data()[off+i]
-				xh := bn.xhat.Data()[off+i]
-				gradIn.Data()[off+i] = scale * (count*dy - sumDy - xh*sumDyXhat)
-			}
-		}
-	}
+	})
 	return gradIn
 }
 
@@ -264,7 +279,7 @@ func (m *MaxPool2D) Name() string { return m.name }
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank(x, 4, "MaxPool2D")
-	m.inShape = x.Shape()
+	m.inShape = x.AppendShape(m.inShape)
 	out, arg := tensor.MaxPool2D(x, m.Kernel, m.Stride)
 	m.argmax = arg
 	return out
@@ -314,7 +329,7 @@ func (g *GlobalAvgPool2D) Name() string { return g.name }
 // Forward implements Layer.
 func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank(x, 4, "GlobalAvgPool2D")
-	g.inShape = x.Shape()
+	g.inShape = x.AppendShape(g.inShape)
 	return tensor.GlobalAvgPool2D(x)
 }
 
@@ -360,27 +375,30 @@ func (a *AvgPool2D) Name() string { return a.name }
 // Forward implements Layer.
 func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	mustRank(x, 4, "AvgPool2D")
-	a.inShape = x.Shape()
+	a.inShape = x.AppendShape(a.inShape)
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	outH := (h-a.Kernel)/a.Stride + 1
 	outW := (w-a.Kernel)/a.Stride + 1
 	out := tensor.New(n, c, outH, outW)
 	win := float64(a.Kernel * a.Kernel)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
+	xd, od := x.Data(), out.Data()
+	parallel.For(n*c, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			plane := xd[p*h*w : (p+1)*h*w]
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
 					s := 0.0
 					for kh := 0; kh < a.Kernel; kh++ {
+						row := (oh*a.Stride + kh) * w
 						for kw := 0; kw < a.Kernel; kw++ {
-							s += x.At(b, ch, oh*a.Stride+kh, ow*a.Stride+kw)
+							s += plane[row+ow*a.Stride+kw]
 						}
 					}
-					out.Set(s/win, b, ch, oh, ow)
+					od[(p*outH+oh)*outW+ow] = s / win
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -391,23 +409,26 @@ func (a *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	gradIn := tensor.New(a.inShape...)
 	n, c := a.inShape[0], a.inShape[1]
+	h, w := a.inShape[2], a.inShape[3]
 	outH, outW := gradOut.Dim(2), gradOut.Dim(3)
 	win := float64(a.Kernel * a.Kernel)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
+	gd, gid := gradOut.Data(), gradIn.Data()
+	parallel.For(n*c, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			plane := gid[p*h*w : (p+1)*h*w]
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
-					g := gradOut.At(b, ch, oh, ow) / win
+					g := gd[(p*outH+oh)*outW+ow] / win
 					for kh := 0; kh < a.Kernel; kh++ {
+						row := (oh*a.Stride + kh) * w
 						for kw := 0; kw < a.Kernel; kw++ {
-							ih, iw := oh*a.Stride+kh, ow*a.Stride+kw
-							gradIn.Set(gradIn.At(b, ch, ih, iw)+g, b, ch, ih, iw)
+							plane[row+ow*a.Stride+kw] += g
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return gradIn
 }
 

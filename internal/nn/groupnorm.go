@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/tensor"
 )
 
@@ -18,7 +19,8 @@ type GroupNorm2D struct {
 	Eps         float64
 	Gamma, Beta *Param
 
-	lastIn   *tensor.Tensor
+	// Backward cache: only the normalised activations and per-group
+	// variances are retained, never the input itself.
 	xhat     *tensor.Tensor
 	groupVar []float64
 }
@@ -45,101 +47,113 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if c != gn.C {
 		panic(fmt.Sprintf("nn: GroupNorm2D %s expects %d channels, got %d", gn.name, gn.C, c))
 	}
-	gn.lastIn = x.Clone()
-	gn.xhat = tensor.New(x.Shape()...)
-	out := tensor.New(x.Shape()...)
+	gn.xhat = tensor.EnsureLike(gn.xhat, x)
+	out := x.NewLike()
 	chPerGroup := c / gn.Groups
 	area := h * w
 	groupSize := float64(chPerGroup * area)
-	gn.groupVar = make([]float64, n*gn.Groups)
+	if cap(gn.groupVar) < n*gn.Groups {
+		gn.groupVar = make([]float64, n*gn.Groups)
+	}
+	gn.groupVar = gn.groupVar[:n*gn.Groups]
+	xd, xh, od := x.Data(), gn.xhat.Data(), out.Data()
+	gam, bet := gn.Gamma.Value.Data(), gn.Beta.Value.Data()
 
-	for b := 0; b < n; b++ {
-		for g := 0; g < gn.Groups; g++ {
+	// Each (sample, group) pair is independent; parallelize over the
+	// flattened pair index with bit-identical per-pair arithmetic.
+	parallel.For(n*gn.Groups, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			b, g := p/gn.Groups, p%gn.Groups
 			var sum float64
 			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
 				off := ((b * c) + ch) * area
-				for i := 0; i < area; i++ {
-					sum += x.Data()[off+i]
+				for _, v := range xd[off : off+area] {
+					sum += v
 				}
 			}
 			mean := sum / groupSize
 			var sq float64
 			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
 				off := ((b * c) + ch) * area
-				for i := 0; i < area; i++ {
-					d := x.Data()[off+i] - mean
+				for _, v := range xd[off : off+area] {
+					d := v - mean
 					sq += d * d
 				}
 			}
 			variance := sq / groupSize
-			gn.groupVar[b*gn.Groups+g] = variance
+			gn.groupVar[p] = variance
 			invStd := 1 / math.Sqrt(variance+gn.Eps)
 			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
 				off := ((b * c) + ch) * area
-				gamma := gn.Gamma.Value.Data()[ch]
-				beta := gn.Beta.Value.Data()[ch]
-				for i := 0; i < area; i++ {
-					xh := (x.Data()[off+i] - mean) * invStd
-					gn.xhat.Data()[off+i] = xh
-					out.Data()[off+i] = gamma*xh + beta
+				gamma := gam[ch]
+				beta := bet[ch]
+				for i := off; i < off+area; i++ {
+					v := (xd[i] - mean) * invStd
+					xh[i] = v
+					od[i] = gamma*v + beta
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
 func (gn *GroupNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if gn.lastIn == nil {
+	if gn.xhat == nil {
 		panic("nn: GroupNorm2D.Backward called before Forward")
 	}
-	n, c, h, w := gn.lastIn.Dim(0), gn.lastIn.Dim(1), gn.lastIn.Dim(2), gn.lastIn.Dim(3)
+	n, c, h, w := gn.xhat.Dim(0), gn.xhat.Dim(1), gn.xhat.Dim(2), gn.xhat.Dim(3)
 	area := h * w
 	chPerGroup := c / gn.Groups
 	groupSize := float64(chPerGroup * area)
-	gradIn := tensor.New(gn.lastIn.Shape()...)
+	gradIn := gn.xhat.NewLike()
+	gd, xhd, gid := gradOut.Data(), gn.xhat.Data(), gradIn.Data()
+	gam := gn.Gamma.Value.Data()
 
-	// Parameter gradients.
-	for ch := 0; ch < c; ch++ {
-		var dGamma, dBeta float64
-		for b := 0; b < n; b++ {
-			off := ((b * c) + ch) * area
-			for i := 0; i < area; i++ {
-				dy := gradOut.Data()[off+i]
-				dGamma += dy * gn.xhat.Data()[off+i]
-				dBeta += dy
+	// Parameter gradients: channels are independent.
+	gg, bg := gn.Gamma.Grad.Data(), gn.Beta.Grad.Data()
+	parallel.For(c, 1, func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
+			var dGamma, dBeta float64
+			for b := 0; b < n; b++ {
+				off := ((b * c) + ch) * area
+				for i := off; i < off+area; i++ {
+					dy := gd[i]
+					dGamma += dy * xhd[i]
+					dBeta += dy
+				}
 			}
+			gg[ch] += dGamma
+			bg[ch] += dBeta
 		}
-		gn.Gamma.Grad.Data()[ch] += dGamma
-		gn.Beta.Grad.Data()[ch] += dBeta
-	}
+	})
 
-	// Input gradient, per (sample, group).
-	for b := 0; b < n; b++ {
-		for g := 0; g < gn.Groups; g++ {
-			invStd := 1 / math.Sqrt(gn.groupVar[b*gn.Groups+g]+gn.Eps)
+	// Input gradient, per (sample, group) — pairs are independent.
+	parallel.For(n*gn.Groups, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			b, g := p/gn.Groups, p%gn.Groups
+			invStd := 1 / math.Sqrt(gn.groupVar[p]+gn.Eps)
 			var sumDy, sumDyXhat float64
 			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
 				off := ((b * c) + ch) * area
-				gamma := gn.Gamma.Value.Data()[ch]
-				for i := 0; i < area; i++ {
-					dy := gradOut.Data()[off+i] * gamma
+				gamma := gam[ch]
+				for i := off; i < off+area; i++ {
+					dy := gd[i] * gamma
 					sumDy += dy
-					sumDyXhat += dy * gn.xhat.Data()[off+i]
+					sumDyXhat += dy * xhd[i]
 				}
 			}
 			for ch := g * chPerGroup; ch < (g+1)*chPerGroup; ch++ {
 				off := ((b * c) + ch) * area
-				gamma := gn.Gamma.Value.Data()[ch]
-				for i := 0; i < area; i++ {
-					dy := gradOut.Data()[off+i] * gamma
-					xh := gn.xhat.Data()[off+i]
-					gradIn.Data()[off+i] = invStd / groupSize * (groupSize*dy - sumDy - xh*sumDyXhat)
+				gamma := gam[ch]
+				for i := off; i < off+area; i++ {
+					dy := gd[i] * gamma
+					gid[i] = invStd / groupSize * (groupSize*dy - sumDy - xhd[i]*sumDyXhat)
 				}
 			}
 		}
-	}
+	})
 	return gradIn
 }
 

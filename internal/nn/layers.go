@@ -4,8 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/tensor"
 )
+
+// elemGrain is the minimum number of scalar operations a parallel chunk of
+// an element-wise kernel should carry; smaller tensors run serially.
+const elemGrain = 8192
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
@@ -27,14 +32,16 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	r.mask = r.mask[:x.Size()]
 	d := out.Data()
-	for i, v := range d {
-		if v > 0 {
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
-			d[i] = 0
+	parallel.For(len(d), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d[i] > 0 {
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+				d[i] = 0
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -45,11 +52,13 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	gradIn := gradOut.Clone()
 	d := gradIn.Data()
-	for i := range d {
-		if !r.mask[i] {
-			d[i] = 0
+	parallel.For(len(d), elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !r.mask[i] {
+				d[i] = 0
+			}
 		}
-	}
+	})
 	return gradIn
 }
 
@@ -79,7 +88,7 @@ func (f *Flatten) Name() string { return f.name }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	f.inShape = x.Shape()
+	f.inShape = x.AppendShape(f.inShape)
 	n := x.Dim(0)
 	return x.Clone().Reshape(n, -1)
 }
@@ -114,6 +123,7 @@ type Linear struct {
 	W, B    *Param
 	hasBias bool
 	lastIn  *tensor.Tensor
+	dwBuf   *tensor.Tensor // reusable weight-gradient workspace
 }
 
 // NewLinear creates a fully connected layer with Kaiming-initialised weights.
@@ -135,13 +145,15 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: Linear %s expects %d features, got %d", l.name, l.In, x.Dim(1)))
 	}
-	l.lastIn = x.Clone()
-	out := tensor.MatMul(x, tensor.Transpose(l.W.Value)) // (N, out)
+	l.lastIn = x
+	out := tensor.MatMulNT(x, l.W.Value) // (N, out), transpose-free
 	if l.hasBias {
 		n := out.Dim(0)
+		od, bd := out.Data(), l.B.Value.Data()
 		for i := 0; i < n; i++ {
-			for j := 0; j < l.Out; j++ {
-				out.Set(out.At(i, j)+l.B.Value.At(j), i, j)
+			row := od[i*l.Out : (i+1)*l.Out]
+			for j := range row {
+				row[j] += bd[j]
 			}
 		}
 	}
@@ -154,16 +166,17 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Linear.Backward called before Forward")
 	}
 	// dW += gradOut^T x ; dB += column sums of gradOut ; dX = gradOut W
-	dW := tensor.MatMul(tensor.Transpose(gradOut), l.lastIn)
-	l.W.Grad.AddInPlace(dW)
+	l.dwBuf = tensor.EnsureLike(l.dwBuf, l.W.Value)
+	tensor.MatMulTNInto(l.dwBuf, gradOut, l.lastIn)
+	l.W.Grad.AddInPlace(l.dwBuf)
 	if l.hasBias {
 		n := gradOut.Dim(0)
-		for j := 0; j < l.Out; j++ {
-			s := 0.0
-			for i := 0; i < n; i++ {
-				s += gradOut.At(i, j)
+		gd, bg := gradOut.Data(), l.B.Grad.Data()
+		for i := 0; i < n; i++ {
+			row := gd[i*l.Out : (i+1)*l.Out]
+			for j := range row {
+				bg[j] += row[j]
 			}
-			l.B.Grad.Set(l.B.Grad.At(j)+s, j)
 		}
 	}
 	return tensor.MatMul(gradOut, l.W.Value)

@@ -3,11 +3,13 @@
 // ReLU, pooling, linear layers and residual blocks, each with a true
 // forward and backward pass and per-layer parameter/activation accounting.
 //
-// The layers are deliberately simple (single-threaded, float64) — the paper's
-// evaluation is about memory footprints and recompute schedules, and the
-// layers here exist so that the checkpointed-backpropagation engine in
-// internal/chain can be validated against real gradients rather than a
-// purely analytical model.
+// The layers run on the parallel, allocation-free kernel engine in
+// internal/tensor: GEMMs are cache-blocked and transpose-free, convolutions
+// draw pooled im2col scratch, and per-channel/per-sample reductions are
+// parallelized via internal/parallel with bit-identical results at any
+// worker count. Layers retain a *reference* to their forward input until
+// Backward runs (the borrow contract below), so the hot training loop pays
+// no defensive copies.
 package nn
 
 import (
@@ -39,6 +41,14 @@ func (p *Param) Count() int { return p.Value.Size() }
 // Layer is a differentiable module. Forward stores whatever it needs to run
 // Backward; calling Forward again overwrites that cache, which is exactly the
 // behaviour the checkpointed executor relies on when it recomputes a segment.
+//
+// Borrow contract: a layer may retain a reference to its Forward input (not
+// a copy) until the matching Backward call, and callers must not mutate the
+// input in that window. Conversely, every layer returns a freshly allocated
+// output tensor from Forward — never an internal buffer — so the
+// checkpointed executor can snapshot stage outputs by reference and replay
+// forwards without corrupting retained states. Layers never mutate their
+// inputs or upstream gradients.
 type Layer interface {
 	// Name returns a short human-readable identifier.
 	Name() string

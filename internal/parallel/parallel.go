@@ -1,0 +1,122 @@
+// Package parallel provides the deterministic fork-join range partitioner
+// that underlies the compute kernels in internal/tensor and internal/nn.
+//
+// The central design constraint is bit-identical results at any worker
+// count: chunk boundaries are a pure function of the range length and the
+// grain, never of the number of workers. Workers only pick up pre-cut
+// chunks, so any reduction that (a) computes per-chunk partials and
+// (b) folds them in chunk order produces exactly the same floating-point
+// rounding as a serial run. Kernels that write disjoint output ranges are
+// deterministic for free.
+//
+// The worker count defaults to GOMAXPROCS and can be pinned with the
+// EDGETRAIN_WORKERS environment variable (read once at start-up) or
+// programmatically with SetWorkers. A worker count of 1, or a range small
+// enough to fit one chunk, runs inline with no goroutines at all, so small
+// tensors never pay dispatch overhead.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var workerCount atomic.Int64
+
+func init() { workerCount.Store(int64(defaultWorkers())) }
+
+func defaultWorkers() int {
+	if s := os.Getenv("EDGETRAIN_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers returns the current worker count used by For and ForChunks.
+func Workers() int { return int(workerCount.Load()) }
+
+// SetWorkers overrides the worker count and returns the previous value.
+// Passing n <= 0 restores the default (EDGETRAIN_WORKERS or GOMAXPROCS).
+// It is primarily a testing and tuning knob; results are identical at any
+// setting, only wall-clock changes.
+func SetWorkers(n int) int {
+	prev := Workers()
+	if n <= 0 {
+		n = defaultWorkers()
+	}
+	workerCount.Store(int64(n))
+	return prev
+}
+
+// Chunks returns the number of fixed-size chunks that ForChunks will cut
+// [0, n) into for the given grain. It depends only on n and grain, so
+// callers can pre-size per-chunk partial-result buffers.
+func Chunks(n, grain int) int {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// ForChunks partitions [0, n) into ceil(n/grain) contiguous chunks of
+// exactly grain indices (the last chunk may be shorter) and invokes
+// fn(chunk, lo, hi) once per chunk, possibly concurrently. The chunk index
+// is stable across worker counts, which is what makes ordered reductions
+// over per-chunk partials bit-reproducible.
+//
+// fn must be safe to call concurrently from multiple goroutines; chunks are
+// disjoint, so writes to per-chunk or per-index state need no locking.
+func ForChunks(n, grain int, fn func(chunk, lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	nc := Chunks(n, grain)
+	if nc == 0 {
+		return
+	}
+	w := Workers()
+	if w > nc {
+		w = nc
+	}
+	if w <= 1 {
+		for c := 0; c < nc; c++ {
+			lo := c * grain
+			hi := min(lo+grain, n)
+			fn(c, lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nc {
+					return
+				}
+				lo := c * grain
+				hi := min(lo+grain, n)
+				fn(c, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For partitions [0, n) like ForChunks and invokes fn(lo, hi) for each
+// chunk. Use it for kernels whose chunks write disjoint output ranges; use
+// ForChunks when a reduction needs the stable chunk index.
+func For(n, grain int, fn func(lo, hi int)) {
+	ForChunks(n, grain, func(_, lo, hi int) { fn(lo, hi) })
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunks(t *testing.T) {
+	cases := []struct{ n, grain, want int }{
+		{0, 4, 0},
+		{-3, 4, 0},
+		{1, 4, 1},
+		{4, 4, 1},
+		{5, 4, 2},
+		{8, 4, 2},
+		{9, 4, 3},
+		{7, 0, 7}, // grain clamps to 1
+	}
+	for _, c := range cases {
+		if got := Chunks(c.n, c.grain); got != c.want {
+			t.Errorf("Chunks(%d, %d) = %d, want %d", c.n, c.grain, got, c.want)
+		}
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		prev := SetWorkers(workers)
+		const n = 1003
+		var hits [n]atomic.Int32
+		For(n, 16, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d, %d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestForChunksBoundariesIndependentOfWorkers(t *testing.T) {
+	collect := func(workers int) map[int][2]int {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		out := make(map[int][2]int)
+		ch := make(chan [3]int, 64)
+		ForChunks(101, 8, func(chunk, lo, hi int) { ch <- [3]int{chunk, lo, hi} })
+		close(ch)
+		for c := range ch {
+			out[c[0]] = [2]int{c[1], c[2]}
+		}
+		return out
+	}
+	serial := collect(1)
+	parallelised := collect(6)
+	if len(serial) != len(parallelised) {
+		t.Fatalf("chunk count differs: %d vs %d", len(serial), len(parallelised))
+	}
+	for c, b := range serial {
+		if parallelised[c] != b {
+			t.Errorf("chunk %d boundaries differ: %v vs %v", c, b, parallelised[c])
+		}
+	}
+}
+
+func TestOrderedReductionIsBitIdentical(t *testing.T) {
+	// The canonical deterministic-reduction pattern: per-chunk partials
+	// folded in chunk order must match at every worker count.
+	const n = 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+1)
+	}
+	sum := func(workers int) float64 {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		parts := make([]float64, Chunks(n, 64))
+		ForChunks(n, 64, func(chunk, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			parts[chunk] = s
+		})
+		total := 0.0
+		for _, p := range parts {
+			total += p
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); got != ref {
+			t.Errorf("workers=%d: sum %v differs from serial %v", w, got, ref)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(5)
+	if Workers() != 5 {
+		t.Fatalf("SetWorkers(5) not applied, got %d", Workers())
+	}
+	SetWorkers(0) // restore default
+	if Workers() < 1 {
+		t.Fatalf("default worker count must be >= 1, got %d", Workers())
+	}
+	SetWorkers(prev)
+}

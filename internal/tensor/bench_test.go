@@ -1,0 +1,130 @@
+package tensor
+
+import "testing"
+
+// Kernel microbenchmarks for the compute engine. Run with -benchmem: the
+// Into variants must report ~0 allocs/op at steady state, and BENCH_baseline.json
+// at the repo root tracks the numbers across PRs.
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 128, 128)
+	c := RandNormal(rng, 0, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 128, 128)
+	c := RandNormal(rng, 0, 1, 128, 128)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, c)
+	}
+}
+
+func BenchmarkMatMulNaive(b *testing.B) {
+	// The pre-engine baseline: single-threaded ijk loop with the old
+	// data-dependent zero skip, kept here so the blocked kernel's win stays
+	// measurable release over release.
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 128, 128)
+	c := RandNormal(rng, 0, 1, 128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		m, k, n := 128, 128, 128
+		out := New(m, n)
+		for i := 0; i < m; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			orow := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := c.data[p*n : (p+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatMulTN(b *testing.B) {
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 128, 128)
+	c := RandNormal(rng, 0, 1, 128, 128)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTNInto(dst, a, c)
+	}
+}
+
+func BenchmarkMatMulNT(b *testing.B) {
+	rng := NewRNG(1)
+	a := RandNormal(rng, 0, 1, 128, 128)
+	c := RandNormal(rng, 0, 1, 128, 128)
+	dst := New(128, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulNTInto(dst, a, c)
+	}
+}
+
+func benchConvSetup(batch int) (input, weight, bias *Tensor) {
+	rng := NewRNG(2)
+	input = RandNormal(rng, 0, 1, batch, 8, 32, 32)
+	weight = RandNormal(rng, 0, 0.5, 16, 8, 3, 3)
+	bias = RandNormal(rng, 0, 0.5, 16)
+	return
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	input, weight, bias := benchConvSetup(4)
+	out := New(4, 16, 32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInto(out, input, weight, bias, 1, 1)
+	}
+}
+
+func BenchmarkConv2DForwardBatch1(b *testing.B) {
+	input, weight, bias := benchConvSetup(1)
+	out := New(1, 16, 32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DInto(out, input, weight, bias, 1, 1)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	input, weight, _ := benchConvSetup(4)
+	gradOut := Conv2D(input, weight, nil, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DBackward(input, weight, false, gradOut, 1, 1)
+	}
+}
+
+func BenchmarkMaxPool2D(b *testing.B) {
+	input, _, _ := benchConvSetup(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxPool2D(input, 2, 2)
+	}
+}

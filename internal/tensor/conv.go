@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/parallel"
+)
 
 // ConvGeom describes the geometry of a 2-D convolution or pooling operation on
 // NCHW tensors.
@@ -118,6 +122,20 @@ func (g ConvGeom) Col2Im(col []float64, img []float64) {
 // weights (OutC, InC, KH, KW) and optional bias (OutC). It returns the output
 // tensor of shape (N, OutC, OutH, OutW). It is implemented with im2col + GEMM.
 func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
+	n := input.shape[0]
+	inC, inH, inW := input.shape[1], input.shape[2], input.shape[3]
+	outC, kH, kW := weight.shape[0], weight.shape[2], weight.shape[3]
+	g := NewConvGeom(inC, inH, inW, outC, kH, kW, stride, pad)
+	return Conv2DInto(New(g.OutputShape(n)...), input, weight, bias, stride, pad)
+}
+
+// Conv2DInto is the allocation-free form of Conv2D: the caller provides the
+// (N, OutC, OutH, OutW) output tensor, which is overwritten and returned.
+// Batches with more than one image are parallelized across the batch with
+// one pooled im2col workspace per worker; a single image parallelizes the
+// GEMM itself over output-channel panels. Both paths compute every output
+// element identically, so results do not depend on the worker count.
+func Conv2DInto(out, input, weight, bias *Tensor, stride, pad int) *Tensor {
 	if input.Rank() != 4 || weight.Rank() != 4 {
 		panic("tensor: Conv2D requires rank-4 input and weight")
 	}
@@ -127,34 +145,69 @@ func Conv2D(input, weight, bias *Tensor, stride, pad int) *Tensor {
 		panic(fmt.Sprintf("%v: Conv2D input channels %d vs weight channels %d", ErrShapeMismatch, inC, wInC))
 	}
 	g := NewConvGeom(inC, inH, inW, outC, kH, kW, stride, pad)
-	out := New(g.OutputShape(n)...)
-	col := make([]float64, g.ColRows*g.ColsN)
-	wMat := weight.Reshape(outC, g.ColRows)
+	if out.Rank() != 4 || out.shape[0] != n || out.shape[1] != outC || out.shape[2] != g.OutH || out.shape[3] != g.OutW {
+		panic(fmt.Sprintf("tensor: Conv2DInto output shape %v, want %v", out.shape, g.OutputShape(n)))
+	}
+	wd := weight.data // (OutC, ColRows) row-major, same layout as the 4-D weight
+	var bd []float64
+	if bias != nil {
+		bd = bias.data
+	}
 	imgLen := inC * inH * inW
-	outLen := outC * g.OutH * g.OutW
-	for b := 0; b < n; b++ {
-		img := input.data[b*imgLen : (b+1)*imgLen]
-		g.Im2Col(img, col)
-		colT := FromSlice(col, g.ColRows, g.ColsN)
-		res := MatMul(wMat, colT) // (outC, OutH*OutW)
-		dst := out.data[b*outLen : (b+1)*outLen]
-		copy(dst, res.data)
-		if bias != nil {
-			for c := 0; c < outC; c++ {
-				bv := bias.data[c]
-				seg := dst[c*g.ColsN : (c+1)*g.ColsN]
-				for i := range seg {
-					seg[i] += bv
-				}
+	outLen := outC * g.ColsN
+	colLen := g.ColRows * g.ColsN
+
+	if n == 1 {
+		colp := getScratch(colLen)
+		col := *colp
+		g.Im2Col(input.data[:imgLen], col)
+		dst := out.data[:outLen]
+		parallel.For(outC, gemmRowGrain(g.ColRows, g.ColsN), func(lo, hi int) {
+			gemmNN(dst, wd, col, g.ColRows, g.ColsN, lo, hi)
+			if bd != nil {
+				addBiasRows(dst, bd, g.ColsN, lo, hi)
+			}
+		})
+		putScratch(colp)
+		return out
+	}
+	parallel.ForChunks(n, 1, func(_, lo, hi int) {
+		colp := getScratch(colLen)
+		col := *colp
+		for b := lo; b < hi; b++ {
+			img := input.data[b*imgLen : (b+1)*imgLen]
+			dst := out.data[b*outLen : (b+1)*outLen]
+			g.Im2Col(img, col)
+			gemmNN(dst, wd, col, g.ColRows, g.ColsN, 0, outC)
+			if bd != nil {
+				addBiasRows(dst, bd, g.ColsN, 0, outC)
 			}
 		}
-	}
+		putScratch(colp)
+	})
 	return out
+}
+
+// addBiasRows adds bias[c] to rows [lo,hi) of a (rows, cols) matrix.
+func addBiasRows(dst, bias []float64, cols, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		bv := bias[c]
+		seg := dst[c*cols : (c+1)*cols]
+		for i := range seg {
+			seg[i] += bv
+		}
+	}
 }
 
 // Conv2DBackward computes gradients of a Conv2D operation. Given the input,
 // weight and upstream gradient gradOut (N, OutC, OutH, OutW), it returns
 // (gradInput, gradWeight, gradBias). gradBias is nil if bias was nil.
+//
+// The batch is processed in parallel with pooled per-worker scratch; the
+// weight gradient is accumulated as per-image partials folded in batch
+// order, so the result is bit-identical at any worker count. Both GEMMs run
+// transpose-free (NT for the weight gradient, TN for the column gradient) —
+// no Transpose temporaries are materialized.
 func Conv2DBackward(input, weight *Tensor, hasBias bool, gradOut *Tensor, stride, pad int) (gradInput, gradWeight, gradBias *Tensor) {
 	n, inC, inH, inW := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	outC, _, kH, kW := weight.shape[0], weight.shape[1], weight.shape[2], weight.shape[3]
@@ -165,41 +218,70 @@ func Conv2DBackward(input, weight *Tensor, hasBias bool, gradOut *Tensor, stride
 	if hasBias {
 		gradBias = New(outC)
 	}
-
-	wMat := weight.Reshape(outC, g.ColRows)
-	wMatT := Transpose(wMat) // (ColRows, outC)
-	col := make([]float64, g.ColRows*g.ColsN)
+	wd := weight.data
+	gwd := gradWeight.data
 	imgLen := inC * inH * inW
-	outLen := outC * g.OutH * g.OutW
-	gwMat := gradWeight.Reshape(outC, g.ColRows)
+	outLen := outC * g.ColsN
+	colLen := g.ColRows * g.ColsN
+	wLen := outC * g.ColRows
 
-	for b := 0; b < n; b++ {
-		img := input.data[b*imgLen : (b+1)*imgLen]
-		gOut := gradOut.data[b*outLen : (b+1)*outLen]
-		gOutMat := FromSlice(gOut, outC, g.ColsN)
+	if n == 1 {
+		colp := getScratch(colLen)
+		dcolp := getScratch(colLen)
+		col, dcol := *colp, *dcolp
+		gOut := gradOut.data[:outLen]
+		g.Im2Col(input.data[:imgLen], col)
+		// dW = gOut (outC, ColsN) x colᵀ; gradWeight starts zeroed.
+		parallel.For(outC, gemmRowGrain(g.ColsN, g.ColRows), func(lo, hi int) {
+			gemmNTAcc(gwd, gOut, col, g.ColsN, g.ColRows, lo, hi)
+		})
+		// dcol = wᵀ (ColRows, outC) x gOut, then scatter back to the image.
+		parallel.For(g.ColRows, gemmRowGrain(outC, g.ColsN), func(lo, hi int) {
+			gemmTN(dcol, wd, gOut, outC, g.ColRows, g.ColsN, lo, hi)
+		})
+		g.Col2Im(dcol, gradInput.data[:imgLen])
+		putScratch(colp)
+		putScratch(dcolp)
+	} else {
+		// One chunk per image: chunk boundaries (and therefore the partial
+		// weight-gradient association order) never depend on worker count.
+		partials := make([]*[]float64, parallel.Chunks(n, 1))
+		parallel.ForChunks(n, 1, func(chunk, lo, hi int) {
+			colp := getScratch(colLen)
+			dcolp := getScratch(colLen)
+			dwp := getScratch(wLen)
+			col, dcol, dw := *colp, *dcolp, *dwp
+			zeroFloats(dw)
+			for b := lo; b < hi; b++ {
+				img := input.data[b*imgLen : (b+1)*imgLen]
+				gOut := gradOut.data[b*outLen : (b+1)*outLen]
+				g.Im2Col(img, col)
+				gemmNTAcc(dw, gOut, col, g.ColsN, g.ColRows, 0, outC)
+				gemmTN(dcol, wd, gOut, outC, g.ColRows, g.ColsN, 0, g.ColRows)
+				g.Col2Im(dcol, gradInput.data[b*imgLen:(b+1)*imgLen])
+			}
+			partials[chunk] = dwp
+			putScratch(colp)
+			putScratch(dcolp)
+		})
+		for _, p := range partials {
+			axpy(gwd, (*p)[:wLen], 1)
+			putScratch(p)
+		}
+	}
 
-		// Weight gradient: dW += gOut (outC, cols) x col^T (cols, ColRows)
-		g.Im2Col(img, col)
-		colT := FromSlice(col, g.ColRows, g.ColsN)
-		dW := MatMul(gOutMat, Transpose(colT))
-		gwMat.AddInPlace(dW)
-
-		// Bias gradient: sum over spatial positions.
-		if hasBias {
+	if hasBias {
+		gbd := gradBias.data
+		for b := 0; b < n; b++ {
+			gOut := gradOut.data[b*outLen : (b+1)*outLen]
 			for c := 0; c < outC; c++ {
 				s := 0.0
-				seg := gOut[c*g.ColsN : (c+1)*g.ColsN]
-				for _, v := range seg {
+				for _, v := range gOut[c*g.ColsN : (c+1)*g.ColsN] {
 					s += v
 				}
-				gradBias.data[c] += s
+				gbd[c] += s
 			}
 		}
-
-		// Input gradient: col grad = W^T x gOut, then col2im.
-		dCol := MatMul(wMatT, gOutMat) // (ColRows, ColsN)
-		gImg := gradInput.data[b*imgLen : (b+1)*imgLen]
-		g.Col2Im(dCol.data, gImg)
 	}
 	return gradInput, gradWeight, gradBias
 }
@@ -213,9 +295,12 @@ func MaxPool2D(input *Tensor, k, stride int) (*Tensor, []int) {
 	out := New(n, c, outH, outW)
 	arg := make([]int, n*c*outH*outW)
 	imgLen := c * h * w
-	for b := 0; b < n; b++ {
-		img := input.data[b*imgLen : (b+1)*imgLen]
-		for ch := 0; ch < c; ch++ {
+	// Each (image, channel) plane is independent; parallelize over the
+	// flattened plane index with a grain that keeps chunks coarse.
+	parallel.For(n*c, poolGrain(outH*outW*k*k), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			b, ch := p/c, p%c
+			img := input.data[b*imgLen : (b+1)*imgLen]
 			chOff := ch * h * w
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
@@ -231,14 +316,27 @@ func MaxPool2D(input *Tensor, k, stride int) (*Tensor, []int) {
 							}
 						}
 					}
-					oidx := ((b*c+ch)*outH+oh)*outW + ow
+					oidx := (p*outH+oh)*outW + ow
 					out.data[oidx] = bestV
 					arg[oidx] = best
 				}
 			}
 		}
-	}
+	})
 	return out, arg
+}
+
+// poolGrain converts a per-plane work estimate into a planes-per-chunk grain
+// targeting a few thousand operations per parallel chunk.
+func poolGrain(perPlane int) int {
+	if perPlane <= 0 {
+		return 1
+	}
+	g := 4096 / perPlane
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // MaxPool2DBackward scatters the upstream gradient back through a max-pool
@@ -248,13 +346,16 @@ func MaxPool2DBackward(inputShape []int, arg []int, gradOut *Tensor) *Tensor {
 	n := inputShape[0]
 	imgLen := inputShape[1] * inputShape[2] * inputShape[3]
 	perImage := len(arg) / n
-	for b := 0; b < n; b++ {
-		base := b * imgLen
-		for i := 0; i < perImage; i++ {
-			oidx := b*perImage + i
-			gradIn.data[base+arg[oidx]] += gradOut.data[oidx]
+	// The scatter targets lie within each image, so images are independent.
+	parallel.For(n, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			base := b * imgLen
+			for i := 0; i < perImage; i++ {
+				oidx := b*perImage + i
+				gradIn.data[base+arg[oidx]] += gradOut.data[oidx]
+			}
 		}
-	}
+	})
 	return gradIn
 }
 
@@ -263,16 +364,16 @@ func GlobalAvgPool2D(input *Tensor) *Tensor {
 	n, c, h, w := input.shape[0], input.shape[1], input.shape[2], input.shape[3]
 	out := New(n, c)
 	area := float64(h * w)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			off := ((b * c) + ch) * h * w
+	parallel.For(n*c, poolGrain(h*w), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			off := p * h * w
 			s := 0.0
-			for i := 0; i < h*w; i++ {
-				s += input.data[off+i]
+			for _, v := range input.data[off : off+h*w] {
+				s += v
 			}
-			out.data[b*c+ch] = s / area
+			out.data[p] = s / area
 		}
-	}
+	})
 	return out
 }
 
@@ -282,14 +383,14 @@ func GlobalAvgPool2DBackward(inputShape []int, gradOut *Tensor) *Tensor {
 	n, c, h, w := inputShape[0], inputShape[1], inputShape[2], inputShape[3]
 	gradIn := New(inputShape...)
 	area := float64(h * w)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			g := gradOut.data[b*c+ch] / area
-			off := ((b * c) + ch) * h * w
-			for i := 0; i < h*w; i++ {
-				gradIn.data[off+i] = g
+	parallel.For(n*c, poolGrain(h*w), func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			g := gradOut.data[p] / area
+			seg := gradIn.data[p*h*w : (p+1)*h*w]
+			for i := range seg {
+				seg[i] = g
 			}
 		}
-	}
+	})
 	return gradIn
 }

@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/parallel"
+)
+
+// Blocked GEMM kernels. All three storage orders the training loops need are
+// provided natively — NN (a·b), TN (aᵀ·b) and NT (a·bᵀ) — so callers never
+// materialize a Transpose temporary. Each kernel is parallelized over
+// contiguous row panels of the output; a given output element is produced by
+// exactly one chunk and its k-accumulation runs in ascending order, so
+// results are bit-identical to the naive triple loop at every worker count.
+const (
+	// gemmKC is the k-extent of a panel: a gemmKC-row slab of B is streamed
+	// repeatedly against each output row while it is still cache-resident.
+	gemmKC = 256
+	// gemmNC is the j-extent of a panel: output rows are updated in
+	// gemmNC-wide strips so the strip stays in L1 across the k-panel.
+	gemmNC = 1024
+	// gemmChunkFlops is the target number of multiply-adds per parallel
+	// chunk; the row grain is derived from it so small problems stay serial
+	// and large ones cut enough chunks to balance load.
+	gemmChunkFlops = 1 << 17
+)
+
+// gemmRowGrain returns the rows-per-chunk grain for an (m,k)x(k,n) product.
+// It is a pure function of the shape, which keeps chunk boundaries (and
+// therefore reductions layered on top) independent of the worker count.
+func gemmRowGrain(k, n int) int {
+	work := k * n
+	if work <= 0 {
+		return 1
+	}
+	g := gemmChunkFlops / work
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+func matmulCheckRank2(a, b *Tensor, op string) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s requires rank-2 tensors, got ranks %d and %d", op, a.Rank(), b.Rank()))
+	}
+}
+
+func matmulCheckDst(dst *Tensor, m, n int, op string) {
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want [%d %d]", op, dst.shape, m, n))
+	}
+}
+
+// MatMul multiplies two rank-2 tensors: (m,k) x (k,n) -> (m,n).
+func MatMul(a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMul")
+	return MatMulInto(New(a.shape[0], b.shape[1]), a, b)
+}
+
+// MatMulInto computes dst = a x b for rank-2 tensors a (m,k) and b (k,n)
+// into the caller-provided dst (m,n), overwriting it, and returns dst.
+// dst must not alias a or b. It allocates nothing.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMulInto")
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("%v: MatMul inner dimensions %d vs %d", ErrShapeMismatch, k, k2))
+	}
+	matmulCheckDst(dst, m, n, "MatMulInto")
+	parallel.For(m, gemmRowGrain(k, n), func(lo, hi int) {
+		gemmNN(dst.data, a.data, b.data, k, n, lo, hi)
+	})
+	return dst
+}
+
+// MatMulTN computes aᵀ x b for a (k,m) and b (k,n), returning a new (m,n)
+// tensor. It is the transpose-free replacement for MatMul(Transpose(a), b).
+func MatMulTN(a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMulTN")
+	return MatMulTNInto(New(a.shape[1], b.shape[1]), a, b)
+}
+
+// MatMulTNInto computes dst = aᵀ x b into the caller-provided dst (m,n),
+// overwriting it. dst must not alias a or b. It allocates nothing.
+func MatMulTNInto(dst, a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMulTNInto")
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("%v: MatMulTN inner dimensions %d vs %d", ErrShapeMismatch, k, k2))
+	}
+	matmulCheckDst(dst, m, n, "MatMulTNInto")
+	parallel.For(m, gemmRowGrain(k, n), func(lo, hi int) {
+		gemmTN(dst.data, a.data, b.data, k, m, n, lo, hi)
+	})
+	return dst
+}
+
+// MatMulNT computes a x bᵀ for a (m,k) and b (n,k), returning a new (m,n)
+// tensor. It is the transpose-free replacement for MatMul(a, Transpose(b)).
+func MatMulNT(a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMulNT")
+	return MatMulNTInto(New(a.shape[0], b.shape[0]), a, b)
+}
+
+// MatMulNTInto computes dst = a x bᵀ into the caller-provided dst (m,n),
+// overwriting it. dst must not alias a or b. It allocates nothing.
+func MatMulNTInto(dst, a, b *Tensor) *Tensor {
+	matmulCheckRank2(a, b, "MatMulNTInto")
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("%v: MatMulNT inner dimensions %d vs %d", ErrShapeMismatch, k, k2))
+	}
+	matmulCheckDst(dst, m, n, "MatMulNTInto")
+	parallel.For(m, gemmRowGrain(k, n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			zeroFloats(dst.data[i*n : (i+1)*n])
+		}
+		gemmNTAcc(dst.data, a.data, b.data, k, n, lo, hi)
+	})
+	return dst
+}
+
+// gemmNN computes rows [lo,hi) of dst = a x b with k/j cache blocking.
+// The accumulation order over k is ascending for every output element,
+// matching the naive triple loop bit for bit.
+func gemmNN(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		zeroFloats(dst[i*n : (i+1)*n])
+	}
+	for jc := 0; jc < n; jc += gemmNC {
+		je := min(jc+gemmNC, n)
+		for pc := 0; pc < k; pc += gemmKC {
+			pe := min(pc+gemmKC, k)
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := dst[i*n+jc : i*n+je]
+				for p := pc; p < pe; p++ {
+					axpy(orow, b[p*n+jc:p*n+je], arow[p])
+				}
+			}
+		}
+	}
+}
+
+// gemmTN computes rows [lo,hi) of dst = aᵀ x b, a stored (k,m).
+func gemmTN(dst, a, b []float64, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		zeroFloats(dst[i*n : (i+1)*n])
+	}
+	for jc := 0; jc < n; jc += gemmNC {
+		je := min(jc+gemmNC, n)
+		for pc := 0; pc < k; pc += gemmKC {
+			pe := min(pc+gemmKC, k)
+			for i := lo; i < hi; i++ {
+				orow := dst[i*n+jc : i*n+je]
+				for p := pc; p < pe; p++ {
+					axpy(orow, b[p*n+jc:p*n+je], a[p*m+i])
+				}
+			}
+		}
+	}
+}
+
+// gemmNTAcc accumulates rows [lo,hi) of dst += a x bᵀ, b stored (n,k).
+// Each output element is a single dot product accumulated in ascending k
+// order, so the result is bit-identical to the naive loop.
+func gemmNTAcc(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			orow[j] += dot(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// axpy computes dst[i] += alpha*src[i]; the slices must have equal length.
+// Unrolled by four with sequential adds, so the float rounding matches the
+// plain loop exactly.
+func axpy(dst, src []float64, alpha float64) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		dst[i] += alpha * src[i]
+		dst[i+1] += alpha * src[i+1]
+		dst[i+2] += alpha * src[i+2]
+		dst[i+3] += alpha * src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// dot returns the inner product of two equal-length slices, accumulated
+// strictly in ascending index order (single accumulator, sequential adds).
+func dot(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	s := 0.0
+	i := 0
+	for ; i+3 < n; i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/parallel"
+)
+
+// naiveMatMul is the reference triple loop the blocked kernels are pinned
+// against: ascending-k accumulation, no zero skipping, no blocking.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func randMat(rng *RNG, m, n int) *Tensor {
+	t := New(m, n)
+	for i := range t.data {
+		t.data[i] = rng.Normal(0, 1)
+	}
+	return t
+}
+
+// TestMatMulMatchesNaiveRandomShapes is the property test pinning the
+// blocked kernel (and its TN/NT siblings) to the naive reference over
+// randomized shapes, including sizes that straddle the blocking factors.
+func TestMatMulMatchesNaiveRandomShapes(t *testing.T) {
+	rng := NewRNG(42)
+	dims := []int{1, 2, 3, 5, 17, 64, 129, 300}
+	for trial := 0; trial < 40; trial++ {
+		m := dims[rng.Intn(len(dims))]
+		k := dims[rng.Intn(len(dims))]
+		n := dims[rng.Intn(len(dims))]
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		want := naiveMatMul(a, b)
+
+		if got := MatMul(a, b); MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("MatMul (%d,%d)x(%d,%d) differs from naive by %g", m, k, k, n, MaxAbsDiff(got, want))
+		}
+		// TN: build aT stored (k,m) such that aTᵀ == a.
+		aT := Transpose(a)
+		if got := MatMulTN(aT, b); MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("MatMulTN (%d,%d)ᵀx(%d,%d) differs from naive", k, m, k, n)
+		}
+		// NT: build bT stored (n,k) such that bTᵀ == b.
+		bT := Transpose(b)
+		if got := MatMulNT(a, bT); MaxAbsDiff(got, want) != 0 {
+			t.Fatalf("MatMulNT (%d,%d)x(%d,%d)ᵀ differs from naive", m, k, n, k)
+		}
+	}
+}
+
+// TestMatMulZeroHeavyInputs pins the behaviour that replaced the old
+// data-dependent `if av == 0 { continue }` fast path: results on zero-heavy
+// inputs must match the dense reference exactly, with no value-dependent
+// branches changing the arithmetic.
+func TestMatMulZeroHeavyInputs(t *testing.T) {
+	rng := NewRNG(7)
+	a := randMat(rng, 37, 53)
+	b := randMat(rng, 53, 29)
+	// Zero out ~80% of a and half the rows of b.
+	for i := range a.data {
+		if rng.Uint64()%5 != 0 {
+			a.data[i] = 0
+		}
+	}
+	for p := 0; p < 53; p += 2 {
+		for j := 0; j < 29; j++ {
+			b.data[p*29+j] = 0
+		}
+	}
+	want := naiveMatMul(a, b)
+	if got := MatMul(a, b); MaxAbsDiff(got, want) != 0 {
+		t.Fatalf("zero-heavy MatMul differs from naive by %g", MaxAbsDiff(got, want))
+	}
+	// An all-zero operand must produce an exactly zero result.
+	z := New(37, 53)
+	got := MatMul(z, b)
+	for i, v := range got.data {
+		if v != 0 {
+			t.Fatalf("all-zero MatMul produced %g at %d", v, i)
+		}
+	}
+}
+
+func TestMatMulIntoVariantsWriteDst(t *testing.T) {
+	rng := NewRNG(9)
+	a := randMat(rng, 8, 12)
+	b := randMat(rng, 12, 5)
+	want := naiveMatMul(a, b)
+
+	// Stale destination contents must be fully overwritten by every variant.
+	dst := Full(999, 8, 5)
+	MatMulInto(dst, a, b)
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatal("MatMulInto did not overwrite stale destination contents")
+	}
+	dst.Fill(999)
+	MatMulTNInto(dst, Transpose(a), b) // Transpose(a) is (12,8) stored TN
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatal("MatMulTNInto did not overwrite stale destination contents")
+	}
+	dst.Fill(999)
+	MatMulNTInto(dst, a, Transpose(b)) // Transpose(b) is (5,12) stored NT
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatal("MatMulNTInto did not overwrite stale destination contents")
+	}
+}
+
+// TestKernelsBitIdenticalAcrossWorkerCounts asserts the headline determinism
+// guarantee: every kernel produces byte-for-byte identical results whether
+// it runs serially or with many workers.
+func TestKernelsBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	rng := NewRNG(11)
+	a := randMat(rng, 67, 130)
+	b := randMat(rng, 130, 41)
+	input := RandNormal(rng, 0, 1, 3, 4, 11, 11)
+	weight := RandNormal(rng, 0, 0.5, 6, 4, 3, 3)
+	bias := RandNormal(rng, 0, 0.5, 6)
+	single := RandNormal(rng, 0, 1, 1, 4, 11, 11)
+
+	type result struct {
+		mm, conv, convN1, gi, gw, gb *Tensor
+		arg                          []int
+	}
+	run := func(workers int) result {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		out := Conv2D(input, weight, bias, 1, 1)
+		gi, gw, gb := Conv2DBackward(input, weight, true, out, 1, 1)
+		_, arg := MaxPool2D(input, 2, 2)
+		return result{
+			mm:     MatMul(a, b),
+			conv:   out,
+			convN1: Conv2D(single, weight, bias, 1, 1),
+			gi:     gi, gw: gw, gb: gb,
+			arg: arg,
+		}
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		for name, pair := range map[string][2]*Tensor{
+			"MatMul":            {ref.mm, got.mm},
+			"Conv2D":            {ref.conv, got.conv},
+			"Conv2D batch1":     {ref.convN1, got.convN1},
+			"Conv2DBackward gi": {ref.gi, got.gi},
+			"Conv2DBackward gw": {ref.gw, got.gw},
+			"Conv2DBackward gb": {ref.gb, got.gb},
+		} {
+			if d := MaxAbsDiff(pair[0], pair[1]); d != 0 {
+				t.Errorf("workers=%d: %s differs from serial by %g", w, name, d)
+			}
+		}
+		for i := range ref.arg {
+			if ref.arg[i] != got.arg[i] {
+				t.Errorf("workers=%d: MaxPool2D argmax differs at %d", w, i)
+				break
+			}
+		}
+	}
+}
+
+// TestConv2DIntoMatchesConv2D pins the allocation-free entry point to the
+// allocating wrapper.
+func TestConv2DIntoMatchesConv2D(t *testing.T) {
+	rng := NewRNG(13)
+	input := RandNormal(rng, 0, 1, 2, 3, 9, 9)
+	weight := RandNormal(rng, 0, 0.5, 5, 3, 3, 3)
+	want := Conv2D(input, weight, nil, 2, 1)
+	dst := want.NewLike()
+	dst.Fill(123)
+	Conv2DInto(dst, input, weight, nil, 2, 1)
+	if MaxAbsDiff(dst, want) != 0 {
+		t.Fatal("Conv2DInto differs from Conv2D")
+	}
+}

@@ -2,10 +2,14 @@
 // neural-network and checkpointing substrates of the Training-on-the-Edge
 // reproduction.
 //
-// Tensors are row-major, dense, float64 backed. The package favours
-// clarity and correctness over raw speed: the reproduction's evaluation is
-// about memory footprints and recompute counts, not about matching the
-// absolute throughput of a BLAS-backed framework.
+// Tensors are row-major, dense, float64 backed. The hot kernels (GEMM in
+// matmul.go, convolution and pooling in conv.go) are cache-blocked,
+// parallelized over disjoint output ranges via internal/parallel, and draw
+// their scratch workspaces from a sync.Pool arena (pool.go), so steady-state
+// training performs no per-call heap allocation inside the kernels. All
+// kernels are bit-identical at any worker count: parallel chunk boundaries
+// depend only on the problem shape, and every reduction folds per-chunk
+// partials in fixed chunk order.
 package tensor
 
 import (
@@ -102,8 +106,30 @@ func computeStrides(shape []int) []int {
 	return stride
 }
 
-// Shape returns a copy of the tensor's shape.
+// Shape returns a copy of the tensor's shape. The copy allocates; code on a
+// hot path should prefer Dim and Rank, or NewLike/EnsureLike when the shape
+// is only needed to size another tensor.
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// NewLike returns a zeroed tensor with the same shape as t, without copying
+// the shape slice out through Shape.
+func (t *Tensor) NewLike() *Tensor { return New(t.shape...) }
+
+// AppendShape appends t's shape to dst[:0] and returns the result. It is
+// the non-copying alternative to Shape for callers that keep a reusable
+// shape buffer (layer caches recording their input shape every forward).
+func (t *Tensor) AppendShape(dst []int) []int { return append(dst[:0], t.shape...) }
+
+// EnsureLike returns buf if it is non-nil and has the same shape as like,
+// and a fresh zeroed tensor of like's shape otherwise. It lets layers keep
+// a reusable cache buffer whose contents they fully overwrite each call;
+// a recycled buffer is returned as-is (stale values included).
+func EnsureLike(buf, like *Tensor) *Tensor {
+	if buf != nil && buf.SameShape(like) {
+		return buf
+	}
+	return like.NewLike()
+}
 
 // Rank returns the number of dimensions.
 func (t *Tensor) Rank() int { return len(t.shape) }
@@ -340,35 +366,6 @@ func Dot(t, o *Tensor) float64 {
 		s += t.data[i] * o.data[i]
 	}
 	return s
-}
-
-// MatMul multiplies two rank-2 tensors: (m,k) x (k,n) -> (m,n).
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got ranks %d and %d", a.Rank(), b.Rank()))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("%v: MatMul inner dimensions %d vs %d", ErrShapeMismatch, k, k2))
-	}
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := bd[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
