@@ -22,6 +22,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/vision"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
+	"github.com/edgeml/edgetrain/store"
 )
 
 // --- E1-E3: Tables I, II, III -------------------------------------------------
@@ -254,6 +255,48 @@ func BenchmarkCheckpointedBackpropSequential(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(res.PeakStates), "peak_states")
+}
+
+// BenchmarkTwoLevelStep measures the same training step under a two-level
+// schedule in both execution modes: "ram" keeps the flash-tier boundaries as
+// in-memory references (zero-copy, the pre-store baseline) and "spilled"
+// serializes them to disk through a tiered store, so the real cost of flash
+// spilling — serialization plus file I/O per boundary — is tracked from day
+// one. The spilled run reports the flash traffic and the resident-RAM
+// reduction it buys.
+func BenchmarkTwoLevelStep(b *testing.B) {
+	const ramSlots, diskSlots = 2, 3
+	run := func(b *testing.B, makeStore func() (store.Store, error)) {
+		c, x, lossGrad := buildBenchChain(1)
+		sched, err := plan.Build("twolevel", plan.ChainSpec{Length: c.Len()},
+			plan.WithSlots(ramSlots), plan.WithDiskSlots(diskSlots))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := makeStore()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		var res *chain.Result
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.ZeroGrads()
+			res, err = chain.ExecuteWithStore(c, x, lossGrad, sched, st, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.PeakStateBytes)/1e6, "resident_peak_MB")
+		b.ReportMetric(float64(res.DiskWrites), "flash_writes")
+		b.ReportMetric(float64(res.DiskReads), "flash_reads")
+	}
+	b.Run("ram", func(b *testing.B) {
+		run(b, func() (store.Store, error) { return store.NewRAM(), nil })
+	})
+	b.Run("spilled", func(b *testing.B) {
+		run(b, func() (store.Store, error) { return store.NewTiered(b.TempDir()) })
+	})
 }
 
 // --- Ablations ------------------------------------------------------------------

@@ -14,6 +14,9 @@
 //	edgetrainer -policy revolve -rho 1.8          # slot count chosen from a rho budget
 //	edgetrainer -policy sequential -segments 4    # PyTorch-style baseline
 //	edgetrainer -policy logspaced                 # logarithmic placement
+//	edgetrainer -policy auto -budget 2MB          # cheapest strategy fitting a RAM budget
+//	edgetrainer -policy auto -device waggle       # budget from the device's memory
+//	edgetrainer -policy twolevel -slots 2 -disk-slots 3 -store tiered   # real flash spilling
 package main
 
 import (
@@ -25,11 +28,14 @@ import (
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/resnet"
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
 	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/store"
 )
 
 func main() {
@@ -40,6 +46,10 @@ func main() {
 	segments := flag.Int("segments", 4, "segments for the sequential policy")
 	interval := flag.Int("interval", 0, "checkpoint period for the periodic policy")
 	diskSlots := flag.Int("disk-slots", 0, "flash checkpoints for the twolevel policy")
+	budget := flag.String("budget", "", "RAM byte budget for the auto policy, e.g. 2MB or 1500000")
+	deviceName := flag.String("device", "", "device whose memory defaults the budget: waggle or cloud")
+	storeKind := flag.String("store", "", "checkpoint store: ram, disk or tiered (default: tiered for tier-annotated policies, ram otherwise)")
+	spillDir := flag.String("spill-dir", "", "directory for spilled checkpoints (default: a temporary directory)")
 	epochs := flag.Int("epochs", 3, "training epochs")
 	batch := flag.Int("batch", 8, "batch size")
 	samples := flag.Int("samples", 160, "synthetic training samples")
@@ -66,6 +76,60 @@ func main() {
 
 	pol := chain.Policy{Kind: *policy, Slots: *slots, Segments: *segments, Interval: *interval,
 		DiskSlots: *diskSlots, Rho: *rho, Cost: checkpoint.DefaultCostModel}
+
+	// Budget-aware planning: an explicit -budget wins, otherwise -device
+	// donates its memory capacity.
+	if *budget != "" {
+		b, err := memmodel.ParseBytes(*budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.MemoryBudget = b
+	} else if *deviceName != "" {
+		d, err := device.ByName(*deviceName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.MemoryBudget = d.MemoryBytes
+	}
+
+	// Checkpoint store: tiered (real flash spilling) by default for the
+	// policies that annotate tiers, plain in-RAM references otherwise.
+	kind := *storeKind
+	if kind == "" {
+		if *policy == "twolevel" || *policy == "auto" {
+			kind = "tiered"
+		} else {
+			kind = "ram"
+		}
+	}
+	switch kind {
+	case "ram":
+		// An explicit -store ram pins the in-RAM reference store even for
+		// tier-annotated policies (chain.Step would otherwise spill their
+		// disk tiers through a temporary tiered store); the computed default
+		// leaves Store nil so plain policies keep the store-less fast path.
+		if *storeKind == "ram" {
+			pol.Store = store.NewRAM()
+		}
+	case "disk":
+		ds, err := store.NewDisk(*spillDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		pol.Store = ds
+	case "tiered":
+		ts, err := store.NewTiered(*spillDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close()
+		pol.Store = ts
+	default:
+		log.Fatalf("unknown -store %q (want ram, disk or tiered)", kind)
+	}
+
 	tr, err := trainer.New(c, trainer.Config{
 		Epochs:    *epochs,
 		BatchSize: *batch,
@@ -76,8 +140,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("edge student training: %d-stage %s, policy=%s, batch=%d, viewpoint=%.2f\n",
-		c.Len(), cfg.Variant, *policy, *batch, *viewpoint)
+	fmt.Printf("edge student training: %d-stage %s, policy=%s, store=%s, batch=%d, viewpoint=%.2f\n",
+		c.Len(), cfg.Variant, *policy, kind, *batch, *viewpoint)
+	if pol.MemoryBudget > 0 {
+		// MiB, matching the binary units -budget accepts, so the echoed
+		// number equals what the user typed.
+		fmt.Printf("memory budget: %.2f MiB\n", float64(pol.MemoryBudget)/(1<<20))
+		if *policy == "auto" {
+			x0 := dataset.Batch(0, *batch)
+			choice, err := plan.AutoSelect(plan.ChainSpec{
+				Length:          c.Len(),
+				WeightBytes:     2 * nn.ParamBytes(c.Stages),
+				ActivationBytes: x0.Images.Bytes(),
+			}, plan.WithMemoryBudget(pol.MemoryBudget))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(choice)
+		}
+	}
 	stats, err := tr.Train(dataset)
 	if err != nil {
 		log.Fatal(err)
@@ -88,6 +169,21 @@ func main() {
 		lastStats = st
 		fmt.Printf("epoch %d: loss=%.4f acc=%.1f%% forwards=%d backwards=%d peak-states=%d peak-bytes=%.1f MB\n",
 			st.Epoch, st.Loss, 100*st.Accuracy, st.ForwardEvals, st.BackwardEvals, st.PeakStates, float64(st.PeakBytes)/1e6)
+		if st.DiskWrites > 0 || st.DiskReads > 0 {
+			fmt.Printf("         spilled: peak-flash=%.1f MB writes=%d reads=%d\n",
+				float64(st.PeakDiskBytes)/1e6, st.DiskWrites, st.DiskReads)
+		}
+	}
+	if pol.MemoryBudget > 0 && lastStats.Steps > 0 {
+		// The budget covers the whole resident training state, so compare
+		// weights + retained states against it (the same accounting Step's
+		// auto planning uses).
+		weights := 2 * nn.ParamBytes(c.Stages)
+		resident := weights + lastStats.PeakBytes
+		const mib = 1 << 20
+		fmt.Printf("resident peak %.2f MiB (%.2f MiB weights + %.2f MiB states) vs budget %.2f MiB: fits=%v\n",
+			float64(resident)/mib, float64(weights)/mib, float64(lastStats.PeakBytes)/mib,
+			float64(pol.MemoryBudget)/mib, resident <= pol.MemoryBudget)
 	}
 
 	// Put the run into the context of the Waggle node.

@@ -14,6 +14,8 @@
 //	revolveplan -l 152 -sequential                # Section V formula sweep over segments
 //	revolveplan -l 152 -sweep                     # slots vs forwards/rho table
 //	revolveplan -list                             # the registered strategies
+//	revolveplan -l 152 -strategy auto -budget 64MB -state-bytes 4000000
+//	revolveplan -l 152 -strategy auto -device waggle -state-bytes 16MB
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"strings"
 
 	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/memmodel"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
 )
@@ -36,6 +40,10 @@ func main() {
 	interval := flag.Int("interval", 0, "checkpoint period for the periodic strategy")
 	rho := flag.Float64("rho", 0, "recompute-factor budget (selects minimal slots)")
 	backward := flag.Float64("backward-ratio", 2.0, "cost of a backward step relative to a forward step")
+	budget := flag.String("budget", "", "RAM byte budget for the auto strategy, e.g. 64MB")
+	deviceName := flag.String("device", "", "device whose memory defaults the budget: waggle or cloud")
+	stateBytes := flag.String("state-bytes", "", "size of one stored state for the auto strategy, e.g. 4MB")
+	weightBytes := flag.String("weight-bytes", "0", "resident weight state for the auto strategy, e.g. 100MB")
 	print := flag.Bool("print", false, "print the full schedule action listing")
 	sequential := flag.Bool("sequential", false, "sweep the checkpoint_sequential formula over segment counts")
 	sweep := flag.Bool("sweep", false, "print forwards and rho for every slot count")
@@ -43,6 +51,25 @@ func main() {
 	flag.Parse()
 
 	cost := checkpoint.CostModel{BackwardRatio: *backward}
+
+	parseBytes := func(s string) int64 {
+		if s == "" {
+			return 0
+		}
+		b, err := memmodel.ParseBytes(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b
+	}
+	budgetBytes := parseBytes(*budget)
+	if budgetBytes == 0 && *deviceName != "" {
+		d, err := device.ByName(*deviceName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		budgetBytes = d.MemoryBytes
+	}
 
 	switch {
 	case *list:
@@ -107,7 +134,22 @@ func main() {
 		if *rho > 0 {
 			opts = append(opts, plan.WithRho(*rho))
 		}
-		sched, tr, err := plan.Validate(*strategy, plan.ChainSpec{Length: *l}, opts...)
+		if budgetBytes > 0 {
+			opts = append(opts, plan.WithMemoryBudget(budgetBytes))
+		}
+		spec := plan.ChainSpec{
+			Length:          *l,
+			WeightBytes:     parseBytes(*weightBytes),
+			ActivationBytes: parseBytes(*stateBytes),
+		}
+		if *strategy == "auto" {
+			choice, err := plan.AutoSelect(spec, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(choice)
+		}
+		sched, tr, err := plan.Validate(*strategy, spec, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,6 +157,10 @@ func main() {
 		fmt.Printf("  forward executions: %d (revolve optimum for %d slots: %d)\n",
 			tr.Forwards, tr.PeakSlots, checkpoint.MinForwards(*l, tr.PeakSlots))
 		fmt.Printf("  peak slots used:    %d\n", tr.PeakSlots)
+		if tr.PeakDiskSlots > 0 {
+			fmt.Printf("  tier breakdown:     peak %d RAM + %d flash slots, %d flash writes, %d flash reads\n",
+				tr.PeakRAMSlots, tr.PeakDiskSlots, tr.DiskWrites, tr.DiskReads)
+		}
 		fmt.Printf("  restores:           %d\n", tr.Restores)
 		fmt.Printf("  max step reruns:    %d\n", tr.MaxStepExecutions)
 		fmt.Printf("  recompute factor:   %.3f\n", cost.Rho(*l, tr.Forwards))

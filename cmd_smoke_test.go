@@ -1,0 +1,67 @@
+package edgetrain
+
+// Build-and-run smoke tests for the command-line tools: every binary under
+// cmd/ must compile and execute a minimal invocation successfully, so flag
+// plumbing and output paths are exercised by `go test` instead of rotting
+// untested.
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles all cmd/ binaries into one temp dir and returns it.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(filepath.Separator), "./cmd/...")
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/... failed: %v\n%s", err, out)
+	}
+	return dir
+}
+
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the output must contain
+	}{
+		{"revolveplan-list", []string{"-list"}, "registered planning strategies"},
+		{"revolveplan-default", []string{"-l", "40", "-slots", "4"}, "revolve schedule"},
+		{"revolveplan-auto", []string{
+			"-l", "30", "-strategy", "auto", "-budget", "1MB",
+			"-state-bytes", "8KB", "-weight-bytes", "100KB", "-print",
+		}, "auto:"},
+		{"revolveplan-twolevel-tiers", []string{
+			"-l", "40", "-strategy", "twolevel", "-slots", "2", "-disk-slots", "3",
+		}, "tier breakdown"},
+		{"edgetrainer-auto-spill", []string{
+			"-policy", "auto", "-budget", "2MB", "-epochs", "1",
+			"-samples", "4", "-batch", "2",
+		}, "fits="},
+		{"memtable", []string{"-table", "1"}, "ResNet"},
+		{"figure1-fit", []string{"-fit"}, ""},
+		{"aotsim", []string{"-nodes", "3", "-days", "2"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			binary := strings.SplitN(tc.name, "-", 2)[0]
+			cmd := exec.Command(filepath.Join(bin, binary), tc.args...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v failed: %v\n%s", binary, tc.args, err, out)
+			}
+			if tc.want != "" && !strings.Contains(string(out), tc.want) {
+				t.Fatalf("%s %v output does not contain %q:\n%s", binary, tc.args, tc.want, out)
+			}
+		})
+	}
+}

@@ -61,8 +61,26 @@ var (
 	WithRho = plan.WithRho
 	// WithBackwardRatio sets the backward/forward cost ratio.
 	WithBackwardRatio = plan.WithBackwardRatio
+	// WithMemoryBudget sets the RAM byte budget for the "auto" strategy.
+	WithMemoryBudget = plan.WithMemoryBudget
+	// WithFlashCost sets the per-state flash write/read costs.
+	WithFlashCost = plan.WithFlashCost
+	// AutoSelect reports which strategy "auto" would pick for a budget.
+	AutoSelect = plan.AutoSelect
+)
+
+// AutoChoice describes the selection of the budget-aware "auto" strategy.
+type AutoChoice = plan.AutoChoice
+
+// Tier identifies the storage medium a checkpoint slot is written to.
+type Tier = schedule.Tier
+
+// The storage tiers; see schedule.Tier.
+const (
+	TierRAM  = schedule.TierRAM
+	TierDisk = schedule.TierDisk
 )
 
 // Version is the library version. The reproduction is tagged as a whole; the
 // individual internal packages do not carry separate versions.
-const Version = "2.0.0"
+const Version = "2.1.0"

@@ -9,11 +9,15 @@
 // every stage forward re-executed by an Advance action uses the blocked,
 // batch-parallel, pool-backed kernels, so recomputation proceeds at the same
 // throughput as the initial sweep with no per-recompute scratch allocation.
-// Snapshots store stage outputs by reference — safe because the nn.Layer
+//
+// Checkpoints live in a pluggable store (package store): the default RAM
+// store keeps stage outputs by reference — safe because the nn.Layer
 // contract guarantees Forward returns a fresh tensor, never a reused
-// internal buffer — and results are bit-identical at any worker count
-// (EDGETRAIN_WORKERS), so a checkpointed step reproduces plain
-// backpropagation exactly regardless of parallelism.
+// internal buffer — while a disk or tiered store serializes states through
+// the bit-exact raw tensor codec, so the flash tier of a two-level schedule
+// really spills. Results are bit-identical at any worker count
+// (EDGETRAIN_WORKERS) and across stores, so a checkpointed (and even
+// spilled) step reproduces plain backpropagation exactly.
 package chain
 
 import (
@@ -25,6 +29,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
+	"github.com/edgeml/edgetrain/store"
 )
 
 // Chain is a sequential network viewed as a list of checkpointable stages.
@@ -76,8 +81,20 @@ type Result struct {
 	// PeakStates is the maximum number of simultaneously retained states
 	// (checkpoints plus the chain input).
 	PeakStates int
-	// PeakStateBytes is the measured peak footprint of those retained states.
+	// PeakStateBytes is the measured peak RAM footprint of the execution's
+	// states: the chain input, the RAM-resident checkpoints, and the live
+	// working state when it is not one of those (the largest transient).
+	// States a tiered store spilled to disk do not count here.
 	PeakStateBytes int64
+
+	// PeakDiskBytes is the high-water mark of checkpoint bytes this
+	// execution held on disk (a per-step quantity even on a reused store);
+	// zero for a pure in-RAM execution.
+	PeakDiskBytes int64
+	// DiskWrites and DiskReads count checkpoint spills and restores
+	// performed by the store's disk tier.
+	DiskWrites int
+	DiskReads  int
 }
 
 // ErrNoLossGrad is returned when Execute is called without a loss-gradient
@@ -85,15 +102,31 @@ type Result struct {
 var ErrNoLossGrad = errors.New("chain: nil loss-gradient callback")
 
 // Execute runs one training step (forward + backward) of the chain on input x
-// following the given checkpointing schedule. Parameter gradients are
-// accumulated into the stages' Params; the caller applies the optimiser.
+// following the given checkpointing schedule, keeping every checkpoint as an
+// in-RAM tensor reference. Parameter gradients are accumulated into the
+// stages' Params; the caller applies the optimiser.
 //
 // The schedule is consumed as a stream, so lazily generated plans execute
 // identically to materialized ones. Its length must equal the chain length.
 // train selects the layers' training mode (batch statistics for batch norm).
 func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.Schedule, train bool) (*Result, error) {
+	return ExecuteWithStore(c, x, lossGrad, sched, store.NewRAM(), train)
+}
+
+// ExecuteWithStore runs one training step like Execute, but routes the
+// schedule's Snapshot/Restore/Free actions through the given checkpoint
+// store. With a tiered store, the disk-tier snapshots of a two-level plan
+// are serialized to flash and the reported PeakStateBytes counts only what
+// stayed resident in RAM; PeakDiskBytes and the I/O counters account for the
+// spilled tier. The store is left empty on success (a valid schedule frees
+// every slot) and is not closed, so one store can serve a whole training run
+// while its Stats accumulate.
+func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.Schedule, st store.Store, train bool) (*Result, error) {
 	if lossGrad == nil {
 		return nil, ErrNoLossGrad
+	}
+	if st == nil {
+		return nil, errors.New("chain: nil checkpoint store")
 	}
 	if sched.Length() != c.Len() {
 		return nil, fmt.Errorf("chain: schedule length %d does not match chain length %d", sched.Length(), c.Len())
@@ -102,26 +135,41 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.S
 	res := &Result{}
 
 	// Working state and checkpoint slots. State index i means x_i (the output
-	// of stage i); index 0 is the chain input.
+	// of stage i); index 0 is the chain input. The tensors themselves live in
+	// the store; the executor only tracks which state index occupies a slot.
 	current := x
 	currentIdx := 0
-	slots := make([]*tensor.Tensor, sched.Slots())
 	slotIdx := make([]int, sched.Slots())
 	for i := range slotIdx {
 		slotIdx[i] = -1
 	}
+	occupied := 0
+	startRAM := st.BytesResident() // pre-existing residency of a reused store
+	startStats := st.Stats()       // accounting baseline, so a reused store reports per-step deltas
 
-	trackPeak := func() {
-		states := 1 // the input is always retained
-		bytes := x.Bytes()
-		for i, t := range slots {
-			if slotIdx[i] != -1 && t != nil {
-				states++
-				bytes += t.Bytes()
+	// fail releases every slot this execution occupied before returning the
+	// error, so a reused store is not left poisoned ("slot already
+	// occupied") and spill files do not leak past the failed step.
+	fail := func(err error) (*Result, error) {
+		for slot, idx := range slotIdx {
+			if idx != -1 {
+				st.Free(slot) // best effort; the original error wins
 			}
 		}
-		if states > res.PeakStates {
+		return nil, err
+	}
+
+	// trackPeak measures the RAM actually retained right now: the chain
+	// input, the store's RAM-resident checkpoints, and the live working
+	// state unless it aliases one of those (the RAM store keeps references,
+	// so a just-snapshotted or just-restored state must not count twice).
+	trackPeak := func() {
+		if states := 1 + occupied; states > res.PeakStates {
 			res.PeakStates = states
+		}
+		bytes := x.Bytes() + st.BytesResident() - startRAM
+		if current != x && !st.Holds(current) {
+			bytes += current.Bytes()
 		}
 		if bytes > res.PeakStateBytes {
 			res.PeakStateBytes = bytes
@@ -144,35 +192,52 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.S
 				current = runForward(currentIdx+1, current)
 				currentIdx++
 				res.ForwardEvals++
+				trackPeak()
 			}
 		case schedule.ActionSnapshot:
-			if a.Slot < 0 || a.Slot >= len(slots) {
-				return nil, fmt.Errorf("chain: action %d: slot %d out of range", ai, a.Slot)
+			if a.Slot < 0 || a.Slot >= len(slotIdx) {
+				return fail(fmt.Errorf("chain: action %d: slot %d out of range", ai, a.Slot))
 			}
-			slots[a.Slot] = current
+			if err := st.Put(a.Slot, a.Tier, current); err != nil {
+				return fail(fmt.Errorf("chain: action %d: %w", ai, err))
+			}
 			slotIdx[a.Slot] = currentIdx
+			occupied++
+			// Disk residency only grows on Put, so sampling here captures
+			// this step's flash peak even on a reused store.
+			if d := st.Stats().DiskBytes - startStats.DiskBytes; d > res.PeakDiskBytes {
+				res.PeakDiskBytes = d
+			}
 			trackPeak()
 		case schedule.ActionRestore:
 			if a.Slot == schedule.InputSlot {
 				current, currentIdx = x, 0
 			} else {
-				if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
-					return nil, fmt.Errorf("chain: action %d: restore from empty slot %d", ai, a.Slot)
+				if a.Slot < 0 || a.Slot >= len(slotIdx) || slotIdx[a.Slot] == -1 {
+					return fail(fmt.Errorf("chain: action %d: restore from empty slot %d", ai, a.Slot))
 				}
-				current, currentIdx = slots[a.Slot], slotIdx[a.Slot]
+				t, err := st.Get(a.Slot)
+				if err != nil {
+					return fail(fmt.Errorf("chain: action %d: %w", ai, err))
+				}
+				current, currentIdx = t, slotIdx[a.Slot]
+				trackPeak()
 			}
 		case schedule.ActionFree:
-			if a.Slot < 0 || a.Slot >= len(slots) || slotIdx[a.Slot] == -1 {
-				return nil, fmt.Errorf("chain: action %d: freeing empty slot %d", ai, a.Slot)
+			if a.Slot < 0 || a.Slot >= len(slotIdx) || slotIdx[a.Slot] == -1 {
+				return fail(fmt.Errorf("chain: action %d: freeing empty slot %d", ai, a.Slot))
 			}
-			slots[a.Slot] = nil
+			if err := st.Free(a.Slot); err != nil {
+				return fail(fmt.Errorf("chain: action %d: %w", ai, err))
+			}
 			slotIdx[a.Slot] = -1
+			occupied--
 		case schedule.ActionBackprop:
 			if pending == 0 {
-				return nil, fmt.Errorf("chain: action %d: no adjoint steps left", ai)
+				return fail(fmt.Errorf("chain: action %d: no adjoint steps left", ai))
 			}
 			if currentIdx != pending-1 {
-				return nil, fmt.Errorf("chain: action %d: adjoint of stage %d needs state %d, have %d", ai, pending, pending-1, currentIdx)
+				return fail(fmt.Errorf("chain: action %d: adjoint of stage %d needs state %d, have %d", ai, pending, pending-1, currentIdx))
 			}
 			// The adjoint of a stage always re-runs its forward so the layer's
 			// internal cache corresponds to the correct input, then applies
@@ -183,20 +248,23 @@ func Execute(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched schedule.S
 				res.Output = out
 				upstream = lossGrad(out)
 				if upstream == nil {
-					return nil, fmt.Errorf("chain: loss-gradient callback returned nil")
+					return fail(fmt.Errorf("chain: loss-gradient callback returned nil"))
 				}
 			}
 			upstream = c.Stages[pending-1].Backward(upstream)
 			pending--
 		default:
-			return nil, fmt.Errorf("chain: action %d: unknown kind %d", ai, a.Kind)
+			return fail(fmt.Errorf("chain: action %d: unknown kind %d", ai, a.Kind))
 		}
 		ai++
 	}
 	if pending != 0 {
-		return nil, fmt.Errorf("chain: schedule left %d adjoint steps unexecuted", pending)
+		return fail(fmt.Errorf("chain: schedule left %d adjoint steps unexecuted", pending))
 	}
 	res.InputGrad = upstream
+	stats := st.Stats()
+	res.DiskWrites = stats.DiskWrites - startStats.DiskWrites
+	res.DiskReads = stats.DiskReads - startStats.DiskReads
 	return res, nil
 }
 
@@ -258,6 +326,24 @@ type Policy struct {
 	Rho float64
 	// Cost is the cost model used for the Rho-based selection.
 	Cost checkpoint.CostModel
+	// MemoryBudget, when positive, is the RAM byte budget handed to
+	// budget-aware strategies ("auto" selects and parametrizes the cheapest
+	// strategy whose peak resident footprint fits it).
+	MemoryBudget int64
+	// WeightBytes and ActivationBytes describe the chain's memory shape for
+	// budget-aware planning: the resident weight state (values plus
+	// gradients) and the size of one stored inter-stage state. Step defaults
+	// them from the network parameters and the input tensor when zero.
+	WeightBytes     int64
+	ActivationBytes int64
+	// Store, when non-nil, executes the schedule's Snapshot/Restore/Free
+	// actions through the given checkpoint store (e.g. store.NewTiered to
+	// spill into a chosen directory with stats accumulating across steps).
+	// When nil, Step keeps checkpoints as in-RAM tensor references — except
+	// for plans that annotate slots with the disk tier, which spill through
+	// a temporary tiered store so a budget-selected two-level plan never
+	// silently lands its flash tier in RAM.
+	Store store.Store
 }
 
 // strategyName normalises the policy kind to a registry name. Only the
@@ -295,18 +381,53 @@ func (p Policy) Plan(l int) (schedule.Schedule, error) {
 	if p.Cost.BackwardRatio > 0 {
 		opts = append(opts, plan.WithBackwardRatio(p.Cost.BackwardRatio))
 	}
-	return plan.Build(p.strategyName(), plan.ChainSpec{Length: l}, opts...)
+	if p.MemoryBudget > 0 {
+		opts = append(opts, plan.WithMemoryBudget(p.MemoryBudget))
+	}
+	spec := plan.ChainSpec{
+		Length:          l,
+		WeightBytes:     p.WeightBytes,
+		ActivationBytes: p.ActivationBytes,
+	}
+	return plan.Build(p.strategyName(), spec, opts...)
 }
 
 // Step plans a schedule for the chain according to the policy and executes
-// it. A store-all policy uses ExecutePlain.
+// it. A store-all policy without a store uses ExecutePlain; a policy with a
+// Store routes the checkpoints through it. For budget-aware strategies, the
+// chain's memory shape defaults to the live configuration: one stored state
+// is assumed to be the size of the input x (the homogeneous-chain
+// approximation), and the weight state to value+gradient of every parameter.
 func Step(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, p Policy, train bool) (*Result, error) {
-	if p.strategyName() == "storeall" {
+	if p.strategyName() == "storeall" && p.Store == nil {
 		return ExecutePlain(c, x, lossGrad, train)
+	}
+	if p.ActivationBytes == 0 {
+		p.ActivationBytes = x.Bytes()
+	}
+	if p.WeightBytes == 0 {
+		p.WeightBytes = 2 * nn.ParamBytes(c.Stages)
 	}
 	sched, err := p.Plan(c.Len())
 	if err != nil {
 		return nil, err
+	}
+	if p.Store != nil {
+		return ExecuteWithStore(c, x, lossGrad, sched, p.Store, train)
+	}
+	// A plan that assigns slots to the flash tier was chosen to keep those
+	// states out of RAM (the budget the auto strategy enforces assumes it),
+	// so executing it with the all-in-RAM reference store would silently
+	// violate the budget. Spill through a temporary tiered store instead;
+	// callers who want control over the spill directory or want the store's
+	// stats to accumulate across steps set Policy.Store.
+	if schedule.UsesTier(sched, schedule.TierDisk) {
+		ts, err := store.NewTiered("")
+		if err != nil {
+			return nil, err
+		}
+		defer ts.Close()
+		return ExecuteWithStore(c, x, lossGrad, sched, ts, train)
 	}
 	return Execute(c, x, lossGrad, sched, train)
 }

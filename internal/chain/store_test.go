@@ -1,0 +1,334 @@
+package chain
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/checkpoint"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
+	"github.com/edgeml/edgetrain/store"
+)
+
+// buildUniformChain makes an MLP whose every inter-stage state has exactly
+// the same byte size as the input, so peak-memory expectations are exact
+// multiples of one state.
+func buildUniformChain(seed uint64, l int) (*Chain, *tensor.Tensor) {
+	rng := tensor.NewRNG(seed)
+	var layers []nn.Layer
+	for i := 0; i < l; i++ {
+		layers = append(layers, nn.NewLinear(string(rune('a'+i)), 8, 8, true, rng))
+	}
+	return New(layers...), tensor.RandNormal(rng, 0, 1, 4, 8)
+}
+
+// TestPeakStateBytesCountsWorkingState pins the fix for the peak-memory
+// undercount: the live working state produced by an Advance is resident RAM
+// even though it sits in no checkpoint slot, so the peak of a revolve
+// execution is input + slots + working state — not input + slots.
+func TestPeakStateBytesCountsWorkingState(t *testing.T) {
+	const l, slots = 6, 2
+	c, x := buildUniformChain(29, l)
+	s := x.Bytes()
+	sched := buildSched(t, "revolve", l, plan.WithSlots(slots))
+	res, err := Execute(c, x, fixedLossGrad(5), sched, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(slots+2) * s // input + 2 checkpoints + the transient
+	if res.PeakStateBytes != want {
+		t.Fatalf("PeakStateBytes = %d (%.1f states), want %d (%d states): the working state must be counted",
+			res.PeakStateBytes, float64(res.PeakStateBytes)/float64(s), want, slots+2)
+	}
+	// The old accounting (checkpoints + input only) is strictly smaller.
+	if res.PeakStateBytes <= int64(slots+1)*s {
+		t.Fatal("peak accounting regressed to checkpoints-only")
+	}
+
+	// ExecutePlain already counted every state; unchanged.
+	cPlain, _ := buildUniformChain(29, l)
+	plain, err := ExecutePlain(cPlain, x, fixedLossGrad(5), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PeakStateBytes != int64(l+1)*s {
+		t.Fatalf("plain PeakStateBytes = %d, want %d", plain.PeakStateBytes, int64(l+1)*s)
+	}
+}
+
+// TestDiskStoreExecutionMatchesRAM runs the same revolve schedule through
+// the in-RAM reference store and the serialize-everything disk store: the
+// gradients must be bit-identical and the disk execution must retain only
+// the input and the working state in RAM.
+func TestDiskStoreExecutionMatchesRAM(t *testing.T) {
+	const l = 9
+	cRAM, x := buildUniformChain(31, l)
+	cDisk, _ := buildUniformChain(31, l)
+	loss := fixedLossGrad(17)
+	sched := buildSched(t, "revolve", l, plan.WithSlots(3))
+
+	ram, err := Execute(cRAM, x, loss, sched, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := store.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	disk, err := ExecuteWithStore(cDisk, x, loss, sched, ds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tensor.MaxAbsDiff(ram.Output, disk.Output) != 0 {
+		t.Fatal("disk-store output differs from RAM execution")
+	}
+	if tensor.MaxAbsDiff(ram.InputGrad, disk.InputGrad) != 0 {
+		t.Fatal("disk-store input gradient differs from RAM execution")
+	}
+	gr, gd := gradSnapshot(cRAM), gradSnapshot(cDisk)
+	for i := range gr {
+		if tensor.MaxAbsDiff(gr[i], gd[i]) != 0 {
+			t.Fatalf("disk-store parameter gradient %d differs", i)
+		}
+	}
+	if want := 2 * x.Bytes(); disk.PeakStateBytes != want {
+		t.Fatalf("disk execution PeakStateBytes = %d, want %d (input + working state only)", disk.PeakStateBytes, want)
+	}
+	if disk.DiskWrites == 0 || disk.DiskReads == 0 || disk.PeakDiskBytes == 0 {
+		t.Fatalf("disk execution reported no spill traffic: %+v", disk)
+	}
+	if ram.PeakStateBytes <= disk.PeakStateBytes {
+		t.Fatal("spilling every checkpoint must shrink resident RAM")
+	}
+}
+
+// TestTwoLevelSpillStaysUnderBudget is the end-to-end acceptance test: a
+// twolevel schedule executed with a tiered store produces gradients equal to
+// plain backpropagation, keeps its resident RAM under a budget that
+// store-all provably exceeds, and really moves the flash tier to disk.
+func TestTwoLevelSpillStaysUnderBudget(t *testing.T) {
+	const l, ramSlots, diskSlots = 16, 2, 3
+	cPlain, x := buildUniformChain(37, l)
+	cSpill, _ := buildUniformChain(37, l)
+	loss := fixedLossGrad(11)
+	s := x.Bytes()
+	weights := 2 * nn.ParamBytes(cSpill.Stages)
+	budget := weights + int64(ramSlots+2)*s // input + working + RAM tier
+
+	plain, err := ExecutePlain(cPlain, x, loss, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights+plain.PeakStateBytes <= budget {
+		t.Fatalf("test setup broken: store-all (%d) fits the budget (%d)", weights+plain.PeakStateBytes, budget)
+	}
+
+	ts, err := store.NewTiered(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	sched := buildSched(t, "twolevel", l, plan.WithSlots(ramSlots), plan.WithDiskSlots(diskSlots))
+	res, err := ExecuteWithStore(cSpill, x, loss, sched, ts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gradient equivalence, bit-exact through the serialization round trip.
+	if tensor.MaxAbsDiff(plain.Output, res.Output) != 0 {
+		t.Fatal("spilled output differs from plain execution")
+	}
+	if tensor.MaxAbsDiff(plain.InputGrad, res.InputGrad) != 0 {
+		t.Fatal("spilled input gradient differs from plain execution")
+	}
+	gp, gs := gradSnapshot(cPlain), gradSnapshot(cSpill)
+	for i := range gp {
+		if tensor.MaxAbsDiff(gp[i], gs[i]) != 0 {
+			t.Fatalf("spilled parameter gradient %d differs", i)
+		}
+	}
+
+	// Budget: resident RAM stays inside it while store-all does not.
+	if weights+res.PeakStateBytes > budget {
+		t.Fatalf("spilled execution resident peak %d exceeds budget %d", weights+res.PeakStateBytes, budget)
+	}
+	// Spill traffic really happened, sized like the flash boundaries.
+	if res.DiskWrites != diskSlots {
+		t.Fatalf("DiskWrites = %d, want %d boundary spills", res.DiskWrites, diskSlots)
+	}
+	if res.DiskReads < diskSlots {
+		t.Fatalf("DiskReads = %d, want at least one read per boundary (%d)", res.DiskReads, diskSlots)
+	}
+	if res.PeakDiskBytes < int64(diskSlots)*s {
+		t.Fatalf("PeakDiskBytes = %d, want at least %d", res.PeakDiskBytes, int64(diskSlots)*s)
+	}
+
+	// The same chain through the budget-aware policy front door.
+	ts2, err := store.NewTiered(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	cAuto, _ := buildUniformChain(37, l)
+	auto, err := Step(cAuto, x, loss, Policy{Kind: "auto", MemoryBudget: budget, Store: ts2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(plain.InputGrad, auto.InputGrad) != 0 {
+		t.Fatal("auto-planned spilled execution gradient differs from plain")
+	}
+	if weights+auto.PeakStateBytes > budget {
+		t.Fatalf("auto-planned resident peak %d exceeds budget %d", weights+auto.PeakStateBytes, budget)
+	}
+}
+
+// TestStepSpillsDiskTiersByDefault pins that a policy whose plan assigns
+// disk tiers really spills even when the caller sets no Store: the budget a
+// tight "auto" selection was made against must hold.
+func TestStepSpillsDiskTiersByDefault(t *testing.T) {
+	const l = 24 // long enough that a 4-state budget selects twolevel
+	c, x := buildUniformChain(41, l)
+	s := x.Bytes()
+	weights := 2 * nn.ParamBytes(c.Stages)
+	budget := weights + 4*s
+
+	res, err := Step(c, x, fixedLossGrad(13), Policy{Kind: "auto", MemoryBudget: budget}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskWrites == 0 {
+		t.Fatal("tight auto plan executed without spilling despite nil Policy.Store")
+	}
+	if weights+res.PeakStateBytes > budget {
+		t.Fatalf("default-store execution resident peak %d exceeds budget %d", weights+res.PeakStateBytes, budget)
+	}
+
+	// Same for an explicit twolevel policy.
+	c2, _ := buildUniformChain(41, l)
+	res, err = Step(c2, x, fixedLossGrad(13), Policy{Kind: "twolevel", Slots: 2, DiskSlots: 3}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiskWrites != 3 {
+		t.Fatalf("twolevel policy spilled %d boundaries, want 3", res.DiskWrites)
+	}
+}
+
+// optionProbe captures the Options and ChainSpec a Policy.Plan call hands
+// the registry, so the full field mapping is pinned.
+type optionProbe struct {
+	got     *plan.Options
+	gotSpec *plan.ChainSpec
+}
+
+func (p optionProbe) Plan(spec plan.ChainSpec, opts ...plan.Option) (schedule.Schedule, error) {
+	*p.got = plan.Gather(opts)
+	*p.gotSpec = spec
+	return plan.StoreAllStream(spec.Length), nil
+}
+
+func (p optionProbe) Describe() plan.StrategyInfo {
+	return plan.StrategyInfo{Name: "option-probe", Description: "test probe"}
+}
+
+// TestPolicyOptionMapping is the table-driven Policy→plan.Option mapping
+// test: every Policy field must land in the matching option, zero-valued
+// fields (including Cost.BackwardRatio) must stay unset so strategies apply
+// their defaults, and the memory shape must flow into the ChainSpec.
+func TestPolicyOptionMapping(t *testing.T) {
+	var got plan.Options
+	var gotSpec plan.ChainSpec
+	plan.Register("option-probe", optionProbe{got: &got, gotSpec: &gotSpec})
+
+	cases := []struct {
+		name string
+		pol  Policy
+		want plan.Options
+	}{
+		{"zero policy maps to zero options", Policy{}, plan.Options{}},
+		{"slots", Policy{Slots: 5}, plan.Options{Slots: 5}},
+		{"segments", Policy{Segments: 4}, plan.Options{Segments: 4}},
+		{"interval", Policy{Interval: 3}, plan.Options{Interval: 3}},
+		{"disk slots", Policy{DiskSlots: 7}, plan.Options{DiskSlots: 7}},
+		{"rho", Policy{Rho: 1.5}, plan.Options{Rho: 1.5}},
+		{"memory budget", Policy{MemoryBudget: 1 << 20}, plan.Options{MemoryBudget: 1 << 20}},
+		{"explicit backward ratio", Policy{Cost: checkpoint.CostModel{BackwardRatio: 3}}, plan.Options{BackwardRatio: 3}},
+		// A zero BackwardRatio means "use the default": it must NOT be
+		// forwarded as an explicit option.
+		{"zero backward ratio stays unset", Policy{Cost: checkpoint.CostModel{}}, plan.Options{}},
+		{"default cost model forwards its ratio", Policy{Cost: checkpoint.DefaultCostModel}, plan.Options{BackwardRatio: 2}},
+		{"everything at once",
+			Policy{Slots: 2, Segments: 3, Interval: 4, DiskSlots: 5, Rho: 1.25,
+				MemoryBudget: 4096, Cost: checkpoint.CostModel{BackwardRatio: 1}},
+			plan.Options{Slots: 2, Segments: 3, Interval: 4, DiskSlots: 5, Rho: 1.25,
+				MemoryBudget: 4096, BackwardRatio: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, gotSpec = plan.Options{}, plan.ChainSpec{}
+			tc.pol.Kind = "option-probe"
+			if _, err := tc.pol.Plan(12); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("options mismatch:\n got  %+v\n want %+v", got, tc.want)
+			}
+			if gotSpec.Length != 12 {
+				t.Fatalf("spec length %d, want 12", gotSpec.Length)
+			}
+		})
+	}
+
+	// The memory shape flows into the spec.
+	got, gotSpec = plan.Options{}, plan.ChainSpec{}
+	pol := Policy{Kind: "option-probe", WeightBytes: 1000, ActivationBytes: 64}
+	if _, err := pol.Plan(9); err != nil {
+		t.Fatal(err)
+	}
+	if gotSpec.WeightBytes != 1000 || gotSpec.ActivationBytes != 64 || gotSpec.Length != 9 {
+		t.Fatalf("spec mapping wrong: %+v", gotSpec)
+	}
+
+	// And every built-in strategy is reachable through the same mapping:
+	// the policy-planned schedule must trace identically to the directly
+	// built one.
+	builtins := []struct {
+		pol  Policy
+		opts []plan.Option
+	}{
+		{Policy{Kind: "storeall"}, nil},
+		{Policy{Kind: "revolve", Slots: 3}, []plan.Option{plan.WithSlots(3)}},
+		{Policy{Kind: "sequential", Segments: 3}, []plan.Option{plan.WithSegments(3)}},
+		{Policy{Kind: "periodic", Interval: 4}, []plan.Option{plan.WithInterval(4)}},
+		{Policy{Kind: "logspaced"}, nil},
+		{Policy{Kind: "twolevel", Slots: 2, DiskSlots: 3}, []plan.Option{plan.WithSlots(2), plan.WithDiskSlots(3)}},
+	}
+	const l = 14
+	for _, b := range builtins {
+		t.Run(b.pol.Kind, func(t *testing.T) {
+			fromPolicy, err := b.pol.Plan(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := plan.Build(b.pol.Kind, plan.ChainSpec{Length: l}, b.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trP, err := schedule.Run(fromPolicy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trD, err := schedule.Run(direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(trP, trD) {
+				t.Fatalf("policy-planned trace differs from direct plan:\n policy %+v\n direct %+v", trP, trD)
+			}
+		})
+	}
+}

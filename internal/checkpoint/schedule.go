@@ -25,6 +25,15 @@ const (
 // InputSlot is the pseudo-slot identifier for the chain input x_0.
 const InputSlot = schedule.InputSlot
 
+// Tier identifies the storage medium of a checkpoint slot; see schedule.Tier.
+type Tier = schedule.Tier
+
+// The storage tiers, aliased from the public schedule package.
+const (
+	TierRAM  = schedule.TierRAM
+	TierDisk = schedule.TierDisk
+)
+
 // Action is one primitive operation of a schedule.
 type Action = schedule.Action
 
@@ -118,7 +127,11 @@ func (p *planner) ensure(target int) {
 	p.current = target
 }
 
-func (p *planner) snapshot(state int) int {
+func (p *planner) snapshot(state int) int { return p.snapshotTier(state, TierRAM) }
+
+// snapshotTier stores the current state in a free slot, annotating the
+// emitted action with the storage tier the planner assigns to it.
+func (p *planner) snapshotTier(state int, tier Tier) int {
 	if len(p.freeSlots) == 0 {
 		panic("checkpoint: internal planner error: no free slots")
 	}
@@ -127,7 +140,7 @@ func (p *planner) snapshot(state int) int {
 	}
 	slot := p.freeSlots[len(p.freeSlots)-1]
 	p.freeSlots = p.freeSlots[:len(p.freeSlots)-1]
-	p.emit(Action{Kind: ActionSnapshot, Slot: slot})
+	p.emit(Action{Kind: ActionSnapshot, Slot: slot, Tier: tier})
 	p.slotOf[state] = slot
 	return slot
 }

@@ -165,9 +165,11 @@ func TwoLevelMemory(cs ChainSpec, cost TwoLevelCost) int64 {
 // boundary checkpoints are written during the initial sweep (the flash tier),
 // and each of the resulting d+1 segments is then reversed, last to first,
 // with the optimal (Revolve) schedule under the RAM slot budget. In the
-// emitted schedule the first d slot indices play the role of the flash tier;
-// the action vocabulary does not distinguish storage media, so the schedule
-// is executable by any consumer while TwoLevelCost accounts the IO.
+// emitted schedule the boundary snapshots are annotated with TierDisk (slot
+// indices are recycled between tiers, so the tier rides on each Snapshot
+// action rather than on the slot); a tier-aware store spills exactly those
+// states to flash, while storage-agnostic consumers execute the schedule
+// entirely in RAM.
 func PlanTwoLevel(l, diskCheckpoints, ramSlots int) (*Schedule, error) {
 	if err := ValidateArgs(l, ramSlots); err != nil {
 		return nil, err
@@ -191,11 +193,13 @@ func PlanTwoLevel(l, diskCheckpoints, ramSlots int) (*Schedule, error) {
 
 	p := newPlanner(l, diskCheckpoints+ramSlots, fmt.Sprintf("twolevel(%d)", diskCheckpoints))
 
-	// Initial sweep: write each internal segment boundary to its (flash) slot.
+	// Initial sweep: write each internal segment boundary to its flash slot.
+	// The snapshots are annotated TierDisk so a tier-aware store spills them;
+	// storage-agnostic consumers execute them as ordinary RAM slots.
 	for k := 1; k < segments; k++ {
 		p.emit(Action{Kind: ActionAdvance, Steps: starts[k] - p.current})
 		p.current = starts[k]
-		p.snapshot(starts[k])
+		p.snapshotTier(starts[k], TierDisk)
 	}
 
 	// Reverse segments from last to first, each with the optimal in-RAM

@@ -1,0 +1,17 @@
+package device
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	d, err := ByName("waggle")
+	if err != nil || d.Name != Waggle().Name {
+		t.Fatalf("ByName(waggle) = %v, %v", d, err)
+	}
+	d, err = ByName("cloud")
+	if err != nil || d.Name != CloudGPU().Name {
+		t.Fatalf("ByName(cloud) = %v, %v", d, err)
+	}
+	if _, err := ByName("toaster"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}

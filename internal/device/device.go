@@ -47,6 +47,20 @@ func Waggle() Device {
 	}
 }
 
+// ByName resolves a device by its short name, for command-line -device
+// flags: "waggle" (the ODROID XU4 payload node) or "cloud" (the datacentre
+// GPU comparison point).
+func ByName(name string) (Device, error) {
+	switch name {
+	case "waggle", "odroid", "edge":
+		return Waggle(), nil
+	case "cloud", "gpu":
+		return CloudGPU(), nil
+	default:
+		return Device{}, fmt.Errorf("device: unknown device %q (want waggle or cloud)", name)
+	}
+}
+
 // CloudGPU returns a datacentre accelerator used as the centralised-training
 // comparison point.
 func CloudGPU() Device {

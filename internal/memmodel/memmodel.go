@@ -11,6 +11,9 @@ package memmodel
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/resnet"
@@ -103,6 +106,33 @@ func Model(v resnet.Variant, imageSize, batchSize int, acc Accounting) (Footprin
 // EdgeDeviceMemoryBytes is the 2 GB LPDDR3 capacity of the Waggle payload
 // board (ODROID XU4) that the paper uses as the fit threshold.
 const EdgeDeviceMemoryBytes = int64(2) << 30
+
+// ParseBytes parses a human-readable byte size for command-line budget
+// flags: a plain integer is bytes, and the binary suffixes KB/MB/GB (case
+// insensitive, optional "iB" spelling) scale by 2^10/2^20/2^30, matching the
+// power-of-two capacities the device model uses.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	shift := 0
+	for _, suf := range []struct {
+		text  string
+		shift int
+	}{{"KIB", 10}, {"MIB", 20}, {"GIB", 30}, {"KB", 10}, {"MB", 20}, {"GB", 30}, {"K", 10}, {"M", 20}, {"G", 30}, {"B", 0}} {
+		if strings.HasSuffix(t, suf.text) {
+			t, shift = strings.TrimSuffix(t, suf.text), suf.shift
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("memmodel: cannot parse byte size %q", s)
+	}
+	bytes := v * float64(int64(1)<<shift)
+	if bytes > float64(math.MaxInt64) {
+		return 0, fmt.Errorf("memmodel: byte size %q overflows", s)
+	}
+	return int64(bytes), nil
+}
 
 // LinearChain builds the LinearResNet homogenisation of Section VI: a chain
 // whose length is the variant's nominal depth, whose weight memory equals the

@@ -1,0 +1,40 @@
+package memmodel
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1024", 1024},
+		{"1024B", 1024},
+		{"8KB", 8 << 10},
+		{"8kb", 8 << 10},
+		{"8KiB", 8 << 10},
+		{"64MB", 64 << 20},
+		{"2GB", 2 << 30},
+		{"2GiB", 2 << 30},
+		{"1.5MB", 3 << 19},
+		{" 2 GB ", 2 << 30},
+		{"512M", 512 << 20},
+	}
+	for _, tc := range cases {
+		got, err := ParseBytes(tc.in)
+		if err != nil {
+			t.Fatalf("ParseBytes(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5MB", "12XB", "MB", "inf", "NaN", "1e300GB"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Fatalf("ParseBytes(%q) should fail", bad)
+		}
+	}
+	if got, _ := ParseBytes("2GB"); got != EdgeDeviceMemoryBytes {
+		t.Fatal("2GB must equal the Waggle node capacity constant")
+	}
+}

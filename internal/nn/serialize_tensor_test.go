@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+func TestTensorCodecRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	cases := []*tensor.Tensor{
+		tensor.New(),                             // rank 0 scalar-shaped
+		tensor.New(0),                            // empty
+		tensor.Arange(7),                         // rank 1
+		tensor.Eye(5),                            // rank 2
+		tensor.RandNormal(rng, 0, 1, 2, 3, 4, 5), // rank 4
+	}
+	awkward := tensor.New(5)
+	copy(awkward.Data(), []float64{math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 5e-324})
+	cases = append(cases, awkward)
+
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := WriteTensor(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf.Len()) != EncodedTensorBytes(want) {
+			t.Fatalf("encoded %d bytes, EncodedTensorBytes says %d", buf.Len(), EncodedTensorBytes(want))
+		}
+		got, err := ReadTensor(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.SameShape(want) {
+			t.Fatalf("shape mismatch: %v vs %v", got.Shape(), want.Shape())
+		}
+		for i := range want.Data() {
+			if math.Float64bits(got.Data()[i]) != math.Float64bits(want.Data()[i]) {
+				t.Fatalf("element %d not bit-exact: %x vs %x",
+					i, math.Float64bits(got.Data()[i]), math.Float64bits(want.Data()[i]))
+			}
+		}
+	}
+}
+
+func TestTensorCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadTensor(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := ReadTensor(bytes.NewReader([]byte("not a tensor at all"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated data section.
+	var buf bytes.Buffer
+	if err := WriteTensor(&buf, tensor.Arange(10)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTensor(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -26,6 +26,27 @@ func getScratch(n int) *[]float64 {
 // putScratch returns a buffer obtained from getScratch to the pool.
 func putScratch(p *[]float64) { scratchPool.Put(p) }
 
+// byteScratchPool is the byte-slice counterpart of scratchPool, used by the
+// serialization paths (checkpoint spilling to flash) to stage encoded tensor
+// data without allocating per spill.
+var byteScratchPool = sync.Pool{New: func() any { s := make([]byte, 0); return &s }}
+
+// GetByteScratch returns a byte slice of length n whose contents are
+// undefined; callers must fully overwrite it. Return the pointer with
+// PutByteScratch when done.
+func GetByteScratch(n int) *[]byte {
+	p := byteScratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		s := make([]byte, n)
+		*p = s
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutByteScratch returns a buffer obtained from GetByteScratch to the pool.
+func PutByteScratch(p *[]byte) { byteScratchPool.Put(p) }
+
 // zeroFloats clears a slice; the compiler lowers this loop to memclr.
 func zeroFloats(s []float64) {
 	for i := range s {

@@ -6,6 +6,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/store"
 )
 
 // Gradient accumulation is the other standard answer to the memory wall of
@@ -23,6 +24,11 @@ type AccumulateResult struct {
 	MicroBatches int
 	PeakStates   int
 	PeakBytes    int64
+	// Checkpoint-store spill accounting, summed/peaked over the
+	// micro-batches (zero for pure in-RAM policies).
+	PeakDiskBytes int64
+	DiskWrites    int
+	DiskReads     int
 }
 
 // AccumulateStep performs one optimisation step over a full batch by
@@ -49,6 +55,21 @@ func AccumulateStep(c *chain.Chain, batch Batch, microBatch int, opt Optimizer, 
 	perSample := 1
 	for _, d := range shape[1:] {
 		perSample *= d
+	}
+
+	// Tier-annotating policies spill to disk; share one store across the
+	// micro-batches instead of letting chain.Step create a temporary spill
+	// directory per micro-batch.
+	if policy.Store == nil {
+		switch policy.Kind {
+		case "twolevel", "auto":
+			ts, err := store.NewTiered("")
+			if err != nil {
+				return AccumulateResult{}, fmt.Errorf("trainer: creating spill store: %w", err)
+			}
+			defer ts.Close()
+			policy.Store = ts
+		}
 	}
 
 	res := AccumulateResult{}
@@ -82,6 +103,11 @@ func AccumulateStep(c *chain.Chain, batch Batch, microBatch int, opt Optimizer, 
 		if step.PeakStateBytes > res.PeakBytes {
 			res.PeakBytes = step.PeakStateBytes
 		}
+		if step.PeakDiskBytes > res.PeakDiskBytes {
+			res.PeakDiskBytes = step.PeakDiskBytes
+		}
+		res.DiskWrites += step.DiskWrites
+		res.DiskReads += step.DiskReads
 	}
 	// The cross-entropy already averages within a micro-batch; dividing the
 	// accumulated gradients by the micro-batch count makes the update

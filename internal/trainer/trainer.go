@@ -6,6 +6,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/store"
 )
 
 // Batch is one minibatch of NCHW images (or (N, features) vectors) and their
@@ -90,7 +91,11 @@ type EpochStats struct {
 	ForwardEvals  int
 	BackwardEvals int
 	PeakStates    int
-	PeakBytes     int64
+	PeakBytes     int64 // peak RAM-resident state bytes of any step
+	// Checkpoint-store spill accounting (zero for pure in-RAM policies).
+	PeakDiskBytes int64 // peak flash-resident checkpoint bytes of any step
+	DiskWrites    int   // checkpoint spills across the epoch
+	DiskReads     int   // checkpoint restores from flash across the epoch
 }
 
 // Trainer runs supervised training of a chain with a cross-entropy head.
@@ -119,6 +124,21 @@ func New(c *chain.Chain, cfg Config) (*Trainer, error) {
 // TrainEpoch runs one pass over the dataset and returns its statistics.
 func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 	stats := EpochStats{Epoch: epoch}
+	pol := t.Cfg.Policy
+	// Tier-annotating policies spill to disk; give them one shared store for
+	// the whole epoch (instead of chain.Step's per-call temporary directory)
+	// so every step reuses the same spill location.
+	if pol.Store == nil {
+		switch pol.Kind {
+		case "twolevel", "auto":
+			ts, err := store.NewTiered("")
+			if err != nil {
+				return stats, fmt.Errorf("trainer: creating spill store: %w", err)
+			}
+			defer ts.Close()
+			pol.Store = ts
+		}
+	}
 	nb := ds.NumBatches(t.Cfg.BatchSize)
 	totalCorrectWeight := 0.0
 	totalSamples := 0
@@ -134,7 +154,7 @@ func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 			return ce.Backward()
 		}
 		t.Chain.ZeroGrads()
-		res, err := chain.Step(t.Chain, batch.Images, lossGrad, t.Cfg.Policy, true)
+		res, err := chain.Step(t.Chain, batch.Images, lossGrad, pol, true)
 		if err != nil {
 			return stats, fmt.Errorf("trainer: step %d failed: %w", b, err)
 		}
@@ -150,6 +170,11 @@ func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 		if res.PeakStateBytes > stats.PeakBytes {
 			stats.PeakBytes = res.PeakStateBytes
 		}
+		if res.PeakDiskBytes > stats.PeakDiskBytes {
+			stats.PeakDiskBytes = res.PeakDiskBytes
+		}
+		stats.DiskWrites += res.DiskWrites
+		stats.DiskReads += res.DiskReads
 		acc := nn.Accuracy(res.Output, batch.Labels)
 		totalCorrectWeight += acc * float64(len(batch.Labels))
 		totalSamples += len(batch.Labels)

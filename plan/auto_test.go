@@ -1,0 +1,164 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// autoSpec is a chain whose states are large enough that the budget grid
+// spans meaningfully distinct regimes.
+var autoSpec = plan.ChainSpec{Length: 24, WeightBytes: 1 << 20, ActivationBytes: 1 << 16}
+
+// TestAutoBudgetGrid is the acceptance sweep: for every budget from
+// store-all comfort down to minimal-Revolve, "auto" must return a strategy
+// whose predicted resident footprint fits the budget and whose schedule is
+// valid; below the minimal-Revolve floor it must refuse.
+func TestAutoBudgetGrid(t *testing.T) {
+	l := autoSpec.Length
+	act := autoSpec.ActivationBytes
+	minBudget := autoSpec.WeightBytes + 3*act          // minimal Revolve: input + working + 1 slot
+	maxBudget := autoSpec.WeightBytes + int64(l+4)*act // store-all with slack
+	sawStoreAll, sawSpill, sawRecompute := false, false, false
+	for budget := minBudget; budget <= maxBudget; budget += act / 2 {
+		choice, err := plan.AutoSelect(autoSpec, plan.WithMemoryBudget(budget))
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if choice.PeakRAMBytes > budget {
+			t.Fatalf("budget %d: selected %s with predicted footprint %d over budget", budget, choice.Strategy, choice.PeakRAMBytes)
+		}
+		switch choice.Strategy {
+		case "storeall":
+			sawStoreAll = true
+		case "twolevel":
+			sawSpill = true
+		case "revolve":
+			sawRecompute = true
+		default:
+			t.Fatalf("budget %d: unexpected strategy %q", budget, choice.Strategy)
+		}
+		sched, tr, err := plan.Validate("auto", autoSpec, plan.WithMemoryBudget(budget))
+		if err != nil {
+			t.Fatalf("budget %d: invalid auto schedule: %v", budget, err)
+		}
+		if !strings.HasPrefix(sched.Policy(), "auto:") {
+			t.Fatalf("auto schedule policy %q does not reveal the selection", sched.Policy())
+		}
+		// The executed RAM residency (input + working state + RAM-tier
+		// checkpoints, homogeneous states) must match the prediction.
+		states := tr.PeakRAMSlots + 2
+		if choice.Strategy == "storeall" {
+			states = l + 1 // the working state aliases a stored one
+		}
+		if got := autoSpec.WeightBytes + int64(states)*act; got > budget {
+			t.Fatalf("budget %d: schedule %s retains %d states, %d bytes over budget",
+				budget, sched.Policy(), states, got-budget)
+		}
+		if choice.Strategy == "twolevel" && tr.PeakDiskSlots == 0 {
+			t.Fatalf("budget %d: twolevel selection produced no disk-tier snapshots", budget)
+		}
+	}
+	if !sawStoreAll || !sawSpill || !sawRecompute {
+		t.Fatalf("budget grid did not span all regimes: storeall=%v twolevel=%v revolve=%v",
+			sawStoreAll, sawSpill, sawRecompute)
+	}
+
+	// Below the floor, auto must refuse rather than overfit.
+	if _, err := plan.AutoSelect(autoSpec, plan.WithMemoryBudget(minBudget-1)); err == nil {
+		t.Fatal("budget below minimal-Revolve accepted")
+	}
+	if _, err := plan.Build("auto", autoSpec, plan.WithMemoryBudget(minBudget-1)); err == nil {
+		t.Fatal("Build below minimal-Revolve accepted")
+	}
+}
+
+// TestAutoTimeMonotoneInBudget: more memory never predicts a slower plan.
+func TestAutoTimeMonotoneInBudget(t *testing.T) {
+	prev := -1.0
+	act := autoSpec.ActivationBytes
+	for budget := autoSpec.WeightBytes + 3*act; budget <= autoSpec.WeightBytes+30*act; budget += act {
+		choice, err := plan.AutoSelect(autoSpec, plan.WithMemoryBudget(budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && choice.Time > prev+1e-9 {
+			t.Fatalf("budget %d: predicted time %.3f worse than smaller budget's %.3f", budget, choice.Time, prev)
+		}
+		prev = choice.Time
+	}
+}
+
+func TestAutoDefaults(t *testing.T) {
+	// Without a budget, the Waggle node's 2 GB is assumed: this small chain
+	// fits store-all easily.
+	choice, err := plan.AutoSelect(autoSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Strategy != "storeall" {
+		t.Fatalf("2 GB default should pick storeall for a 2.5 MB chain, got %s", choice.Strategy)
+	}
+	if choice.Budget != memmodel.EdgeDeviceMemoryBytes {
+		t.Fatalf("default budget %d, want the Waggle capacity %d", choice.Budget, memmodel.EdgeDeviceMemoryBytes)
+	}
+
+	// Without state sizes, an explicit budget cannot be enforced.
+	if _, err := plan.AutoSelect(plan.ChainSpec{Length: 10}, plan.WithMemoryBudget(1<<20)); err == nil {
+		t.Fatal("budget without ActivationBytes accepted")
+	}
+	// ...but budgetless planning falls back to store-all instead of failing,
+	// so the registry-wide conformance grid can plan "auto" without options.
+	sched, err := plan.Build("auto", plan.ChainSpec{Length: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schedule.Run(sched); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trivial chains plan without any information...
+	for _, l := range []int{0, 1} {
+		if _, err := plan.Build("auto", plan.ChainSpec{Length: l}); err != nil {
+			t.Fatalf("auto on trivial chain l=%d: %v", l, err)
+		}
+	}
+	// ...but still honour the fitting contract when the weights alone bust
+	// the budget.
+	_, err = plan.AutoSelect(plan.ChainSpec{Length: 1, WeightBytes: 10 << 20, ActivationBytes: 1 << 10},
+		plan.WithMemoryBudget(1<<20))
+	if err == nil {
+		t.Fatal("trivial chain over budget accepted")
+	}
+}
+
+// TestAutoPrefersTwoLevelWhenRAMStarved pins the paper's Section VI story:
+// with RAM for only a few states on a long chain, spilling boundaries to
+// flash must beat pure in-RAM Revolve under the default flash costs.
+func TestAutoPrefersTwoLevelWhenRAMStarved(t *testing.T) {
+	spec := plan.ChainSpec{Length: 48, WeightBytes: 0, ActivationBytes: 1 << 16}
+	choice, err := plan.AutoSelect(spec, plan.WithMemoryBudget(4*spec.ActivationBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Strategy != "twolevel" {
+		t.Fatalf("RAM-starved long chain picked %s, want twolevel", choice.Strategy)
+	}
+	if choice.DiskSlots < 1 || choice.Slots != 2 {
+		t.Fatalf("unexpected tunables: %+v", choice)
+	}
+
+	// With ruinously expensive flash, the same configuration must fall back
+	// to pure recomputation.
+	choice, err = plan.AutoSelect(spec,
+		plan.WithMemoryBudget(4*spec.ActivationBytes), plan.WithFlashCost(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Strategy != "revolve" {
+		t.Fatalf("expensive flash should force revolve, got %s", choice.Strategy)
+	}
+}

@@ -75,6 +75,15 @@ type Options struct {
 	// BackwardRatio is the cost of a backward step relative to a forward
 	// step, used when resolving Rho. Zero selects the default (2).
 	BackwardRatio float64
+	// MemoryBudget is the RAM byte budget for budget-aware strategies
+	// ("auto"). Zero selects the default: the 2 GB Waggle-node capacity.
+	MemoryBudget int64
+	// FlashWriteCost and FlashReadCost are the costs of writing/reading one
+	// state to or from flash in forward-step units, used when "auto" weighs
+	// a two-level plan against pure recomputation. Zero selects the default
+	// (1 forward step each).
+	FlashWriteCost float64
+	FlashReadCost  float64
 }
 
 // Option mutates the option set; see the With* constructors.
@@ -108,6 +117,17 @@ func WithRho(rho float64) Option { return func(o *Options) { o.Rho = rho } }
 // WithBackwardRatio sets the backward/forward cost ratio used when resolving
 // a Rho budget.
 func WithBackwardRatio(r float64) Option { return func(o *Options) { o.BackwardRatio = r } }
+
+// WithMemoryBudget sets the RAM byte budget for budget-aware strategies. The
+// budget covers the whole resident training state: weights (ChainSpec.
+// WeightBytes) plus every simultaneously retained activation state.
+func WithMemoryBudget(bytes int64) Option { return func(o *Options) { o.MemoryBudget = bytes } }
+
+// WithFlashCost sets the per-state flash write and read costs, in
+// forward-step units, used when weighing two-level plans.
+func WithFlashCost(write, read float64) Option {
+	return func(o *Options) { o.FlashWriteCost, o.FlashReadCost = write, read }
+}
 
 // Build looks the strategy up by name and plans a schedule in one call. It is
 // the common path of the command-line tools and examples.

@@ -50,11 +50,39 @@ const (
 // always available and never counted against the checkpoint budget.
 const InputSlot = -1
 
+// Tier identifies the storage medium a checkpoint slot is written to. The
+// schedule action vocabulary is storage-agnostic — every consumer may execute
+// all slots in RAM — but tiered plans (the paper's Section VI two-level
+// scheme) annotate each Snapshot with the tier the planner intended, so a
+// tier-aware executor can spill the flash-tier states to disk.
+type Tier int
+
+const (
+	// TierRAM keeps the checkpoint as an in-memory tensor reference. It is
+	// the zero value, so un-annotated schedules behave exactly as before.
+	TierRAM Tier = iota
+	// TierDisk serializes the checkpoint to flash/disk storage.
+	TierDisk
+)
+
+// String names the tier ("ram" or "disk").
+func (t Tier) String() string {
+	switch t {
+	case TierRAM:
+		return "ram"
+	case TierDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
 // Action is one primitive operation of a schedule.
 type Action struct {
 	Kind  ActionKind
-	Steps int // ActionAdvance: number of forward steps to execute
-	Slot  int // Snapshot/Restore/Free: slot index, or InputSlot for Restore
+	Steps int  // ActionAdvance: number of forward steps to execute
+	Slot  int  // Snapshot/Restore/Free: slot index, or InputSlot for Restore
+	Tier  Tier // ActionSnapshot: storage tier the slot is written to
 }
 
 // String renders the action compactly, e.g. "advance(3)" or "snapshot[2]".
@@ -63,6 +91,9 @@ func (a Action) String() string {
 	case ActionAdvance:
 		return fmt.Sprintf("advance(%d)", a.Steps)
 	case ActionSnapshot:
+		if a.Tier != TierRAM {
+			return fmt.Sprintf("snapshot[%d]@%s", a.Slot, a.Tier)
+		}
 		return fmt.Sprintf("snapshot[%d]", a.Slot)
 	case ActionRestore:
 		if a.Slot == InputSlot {
@@ -201,6 +232,18 @@ func (c *Cursor) Next() (Action, bool) { return c.next() }
 
 // Stop releases the underlying iterator. It is safe to call repeatedly.
 func (c *Cursor) Stop() { c.stop() }
+
+// UsesTier reports whether any Snapshot action of the schedule is annotated
+// with the given tier. It streams the actions and stops at the first match,
+// so tier-annotated plans are detected after a handful of actions.
+func UsesTier(s Schedule, tier Tier) bool {
+	for a := range s.Actions() {
+		if a.Kind == ActionSnapshot && a.Tier == tier {
+			return true
+		}
+	}
+	return false
+}
 
 // Summary renders a one-line description of the schedule, tracing it to
 // report cost counters (or the validation error if the schedule is invalid).

@@ -16,6 +16,13 @@ type Trace struct {
 	// MaxStepExecutions is the largest number of times any single forward
 	// step was executed by Advance actions (the observed repetition count).
 	MaxStepExecutions int
+
+	// Tier breakdown. Un-annotated schedules put every snapshot in TierRAM,
+	// so PeakRAMSlots == PeakSlots and the disk counters stay zero.
+	PeakRAMSlots  int // maximum simultaneously occupied RAM-tier slots
+	PeakDiskSlots int // maximum simultaneously occupied disk-tier slots
+	DiskWrites    int // snapshots into disk-tier slots
+	DiskReads     int // restores from disk-tier slots
 }
 
 // Validator simulates a schedule action by action, checking that the stream
@@ -31,6 +38,8 @@ type Validator struct {
 	currentValid bool
 	pending      int
 	occupied     int
+	occupiedRAM  int
+	occupiedDisk int
 	stepRuns     []int
 	index        int
 	trace        Trace
@@ -39,6 +48,7 @@ type Validator struct {
 type validatorSlot struct {
 	occupied bool
 	state    int
+	tier     Tier
 }
 
 // NewValidator starts a simulation of a chain of the given length with the
@@ -85,10 +95,22 @@ func (v *Validator) Apply(a Action) error {
 		if v.slots[a.Slot].occupied {
 			return fmt.Errorf("action %d (%s): slot already occupied by state %d", i, a, v.slots[a.Slot].state)
 		}
-		v.slots[a.Slot] = validatorSlot{occupied: true, state: v.current}
+		v.slots[a.Slot] = validatorSlot{occupied: true, state: v.current, tier: a.Tier}
 		v.occupied++
 		if v.occupied > v.trace.PeakSlots {
 			v.trace.PeakSlots = v.occupied
+		}
+		if a.Tier == TierDisk {
+			v.occupiedDisk++
+			v.trace.DiskWrites++
+			if v.occupiedDisk > v.trace.PeakDiskSlots {
+				v.trace.PeakDiskSlots = v.occupiedDisk
+			}
+		} else {
+			v.occupiedRAM++
+			if v.occupiedRAM > v.trace.PeakRAMSlots {
+				v.trace.PeakRAMSlots = v.occupiedRAM
+			}
 		}
 		v.trace.Snapshots++
 	case ActionRestore:
@@ -104,6 +126,9 @@ func (v *Validator) Apply(a Action) error {
 			}
 			v.current = v.slots[a.Slot].state
 			v.currentValid = true
+			if v.slots[a.Slot].tier == TierDisk {
+				v.trace.DiskReads++
+			}
 		}
 		v.trace.Restores++
 	case ActionFree:
@@ -115,6 +140,11 @@ func (v *Validator) Apply(a Action) error {
 		}
 		v.slots[a.Slot].occupied = false
 		v.occupied--
+		if v.slots[a.Slot].tier == TierDisk {
+			v.occupiedDisk--
+		} else {
+			v.occupiedRAM--
+		}
 	case ActionBackprop:
 		if v.pending == 0 {
 			return fmt.Errorf("action %d (%s): all adjoint steps already performed", i, a)

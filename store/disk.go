@@ -1,0 +1,135 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// Disk serializes every checkpoint to a file, one per slot, in the raw
+// tensor codec from internal/nn (bit-exact round trip, staged through the
+// pooled byte scratch so steady-state spilling allocates only the restored
+// tensors). It models the flash tier of the paper's Waggle node: checkpoints
+// cost I/O and SD-card space instead of RAM.
+type Disk struct {
+	dir     string
+	ownsDir bool
+	table   slotTable[int64] // occupied slot -> encoded byte size
+	stats   Stats
+}
+
+// NewDisk returns a store that spills into dir. If dir is empty a temporary
+// directory is created and removed again by Close.
+func NewDisk(dir string) (*Disk, error) {
+	owns := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "edgetrain-ckpt-*")
+		if err != nil {
+			return nil, fmt.Errorf("store: creating spill directory: %w", err)
+		}
+		dir, owns = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating spill directory: %w", err)
+	}
+	return &Disk{dir: dir, ownsDir: owns}, nil
+}
+
+// Dir returns the spill directory.
+func (d *Disk) Dir() string { return d.dir }
+
+func (d *Disk) path(slot int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("ckpt-%d.bin", slot))
+}
+
+// Put implements Store by serializing t to the slot's file. The tier is
+// ignored: every slot of a pure disk store lives on disk.
+func (d *Disk) Put(slot int, _ schedule.Tier, t *tensor.Tensor) error {
+	n := nn.EncodedTensorBytes(t)
+	if err := d.table.put(slot, n); err != nil {
+		return err
+	}
+	f, err := os.Create(d.path(slot))
+	if err == nil {
+		if err = nn.WriteTensor(f, t); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+	}
+	if err != nil {
+		d.table.free(slot)
+		// Do not leave a truncated spill file behind (the directory may be
+		// caller-owned and outlive this store).
+		os.Remove(d.path(slot))
+		return fmt.Errorf("store: spilling slot %d: %w", slot, err)
+	}
+	d.stats.DiskWrites++
+	d.stats.DiskBytes += n
+	if d.stats.DiskBytes > d.stats.PeakDiskBytes {
+		d.stats.PeakDiskBytes = d.stats.DiskBytes
+	}
+	return nil
+}
+
+// Get implements Store by deserializing the slot's file into a fresh tensor.
+func (d *Disk) Get(slot int) (*tensor.Tensor, error) {
+	if _, err := d.table.get(slot); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(d.path(slot))
+	if err != nil {
+		return nil, fmt.Errorf("store: restoring slot %d: %w", slot, err)
+	}
+	defer f.Close()
+	t, err := nn.ReadTensor(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: restoring slot %d: %w", slot, err)
+	}
+	d.stats.DiskReads++
+	return t, nil
+}
+
+// Free implements Store by removing the slot's file.
+func (d *Disk) Free(slot int) error {
+	n, err := d.table.free(slot)
+	if err != nil {
+		return err
+	}
+	d.stats.DiskBytes -= n
+	if err := os.Remove(d.path(slot)); err != nil {
+		return fmt.Errorf("store: freeing slot %d: %w", slot, err)
+	}
+	return nil
+}
+
+// BytesResident implements Store: a disk store holds no checkpoint RAM.
+func (d *Disk) BytesResident() int64 { return 0 }
+
+// Holds implements Store: disk slots never alias caller tensors.
+func (d *Disk) Holds(*tensor.Tensor) bool { return false }
+
+// Stats implements Store.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Close implements Store, removing every spill file (and the directory
+// itself when the store created it).
+func (d *Disk) Close() error {
+	var firstErr error
+	for slot, occ := range d.table.occupied {
+		if occ {
+			if err := d.Free(slot); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if d.ownsDir {
+		if err := os.RemoveAll(d.dir); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// RAM is the in-memory slot store: every checkpoint is retained as a
+// zero-copy tensor reference. It reproduces the executor's historical
+// behaviour exactly — no serialization, no I/O — and ignores tier
+// annotations (a disk-tier snapshot simply stays in RAM).
+type RAM struct {
+	table slotTable[*tensor.Tensor]
+	stats Stats
+}
+
+// NewRAM returns an empty in-memory store. Slots grow on demand.
+func NewRAM() *RAM { return &RAM{} }
+
+// Put implements Store by retaining t by reference.
+func (r *RAM) Put(slot int, _ schedule.Tier, t *tensor.Tensor) error {
+	if err := r.table.put(slot, t); err != nil {
+		return err
+	}
+	r.stats.RAMBytes += t.Bytes()
+	if r.stats.RAMBytes > r.stats.PeakRAMBytes {
+		r.stats.PeakRAMBytes = r.stats.RAMBytes
+	}
+	return nil
+}
+
+// Get implements Store by returning the stored reference.
+func (r *RAM) Get(slot int) (*tensor.Tensor, error) { return r.table.get(slot) }
+
+// Free implements Store.
+func (r *RAM) Free(slot int) error {
+	t, err := r.table.free(slot)
+	if err != nil {
+		return err
+	}
+	r.stats.RAMBytes -= t.Bytes()
+	return nil
+}
+
+// BytesResident implements Store.
+func (r *RAM) BytesResident() int64 { return r.stats.RAMBytes }
+
+// Holds implements Store: the RAM store aliases stored tensors.
+func (r *RAM) Holds(t *tensor.Tensor) bool {
+	for i, occ := range r.table.occupied {
+		if occ && r.table.entries[i] == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats implements Store.
+func (r *RAM) Stats() Stats { return r.stats }
+
+// Close implements Store by dropping every retained reference.
+func (r *RAM) Close() error {
+	r.table = slotTable[*tensor.Tensor]{}
+	r.stats.RAMBytes = 0
+	return nil
+}

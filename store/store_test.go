@@ -1,0 +1,245 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// awkwardTensor exercises the bit-exactness of the disk round trip: negative
+// zero, infinities, NaN, denormals.
+func awkwardTensor() *tensor.Tensor {
+	t := tensor.New(2, 3)
+	vals := []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 5e-324}
+	copy(t.Data(), vals)
+	return t
+}
+
+func bitsEqual(a, b *tensor.Tensor) bool {
+	if !a.SameShape(b) || a.Size() != b.Size() {
+		return false
+	}
+	for i := range a.Data() {
+		if math.Float64bits(a.Data()[i]) != math.Float64bits(b.Data()[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// storeUnderTest builds each implementation rooted in a test temp dir.
+func storesUnderTest(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered, err := NewTiered(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"ram": NewRAM(), "disk": disk, "tiered": tiered}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, st := range storesUnderTest(t) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			want := awkwardTensor()
+			rng := tensor.NewRNG(1)
+			big := tensor.RandNormal(rng, 0, 1, 3, 4, 5)
+
+			if err := st.Put(0, schedule.TierRAM, want); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Put(3, schedule.TierDisk, big); err != nil {
+				t.Fatal(err)
+			}
+			got, err := st.Get(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(want, got) {
+				t.Fatalf("slot 0 round trip not bit-exact: %v vs %v", want, got)
+			}
+			got3, err := st.Get(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(big, got3) {
+				t.Fatal("slot 3 round trip not bit-exact")
+			}
+			// Slots are single-occupancy.
+			if err := st.Put(0, schedule.TierRAM, big); err == nil {
+				t.Fatal("double Put into slot 0 accepted")
+			}
+			if err := st.Free(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Get(0); err == nil {
+				t.Fatal("Get from freed slot succeeded")
+			}
+			if err := st.Free(0); err == nil {
+				t.Fatal("double Free succeeded")
+			}
+			if _, err := st.Get(99); err == nil {
+				t.Fatal("Get from never-used slot succeeded")
+			}
+			if err := st.Put(-1, schedule.TierRAM, big); err == nil {
+				t.Fatal("negative slot accepted")
+			}
+			// Re-Put into the freed slot works (slot recycling).
+			if err := st.Put(0, schedule.TierDisk, big); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRAMStoreAccounting(t *testing.T) {
+	st := NewRAM()
+	a := tensor.New(10)    // 80 bytes
+	b := tensor.New(5, 10) // 400 bytes
+	st.Put(0, schedule.TierRAM, a)
+	st.Put(1, schedule.TierDisk, b) // tier ignored: RAM store keeps it resident
+	if got := st.BytesResident(); got != a.Bytes()+b.Bytes() {
+		t.Fatalf("BytesResident = %d, want %d", got, a.Bytes()+b.Bytes())
+	}
+	if !st.Holds(a) || !st.Holds(b) {
+		t.Fatal("RAM store must report held references")
+	}
+	if st.Holds(tensor.New(10)) {
+		t.Fatal("RAM store claims to hold a foreign tensor")
+	}
+	st.Free(0)
+	if got := st.BytesResident(); got != b.Bytes() {
+		t.Fatalf("BytesResident after free = %d, want %d", got, b.Bytes())
+	}
+	if st.Holds(a) {
+		t.Fatal("freed tensor still reported as held")
+	}
+	stats := st.Stats()
+	if stats.PeakRAMBytes != a.Bytes()+b.Bytes() {
+		t.Fatalf("PeakRAMBytes = %d, want %d", stats.PeakRAMBytes, a.Bytes()+b.Bytes())
+	}
+	if stats.DiskWrites != 0 || stats.DiskBytes != 0 {
+		t.Fatalf("RAM store reported disk activity: %+v", stats)
+	}
+}
+
+func TestDiskStoreAccountingAndCleanup(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(100) // 800 data bytes + header
+	if err := st.Put(2, schedule.TierDisk, x); err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesResident() != 0 {
+		t.Fatal("disk store must hold no RAM")
+	}
+	if st.Holds(x) {
+		t.Fatal("disk store must not alias caller tensors")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.bin"))
+	if len(files) != 1 {
+		t.Fatalf("expected 1 spill file, found %v", files)
+	}
+	stats := st.Stats()
+	if stats.DiskWrites != 1 || stats.DiskBytes <= x.Bytes() {
+		t.Fatalf("unexpected disk stats %+v (DiskBytes must include the header)", stats)
+	}
+	if _, err := st.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().DiskReads != 1 {
+		t.Fatalf("DiskReads = %d, want 1", st.Stats().DiskReads)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "ckpt-*.bin"))
+	if len(files) != 0 {
+		t.Fatalf("Close left spill files behind: %v", files)
+	}
+}
+
+func TestDiskStoreOwnsTempDir(t *testing.T) {
+	st, err := NewDisk("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := st.Dir()
+	if err := st.Put(0, schedule.TierDisk, tensor.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("Close did not remove the owned temp dir %s", dir)
+	}
+}
+
+func TestTieredRouting(t *testing.T) {
+	st, err := NewTiered(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ramT := tensor.New(10)
+	diskT := tensor.New(20)
+	if err := st.Put(0, schedule.TierRAM, ramT); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(1, schedule.TierDisk, diskT); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.BytesResident(); got != ramT.Bytes() {
+		t.Fatalf("only the RAM tier counts as resident: %d vs %d", got, ramT.Bytes())
+	}
+	if !st.Holds(ramT) || st.Holds(diskT) {
+		t.Fatal("Holds must reflect the routing")
+	}
+	got, err := st.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ramT {
+		t.Fatal("RAM-tier Get must return the stored reference")
+	}
+	got, err = st.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == diskT {
+		t.Fatal("disk-tier Get must return a deserialized copy, not the original")
+	}
+	if !bitsEqual(got, diskT) {
+		t.Fatal("disk-tier round trip not bit-exact")
+	}
+	stats := st.Stats()
+	if stats.DiskWrites != 1 || stats.DiskReads != 1 || stats.RAMBytes != ramT.Bytes() {
+		t.Fatalf("merged stats wrong: %+v", stats)
+	}
+
+	// Slot recycling across tiers: free the disk slot, reuse it in RAM.
+	if err := st.Free(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().DiskBytes != 0 {
+		t.Fatal("freed disk slot still counted")
+	}
+	if err := st.Put(1, schedule.TierRAM, diskT); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Holds(diskT) {
+		t.Fatal("recycled slot not routed to RAM")
+	}
+}

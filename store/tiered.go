@@ -1,0 +1,101 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/schedule"
+)
+
+// Tiered routes each slot to RAM or disk according to the tier the schedule
+// annotated on its Snapshot action: TierRAM slots stay zero-copy tensor
+// references, TierDisk slots are serialized to the flash store. Slot indices
+// may be recycled across tiers (the two-level planner reuses a freed flash
+// slot for in-RAM snapshots), so the routing is recorded per Put and cleared
+// on Free.
+type Tiered struct {
+	ram  *RAM
+	disk *Disk
+	// loc records, per occupied slot, which backing store holds it.
+	loc slotTable[schedule.Tier]
+}
+
+// NewTiered returns a store that keeps RAM-tier slots in memory and spills
+// disk-tier slots into dir (a temporary directory when dir is empty, removed
+// by Close).
+func NewTiered(dir string) (*Tiered, error) {
+	disk, err := NewDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Tiered{ram: NewRAM(), disk: disk}, nil
+}
+
+// Dir returns the flash tier's spill directory.
+func (td *Tiered) Dir() string { return td.disk.Dir() }
+
+// Put implements Store, routing by the snapshot's tier annotation.
+func (td *Tiered) Put(slot int, tier schedule.Tier, t *tensor.Tensor) error {
+	switch tier {
+	case schedule.TierRAM, schedule.TierDisk:
+	default:
+		return fmt.Errorf("store: unknown tier %v for slot %d", tier, slot)
+	}
+	if err := td.loc.put(slot, tier); err != nil {
+		return err
+	}
+	var err error
+	if tier == schedule.TierDisk {
+		err = td.disk.Put(slot, tier, t)
+	} else {
+		err = td.ram.Put(slot, tier, t)
+	}
+	if err != nil {
+		td.loc.free(slot)
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (td *Tiered) Get(slot int) (*tensor.Tensor, error) {
+	tier, err := td.loc.get(slot)
+	if err != nil {
+		return nil, err
+	}
+	if tier == schedule.TierDisk {
+		return td.disk.Get(slot)
+	}
+	return td.ram.Get(slot)
+}
+
+// Free implements Store.
+func (td *Tiered) Free(slot int) error {
+	tier, err := td.loc.free(slot)
+	if err != nil {
+		return err
+	}
+	if tier == schedule.TierDisk {
+		return td.disk.Free(slot)
+	}
+	return td.ram.Free(slot)
+}
+
+// BytesResident implements Store: only the RAM tier counts.
+func (td *Tiered) BytesResident() int64 { return td.ram.BytesResident() }
+
+// Holds implements Store: only RAM-tier slots alias caller tensors.
+func (td *Tiered) Holds(t *tensor.Tensor) bool { return td.ram.Holds(t) }
+
+// Stats implements Store, merging both tiers.
+func (td *Tiered) Stats() Stats { return td.ram.Stats().merge(td.disk.Stats()) }
+
+// Close implements Store, releasing both tiers.
+func (td *Tiered) Close() error {
+	td.loc = slotTable[schedule.Tier]{}
+	err := td.ram.Close()
+	if derr := td.disk.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
