@@ -7,8 +7,10 @@ package edgetrain
 // doubles as the experiment log summarised in EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"testing"
 
+	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/device"
@@ -553,4 +555,58 @@ func BenchmarkGradientAccumulation(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.PeakStates), "peak_states")
 	b.ReportMetric(float64(res.MicroBatches), "micro_batches")
+}
+
+// BenchmarkFleetRound measures one synchronous all-reduce aggregation round
+// across concurrent edge workers (broadcast, parallel local gradients under
+// heterogeneous budgets, deterministic fold, optimiser step) at two fleet
+// sizes, so the per-round coordination overhead of scaling the fleet out is
+// visible next to the single-node step benchmarks above.
+func BenchmarkFleetRound(b *testing.B) {
+	for _, workers := range []int{2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			model := func() (*chain.Chain, error) {
+				cfg := resnet.DefaultSmallConfig()
+				cfg.Seed = 1
+				net, err := resnet.BuildSmall(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return chain.FromSequential(net), nil
+			}
+			rng := tensor.NewRNG(3)
+			var samples []trainer.Batch
+			for i := 0; i < 4*workers; i++ {
+				c := vision.Class(i % vision.NumClasses)
+				samples = append(samples, trainer.Batch{
+					Images: vision.Sample(rng, c, 0.5, 16),
+					Labels: []int{int(c)},
+				})
+			}
+			specs := make([]fleet.WorkerSpec, workers)
+			for i := range specs {
+				specs[i] = fleet.WorkerSpec{Device: device.Waggle()}
+			}
+			f, err := fleet.New(fleet.Config{
+				Workers:    specs,
+				Rounds:     1,
+				Seed:       1,
+				Aggregator: fleet.NewGradAllReduce(trainer.NewSGD(0.05)),
+			}, model, trainer.NewSliceDataset(samples))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ResetTimer()
+			var rs fleet.RoundStats
+			for i := 0; i < b.N; i++ {
+				rs, err = f.Round(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rs.Participants), "participants")
+			b.ReportMetric(float64(rs.UplinkBytes+rs.DownlinkBytes)/1e6, "round_MB")
+		})
+	}
 }

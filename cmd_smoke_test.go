@@ -47,6 +47,15 @@ func TestCommandSmoke(t *testing.T) {
 			"-policy", "auto", "-budget", "2MB", "-epochs", "1",
 			"-samples", "4", "-batch", "2",
 		}, "fits="},
+		{"fleettrainer-fedavg", []string{
+			"-nodes", "2", "-rounds", "1", "-samples", "8",
+			"-device-mix", "waggle,rpi",
+		}, "fleet training report: fedavg"},
+		{"fleettrainer-allreduce-mixed", []string{
+			"-nodes", "3", "-rounds", "2", "-samples", "12", "-agg", "allreduce",
+			"-device-mix", "jetson,waggle,rpi", "-budget", "280KB,210KB,201KB",
+			"-participation", "1",
+		}, "twolevel"},
 		{"memtable", []string{"-table", "1"}, "ResNet"},
 		{"figure1-fit", []string{"-fit"}, ""},
 		{"aotsim", []string{"-nodes", "3", "-days", "2"}, ""},

@@ -25,13 +25,23 @@
 //     into the plan registry.
 //   - internal/chain — an executor that runs real networks under any
 //     checkpointing schedule and reproduces baseline gradients exactly.
+//   - store — the pluggable checkpoint stores (RAM references, the bit-exact
+//     disk codec, and the tiered store that really spills flash-tier slots).
+//   - fleet — executable multi-node training: concurrent heterogeneous edge
+//     workers (per-worker budgets auto-select different checkpoint
+//     strategies), non-IID dataset shards, and deterministic aggregation by
+//     federated averaging or synchronous gradient all-reduce (bit-identical
+//     to single-node training on the union of the shards), with straggler,
+//     dropout and partial-participation scenario knobs.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
-//     the Waggle/Array-of-Things context: the 2 GB Edge node, the fleet-scale
-//     cloud-vs-edge comparison, the synthetic viewpoint problem and the
-//     in-situ student-teacher pipeline.
+//     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
+//     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge
+//     comparison, the synthetic viewpoint problem and the in-situ
+//     student-teacher pipeline.
 //
 // The cmd/ directory holds the command-line tools that regenerate every table
-// and figure (memtable, figure1, revolveplan, edgetrainer, aotsim), the
+// and figure (memtable, figure1, revolveplan, edgetrainer, fleettrainer,
+// aotsim), the
 // examples/ directory holds runnable walkthroughs, and bench_test.go in this
 // directory contains one benchmark per experiment of the paper's evaluation.
 //

@@ -7,6 +7,7 @@ package edgetrain
 // the registry.
 
 import (
+	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
 )
@@ -72,6 +73,34 @@ var (
 // AutoChoice describes the selection of the budget-aware "auto" strategy.
 type AutoChoice = plan.AutoChoice
 
+// Re-exported fleet-training types; see package fleet.
+type (
+	// Fleet coordinates training rounds across concurrent edge workers.
+	Fleet = fleet.Fleet
+	// FleetConfig controls a fleet training run.
+	FleetConfig = fleet.Config
+	// FleetWorkerSpec describes one edge worker of the fleet.
+	FleetWorkerSpec = fleet.WorkerSpec
+	// FleetReport is the measured outcome of a fleet run.
+	FleetReport = fleet.Report
+	// Aggregator merges per-worker round results into the global model.
+	Aggregator = fleet.Aggregator
+)
+
+// Fleet entry points; see package fleet.
+var (
+	// NewFleet builds a fleet over a model factory and a dataset.
+	NewFleet = fleet.New
+	// NewFedAvg returns the federated-averaging aggregator.
+	NewFedAvg = fleet.NewFedAvg
+	// NewGradAllReduce returns the synchronous gradient all-reduce
+	// aggregator (bit-identical to single-node training on the union of the
+	// shards).
+	NewGradAllReduce = fleet.NewGradAllReduce
+	// NewAggregator resolves an aggregation mode by name.
+	NewAggregator = fleet.NewAggregator
+)
+
 // Tier identifies the storage medium a checkpoint slot is written to.
 type Tier = schedule.Tier
 
@@ -83,4 +112,4 @@ const (
 
 // Version is the library version. The reproduction is tagged as a whole; the
 // individual internal packages do not carry separate versions.
-const Version = "2.1.0"
+const Version = "2.2.0"

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/edgesim"
+)
+
+// The executable fleet and the analytical federated model of
+// internal/edgesim must agree on the per-round byte accounting for
+// full-model updates: measured uplink/downlink totals equal the simulated
+// ones, per round and per node.
+
+func crossCheck(t *testing.T, participation float64, workers, rounds, samples int) {
+	t.Helper()
+	factory := mlpFactory(17)
+	ds := makeDataset(samples, 23)
+	specs := make([]WorkerSpec, workers)
+	for i := range specs {
+		specs[i] = WorkerSpec{Device: device.Waggle()}
+	}
+	f, err := New(Config{
+		Workers:       specs,
+		Rounds:        rounds,
+		Seed:          29,
+		Participation: participation,
+	}, factory, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fed, _, err := edgesim.SimulateFederated(f.FederatedModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.UplinkBytes != rep.TotalUplinkBytes {
+		t.Errorf("analytical uplink %d != measured %d", fed.UplinkBytes, rep.TotalUplinkBytes)
+	}
+	if fed.DownlinkBytes != rep.TotalDownlinkBytes {
+		t.Errorf("analytical downlink %d != measured %d", fed.DownlinkBytes, rep.TotalDownlinkBytes)
+	}
+	// Per participating node, one round moves one update up and one model
+	// down; compare against one measured round.
+	rs := rep.Rounds[0]
+	if rs.Participants != fed.ParticipantsPerRound {
+		t.Errorf("round participants %d != analytical %d", rs.Participants, fed.ParticipantsPerRound)
+	}
+	perNode := rs.UplinkBytes/int64(rs.Participants) + rs.DownlinkBytes/int64(rs.Participants)
+	if perNode != fed.BytesPerRound {
+		t.Errorf("measured per-node round bytes %d != analytical %d", perNode, fed.BytesPerRound)
+	}
+	if fed.BytesPerRound != 2*rep.ModelBytes {
+		t.Errorf("full-model round should move 2x model bytes, got %d for model %d", fed.BytesPerRound, rep.ModelBytes)
+	}
+}
+
+func TestFleetMatchesEdgesimFullParticipation(t *testing.T) { crossCheck(t, 0, 4, 3, 16) }
+
+func TestFleetMatchesEdgesimPartialParticipation(t *testing.T) { crossCheck(t, 0.5, 4, 3, 16) }
+
+// Idle workers (empty shards) are excluded from selection, so the byte
+// accounting still agrees when the fleet outnumbers the samples.
+func TestFleetMatchesEdgesimWithIdleWorkers(t *testing.T) { crossCheck(t, 0, 5, 2, 3) }

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+// The acceptance property of the gradient all-reduce mode: training across N
+// workers on N equal shards produces global weights BIT-IDENTICAL to
+// single-node training on the concatenated dataset, where the single node
+// accumulates gradients over the same shard-sized micro-batches
+// (trainer.AccumulateStep) — even when the workers' heterogeneous budgets
+// auto-select different checkpoint strategies (store-all kept in RAM,
+// Revolve recomputation, two-level plans really spilling to flash).
+
+func runEquivalence(t *testing.T, factory func() (*chain.Chain, error), specs []WorkerSpec, samples, rounds int, wantStrategies []string) {
+	t.Helper()
+	n := len(specs)
+	if samples%n != 0 {
+		t.Fatalf("test bug: %d samples not divisible by %d workers", samples, n)
+	}
+	shard := samples / n
+	ds := makeDataset(samples, 21)
+
+	const lr = 0.05
+	cfg := Config{
+		Workers:    specs,
+		Rounds:     rounds,
+		Seed:       2,
+		Aggregator: NewGradAllReduce(trainer.NewSGD(lr)),
+	}
+	f, err := New(cfg, factory, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// The mix must be genuinely heterogeneous: every wanted strategy distinct.
+	for i, w := range f.Workers() {
+		if w.Choice.Strategy != wantStrategies[i] {
+			t.Fatalf("worker %d auto-selected %q, want %q (budget %d)", i, w.Choice.Strategy, wantStrategies[i], w.Spec.BudgetBytes)
+		}
+	}
+
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-node reference: same initial weights, same optimiser, gradient
+	// accumulation over the concatenated dataset with the shard size as the
+	// micro-batch, one optimiser step per round.
+	ref, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOpt := trainer.NewSGD(lr)
+	union := ds.Batch(0, samples)
+	var refLoss float64
+	for r := 0; r < rounds; r++ {
+		res, err := trainer.AccumulateStep(ref, union, shard, refOpt, chain.Policy{Kind: "storeall"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refLoss = res.Loss
+	}
+
+	fleetPs := f.Global().Params()
+	refPs := ref.Params()
+	for k := range refPs {
+		fd, rd := fleetPs[k].Value.Data(), refPs[k].Value.Data()
+		for j := range fd {
+			if fd[j] != rd[j] {
+				t.Fatalf("param %s element %d: fleet %v != single-node %v (bit equality required)",
+					refPs[k].Name, j, fd[j], rd[j])
+			}
+		}
+	}
+	// The round losses agree too (association differs only in the final
+	// weighted mean, so compare numerically).
+	if diff := math.Abs(rep.FinalLoss - refLoss); diff > 1e-12 {
+		t.Fatalf("final loss %v vs single-node %v (diff %g)", rep.FinalLoss, refLoss, diff)
+	}
+}
+
+// Mix 1: a 12-stage MLP across three budgets that select store-all, Revolve
+// and the flash-spilling two-level scheme — the full strategy spread.
+func TestAllReduceEquivalenceThreeStrategyMix(t *testing.T) {
+	factory := mlpFactory(3)
+	specs := []WorkerSpec{
+		{Device: device.JetsonNano(), BudgetBytes: budgetFor(t, factory, 4, 16)},
+		{Device: device.Waggle(), BudgetBytes: budgetFor(t, factory, 4, 5.5)},
+		{Device: device.RaspberryPi(), BudgetBytes: budgetFor(t, factory, 4, 3.5)},
+	}
+	runEquivalence(t, factory, specs, 12, 3, []string{"storeall", "revolve", "twolevel"})
+}
+
+// Mix 2: the small ResNet (batch normalisation, residual blocks) across two
+// budgets that select store-all and Revolve.
+func TestAllReduceEquivalenceResNetMix(t *testing.T) {
+	factory := resnetFactory(5)
+	// ResNet states are conv feature maps, much larger than the input batch
+	// the homogeneous-chain approximation assumes; budgets are computed from
+	// the same approximation the planner uses, so the thresholds line up.
+	specs := []WorkerSpec{
+		{Device: device.JetsonNano(), BudgetBytes: budgetFor(t, factory, 6, 12)},
+		{Device: device.RaspberryPi(), BudgetBytes: budgetFor(t, factory, 6, 4.5)},
+	}
+	runEquivalence(t, factory, specs, 12, 2, []string{"storeall", "revolve"})
+}

@@ -1,0 +1,537 @@
+// Package fleet runs real data-parallel training rounds across N concurrent
+// simulated edge workers — the executable counterpart of the analytical fleet
+// model in internal/edgesim, and the paper's headline claim made runnable:
+// neural networks trained in situ, distributed across a fleet of low-powered
+// heterogeneous nodes.
+//
+// Every worker owns a device profile (internal/device), a RAM byte budget
+// that drives plan.AutoSelect independently per worker — so a Jetson-class
+// and a Raspberry-class node pick different checkpoint strategies for the
+// same network — its own tiered spill store (package store), and a
+// contiguous, non-IID shard of the dataset (trainer.Shard). Workers compute
+// concurrently, one goroutine each; an Aggregator merges their round results
+// into the global model with a deterministic fold, so the trained weights
+// are bit-identical at any worker scheduling, any parallel.SetWorkers /
+// EDGETRAIN_WORKERS setting, and across repeated runs with the same seed.
+//
+// Two aggregation modes ship with the package: FedAvg (sample-weighted
+// parameter averaging after local training) and GradAllReduce (synchronous
+// gradient averaging, bit-identical to single-node gradient accumulation
+// over the concatenated shards — see the Aggregator contract in
+// aggregator.go). Fleet-scale failure modes are first-class scenario knobs:
+// per-round straggler delays, worker dropout, and partial participation.
+//
+// The engine measures what the analytical model only predicts: per-worker
+// chosen strategy, peak RAM and flash bytes, disk I/O, and per-round
+// uplink/downlink traffic; FederatedModel feeds the measured traffic back
+// into edgesim.SimulateFederated so the two validate each other.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/edgesim"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/plan"
+	"github.com/edgeml/edgetrain/store"
+)
+
+// WorkerSpec describes one edge worker of the fleet.
+type WorkerSpec struct {
+	// Name identifies the worker in reports; defaults to "w<i>-<device>".
+	Name string
+	// Device is the hardware profile of the node (informational, and the
+	// default source of the RAM budget).
+	Device device.Device
+	// BudgetBytes is the RAM byte budget handed to the worker's budget-aware
+	// checkpoint planning. Zero uses Device.MemoryBytes; if that is also
+	// zero, the planner's default (the 2 GB Waggle capacity) applies.
+	BudgetBytes int64
+	// SpillDir is the directory for the worker's flash-tier checkpoint
+	// spills; empty uses a per-worker temporary directory.
+	SpillDir string
+}
+
+// Config controls a fleet training run.
+type Config struct {
+	// Workers lists the fleet members; at least one is required.
+	Workers []WorkerSpec
+	// Rounds is the number of aggregation rounds Run executes (default 1).
+	Rounds int
+	// LocalEpochs is how many passes over its shard a FedAvg worker trains
+	// per round (default 1). Gradient all-reduce ignores it.
+	LocalEpochs int
+	// BatchSize is the workers' local batch size. Zero means one full-shard
+	// batch, which is also what the all-reduce equivalence guarantee is
+	// stated against.
+	BatchSize int
+	// Optimizer constructs the optimisers of the run: one per worker for
+	// FedAvg local training. Defaults to SGD with learning rate 0.05. The
+	// global optimiser of GradAllReduce is configured on the aggregator.
+	Optimizer func() trainer.Optimizer
+	// Aggregator merges worker results into the global model; defaults to
+	// NewFedAvg().
+	Aggregator Aggregator
+	// Seed drives every stochastic fleet decision (participant selection,
+	// dropout draws); runs with equal seeds are bit-identical.
+	Seed uint64
+	// Participation is the fraction of workers selected per round, in
+	// (0, 1]; zero means full participation. The selected count follows
+	// edgesim.ParticipantsPerRound, so the analytical model's accounting
+	// matches exactly.
+	Participation float64
+	// DropoutRate is the probability that a selected worker fails before
+	// uploading its result (it still receives the broadcast). In [0, 1).
+	DropoutRate float64
+	// StragglerDelay, when non-nil, returns an artificial delay injected
+	// before the given worker's computation in the given round — the
+	// straggler scenario knob, and the lever the determinism tests use to
+	// shuffle worker completion order.
+	StragglerDelay func(round, worker int) time.Duration
+}
+
+// Worker is one fleet member: a full model replica, a dataset shard, and the
+// checkpoint policy its budget selected.
+type Worker struct {
+	// Index is the worker's position in Config.Workers, which is also its
+	// fold position during aggregation.
+	Index int
+	// Spec is the worker's specification after defaulting.
+	Spec WorkerSpec
+	// Chain is the worker's model replica.
+	Chain *chain.Chain
+	// Shard is the worker's contiguous dataset shard (possibly empty).
+	Shard trainer.Dataset
+	// Choice reports the checkpoint strategy the worker's budget selected;
+	// the zero value (Strategy "") on workers with an empty shard.
+	Choice plan.AutoChoice
+
+	policy      chain.Policy
+	spill       *store.Tiered
+	opt         trainer.Optimizer
+	batch       int // effective local batch size (shard length when Config.BatchSize is 0)
+	localEpochs int
+	fullBatch   trainer.Batch // cached full-shard batch (the shard is immutable)
+}
+
+// Policy returns the worker's checkpointing policy (budget-aware, routed
+// through its tiered spill store), for custom Aggregator implementations.
+func (w *Worker) Policy() chain.Policy { return w.policy }
+
+// LocalEpochs returns the worker's per-round local epoch count.
+func (w *Worker) LocalEpochs() int { return w.localEpochs }
+
+// BatchSize returns the worker's effective local batch size.
+func (w *Worker) BatchSize() int { return w.batch }
+
+// Optimizer returns the worker's local optimiser (used by FedAvg).
+func (w *Worker) Optimizer() trainer.Optimizer { return w.opt }
+
+// RoundBatch returns the worker's minibatch for the given round: the batches
+// of its shard visited round-robin, or one full-shard batch when the fleet
+// runs full-shard rounds. The zero Batch on an empty shard. The shard is
+// immutable, so the full-shard batch is assembled once and reused across
+// rounds (callers must not mutate it).
+func (w *Worker) RoundBatch(round int) trainer.Batch {
+	n := w.Shard.Len()
+	if n == 0 {
+		return trainer.Batch{}
+	}
+	size := w.batch
+	if size <= 0 || size > n {
+		if w.fullBatch.Images == nil {
+			w.fullBatch = w.Shard.Batch(0, n)
+		}
+		return w.fullBatch
+	}
+	nb := w.Shard.NumBatches(size)
+	return w.Shard.Batch(round%nb, size)
+}
+
+// Fleet coordinates training rounds across the workers.
+type Fleet struct {
+	cfg        Config
+	agg        Aggregator
+	global     *chain.Chain
+	globalPs   []*nn.Param
+	workers    []*Worker
+	active     []int // indices of workers with non-empty shards
+	modelBytes int64
+}
+
+// New builds a fleet. The model factory must be deterministic (seeded): it is
+// called once for the global model and once per worker, and every replica
+// must be bit-identical to the global model — New verifies this. The dataset
+// is split into len(cfg.Workers) contiguous shards (trainer.Shard), one per
+// worker in order, so shard i of a viewpoint-ordered dataset carries node
+// i's non-IID skew.
+func New(cfg Config, model func() (*chain.Chain, error), ds trainer.Dataset) (*Fleet, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.LocalEpochs <= 0 {
+		cfg.LocalEpochs = 1
+	}
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return nil, fmt.Errorf("fleet: participation %v outside [0, 1]", cfg.Participation)
+	}
+	if cfg.DropoutRate < 0 || cfg.DropoutRate >= 1 {
+		return nil, fmt.Errorf("fleet: dropout rate %v outside [0, 1)", cfg.DropoutRate)
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = func() trainer.Optimizer { return trainer.NewSGD(0.05) }
+	}
+	if cfg.Aggregator == nil {
+		cfg.Aggregator = NewFedAvg()
+	}
+	if model == nil || ds == nil {
+		return nil, fmt.Errorf("fleet: nil model factory or dataset")
+	}
+
+	global, err := model()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building global model: %w", err)
+	}
+	if global == nil || global.Len() == 0 {
+		return nil, fmt.Errorf("fleet: model factory produced an empty chain")
+	}
+	f := &Fleet{
+		cfg:        cfg,
+		agg:        cfg.Aggregator,
+		global:     global,
+		globalPs:   global.Params(),
+		modelBytes: nn.ParamBytes(global.Stages),
+	}
+
+	n := len(cfg.Workers)
+	for i, spec := range cfg.Workers {
+		if spec.Name == "" {
+			name := spec.Device.Name
+			if name == "" {
+				name = "node"
+			}
+			spec.Name = fmt.Sprintf("w%d-%s", i, name)
+		}
+		if spec.BudgetBytes <= 0 {
+			spec.BudgetBytes = spec.Device.MemoryBytes
+		}
+		replica, err := model()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: building %s replica: %w", spec.Name, err)
+		}
+		if err := sameParams(f.globalPs, replica.Params()); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: model factory is not deterministic (%s): %w", spec.Name, err)
+		}
+		w := &Worker{
+			Index:       i,
+			Spec:        spec,
+			Chain:       replica,
+			Shard:       trainer.Shard(ds, n, i),
+			opt:         cfg.Optimizer(),
+			batch:       cfg.BatchSize,
+			localEpochs: cfg.LocalEpochs,
+		}
+		if err := w.configurePlanning(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.workers = append(f.workers, w)
+		if w.Shard.Len() > 0 {
+			f.active = append(f.active, i)
+		}
+	}
+	return f, nil
+}
+
+// configurePlanning sizes the worker's budget-aware checkpoint policy from
+// its shard and budget, runs the auto selection once so the report can show
+// what the budget picked, and attaches the tiered spill store.
+func (w *Worker) configurePlanning() error {
+	if w.Shard.Len() == 0 {
+		// An idle worker never executes a step; keep the zero Choice and the
+		// default (store-all) policy.
+		return nil
+	}
+	size := w.batch
+	if size <= 0 || size > w.Shard.Len() {
+		size = w.Shard.Len()
+	}
+	probe := w.Shard.Batch(0, size)
+	if size == w.Shard.Len() {
+		w.fullBatch = probe // seed the RoundBatch cache
+	}
+	spec := plan.ChainSpec{
+		Length:          w.Chain.Len(),
+		WeightBytes:     2 * nn.ParamBytes(w.Chain.Stages),
+		ActivationBytes: probe.Images.Bytes(),
+	}
+	var opts []plan.Option
+	if w.Spec.BudgetBytes > 0 {
+		opts = append(opts, plan.WithMemoryBudget(w.Spec.BudgetBytes))
+	}
+	choice, err := plan.AutoSelect(spec, opts...)
+	if err != nil {
+		return fmt.Errorf("fleet: %s (budget %d bytes): %w", w.Spec.Name, w.Spec.BudgetBytes, err)
+	}
+	w.Choice = choice
+	spill, err := store.NewTiered(w.Spec.SpillDir)
+	if err != nil {
+		return fmt.Errorf("fleet: %s spill store: %w", w.Spec.Name, err)
+	}
+	w.spill = spill
+	w.policy = chain.Policy{
+		Kind:            "auto",
+		MemoryBudget:    w.Spec.BudgetBytes,
+		WeightBytes:     spec.WeightBytes,
+		ActivationBytes: spec.ActivationBytes,
+		Store:           spill,
+	}
+	return nil
+}
+
+// sameParams verifies two parameter lists are structurally and bit-wise
+// identical.
+func sameParams(a, b []*nn.Param) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d parameters vs %d", len(a), len(b))
+	}
+	for i := range a {
+		av, bv := a[i].Value.Data(), b[i].Value.Data()
+		if len(av) != len(bv) {
+			return fmt.Errorf("parameter %s: %d values vs %d", a[i].Name, len(av), len(bv))
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				return fmt.Errorf("parameter %s differs at element %d", a[i].Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Global returns the global model the aggregation rounds update.
+//
+// Aggregation exchanges trainable parameters only. Layer state outside
+// Params() — batch normalisation running mean/variance — is updated on the
+// workers during their local forward passes but never folded back, so the
+// global chain keeps its initial running statistics (the classic FedAvg/
+// batch-norm caveat). Before evaluating the global model in inference mode,
+// calibrate those statistics with a few forward passes in training mode
+// over representative data, or evaluate on a worker replica instead.
+func (f *Fleet) Global() *chain.Chain { return f.global }
+
+// Workers returns the fleet members.
+func (f *Fleet) Workers() []*Worker { return f.workers }
+
+// ModelBytes returns the size of one full-model update on the wire (the
+// serialised fp64 parameter payload), the unit of the traffic accounting.
+func (f *Fleet) ModelBytes() int64 { return f.modelBytes }
+
+// Close releases the workers' spill stores.
+func (f *Fleet) Close() error {
+	var first error
+	for _, w := range f.workers {
+		if w.spill != nil {
+			if err := w.spill.Close(); err != nil && first == nil {
+				first = err
+			}
+			w.spill = nil
+		}
+	}
+	return first
+}
+
+// roundRNG derives the deterministic generator for one round's fleet
+// decisions. It depends only on the seed and the round index, so Round(r)
+// draws identically whether or not earlier rounds ran.
+func (f *Fleet) roundRNG(round int) *tensor.RNG {
+	return tensor.NewRNG(f.cfg.Seed ^ (uint64(round+1) * 0x9e3779b97f4a7c15))
+}
+
+// Round executes one aggregation round: select participants, broadcast the
+// global parameters, run the participants concurrently (with any configured
+// straggler delays and dropout failures), fold the surviving updates in
+// ascending worker order, and account the round's traffic.
+//
+// Every stochastic decision is drawn from a per-round seeded generator in
+// worker-index order before any goroutine starts, and the fold order is
+// fixed, so the updated global parameters are bit-identical regardless of
+// how the goroutines are scheduled.
+func (f *Fleet) Round(round int) (RoundStats, error) {
+	n := len(f.workers)
+	rs := RoundStats{Round: round, Workers: make([]WorkerRoundStats, n)}
+	for i := range rs.Workers {
+		rs.Workers[i].Worker = i
+	}
+
+	// Deterministic pre-draws: participants, then dropout, in index order.
+	rng := f.roundRNG(round)
+	participants := f.selectParticipants(rng)
+	dropped := make([]bool, n)
+	if f.cfg.DropoutRate > 0 {
+		for _, i := range participants {
+			dropped[i] = rng.Float64() < f.cfg.DropoutRate
+		}
+	}
+
+	// Broadcast: every participant downloads the current global model.
+	for _, i := range participants {
+		w := f.workers[i]
+		for k, p := range w.Chain.Params() {
+			copy(p.Value.Data(), f.globalPs[k].Value.Data())
+		}
+		rs.Workers[i].Participated = true
+		rs.Workers[i].DownloadBytes = f.modelBytes
+		rs.DownlinkBytes += f.modelBytes
+	}
+
+	// Concurrent local computation, one goroutine per surviving participant.
+	// Goroutine i writes only updates[i], errs[i] and rs.Workers[i].
+	updates := make([]*Update, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for _, i := range participants {
+		if dropped[i] {
+			rs.Workers[i].Dropped = true
+			rs.Dropouts++
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ws := &rs.Workers[i]
+			if f.cfg.StragglerDelay != nil {
+				if d := f.cfg.StragglerDelay(round, i); d > 0 {
+					ws.Delay = d
+					time.Sleep(d)
+				}
+			}
+			start := time.Now()
+			u, err := f.agg.Local(f.workers[i], round)
+			ws.Duration = time.Since(start)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			u.Worker = i
+			updates[i] = &u
+		}(i)
+	}
+	wg.Wait()
+
+	// Collect in ascending worker order — the deterministic fold order the
+	// Aggregator contract requires — and account the upload traffic.
+	var folded []Update
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return rs, fmt.Errorf("fleet: round %d: worker %s: %w", round, f.workers[i].Spec.Name, errs[i])
+		}
+		u := updates[i]
+		if u == nil || u.Samples == 0 {
+			// Not selected, dropped, or an empty shard: nothing to upload.
+			continue
+		}
+		ws := &rs.Workers[i]
+		ws.Samples = u.Samples
+		ws.Loss = u.Loss
+		ws.ForwardEvals = u.ForwardEvals
+		ws.BackwardEvals = u.BackwardEvals
+		ws.PeakStates = u.PeakStates
+		ws.PeakRAMBytes = u.PeakRAMBytes
+		ws.PeakDiskBytes = u.PeakDiskBytes
+		ws.DiskWrites = u.DiskWrites
+		ws.DiskReads = u.DiskReads
+		ws.UploadBytes = f.modelBytes
+		rs.UplinkBytes += f.modelBytes
+		rs.Participants++
+		folded = append(folded, *u)
+	}
+	if len(folded) > 0 {
+		if err := f.agg.Fold(f.globalPs, folded); err != nil {
+			return rs, fmt.Errorf("fleet: round %d: %s fold: %w", round, f.agg.Name(), err)
+		}
+	}
+	rs.Loss = weightedLoss(folded)
+	return rs, nil
+}
+
+// selectParticipants draws the round's participant set from the workers
+// with non-empty shards (an idle worker has nothing to train or upload, so
+// it exchanges no traffic either): all of them under full participation,
+// otherwise a uniform subset of the size edgesim.ParticipantsPerRound
+// prescribes, returned in ascending order.
+func (f *Fleet) selectParticipants(rng *tensor.RNG) []int {
+	n := len(f.active)
+	k := edgesim.ParticipantsPerRound(n, f.cfg.Participation)
+	if k >= n {
+		return f.active
+	}
+	perm := rng.Perm(n)[:k]
+	sel := make([]int, 0, k)
+	for _, p := range perm {
+		sel = append(sel, f.active[p])
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// weightedLoss is the sample-weighted mean loss of the folded updates.
+func weightedLoss(updates []Update) float64 {
+	var total, sum float64
+	for _, u := range updates {
+		if u.Samples <= 0 {
+			continue
+		}
+		total += float64(u.Samples)
+		sum += float64(u.Samples) * u.Loss
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// Run executes the configured number of rounds and assembles the report.
+func (f *Fleet) Run() (*Report, error) {
+	rep := f.newReport()
+	for r := 0; r < f.cfg.Rounds; r++ {
+		rs, err := f.Round(r)
+		if err != nil {
+			return nil, err
+		}
+		rep.add(rs)
+	}
+	return rep, nil
+}
+
+// FederatedModel maps a measured fleet run onto the analytical federated
+// model of internal/edgesim: the same count of trainable (non-idle)
+// workers, round count, measured full-model update size and participation
+// fraction, over the default node workload. edgesim.SimulateFederated on
+// the returned config reproduces the fleet's measured uplink and downlink
+// byte totals exactly (absent dropout, which the analytical model does not
+// represent), which is the cross-validation between the executable system
+// and the cost model.
+func (f *Fleet) FederatedModel() edgesim.FederatedConfig {
+	fc := edgesim.DefaultFleetConfig()
+	fc.Nodes = len(f.active)
+	fc.Node.ModelBytes = f.modelBytes
+	return edgesim.FederatedConfig{
+		Fleet:          fc,
+		Rounds:         f.cfg.Rounds,
+		UpdateFraction: 1,
+		Participation:  f.cfg.Participation,
+	}
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/edgeml/edgetrain/plan"
+)
+
+// WorkerRoundStats reports one worker's share of one round.
+type WorkerRoundStats struct {
+	Worker       int
+	Participated bool // selected for the round (received the broadcast)
+	Dropped      bool // selected but failed before uploading
+	Samples      int  // samples behind the worker's update (0 = no contribution)
+	Loss         float64
+	Delay        time.Duration // injected straggler delay
+	Duration     time.Duration // wall-clock of the local computation
+
+	// Execution cost of the local computation.
+	ForwardEvals  int
+	BackwardEvals int
+	PeakStates    int
+	PeakRAMBytes  int64 // peak retained-state bytes in RAM (excl. weights)
+	PeakDiskBytes int64 // peak flash-resident checkpoint bytes
+	DiskWrites    int
+	DiskReads     int
+
+	// Modeled traffic of the round for this worker.
+	UploadBytes   int64
+	DownloadBytes int64
+}
+
+// RoundStats reports one aggregation round.
+type RoundStats struct {
+	Round         int
+	Participants  int // workers whose update was folded
+	Dropouts      int // selected workers that failed before uploading
+	Loss          float64
+	UplinkBytes   int64
+	DownlinkBytes int64
+	Workers       []WorkerRoundStats // index-aligned with the fleet's workers
+}
+
+// WorkerSummary aggregates one worker over a whole run.
+type WorkerSummary struct {
+	Index        int
+	Name         string
+	Device       string
+	BudgetBytes  int64
+	ShardSamples int
+	// Strategy is the checkpoint strategy the worker's budget auto-selected
+	// ("storeall", "revolve", "twolevel"; "idle" for an empty shard).
+	Strategy string
+	// Choice carries the full auto-selection (slots, predicted footprint).
+	Choice plan.AutoChoice
+
+	Rounds        int // rounds whose fold included this worker
+	Dropped       int // rounds lost to dropout
+	PeakRAMBytes  int64
+	PeakDiskBytes int64
+	DiskWrites    int
+	DiskReads     int
+	UploadBytes   int64
+	DownloadBytes int64
+}
+
+// Report is the measured outcome of a fleet run.
+type Report struct {
+	Aggregator    string
+	ModelBytes    int64 // one full-model update on the wire
+	Participation float64
+	Workers       []WorkerSummary
+	Rounds        []RoundStats
+
+	TotalUplinkBytes   int64
+	TotalDownlinkBytes int64
+	FinalLoss          float64
+}
+
+// newReport pre-fills the per-worker summaries from the fleet configuration.
+func (f *Fleet) newReport() *Report {
+	rep := &Report{
+		Aggregator:    f.agg.Name(),
+		ModelBytes:    f.modelBytes,
+		Participation: f.cfg.Participation,
+	}
+	for _, w := range f.workers {
+		strategy := w.Choice.Strategy
+		if w.Shard.Len() == 0 {
+			strategy = "idle"
+		}
+		rep.Workers = append(rep.Workers, WorkerSummary{
+			Index:        w.Index,
+			Name:         w.Spec.Name,
+			Device:       w.Spec.Device.Name,
+			BudgetBytes:  w.Spec.BudgetBytes,
+			ShardSamples: w.Shard.Len(),
+			Strategy:     strategy,
+			Choice:       w.Choice,
+		})
+	}
+	return rep
+}
+
+// add folds one round into the report.
+func (rep *Report) add(rs RoundStats) {
+	rep.Rounds = append(rep.Rounds, rs)
+	rep.TotalUplinkBytes += rs.UplinkBytes
+	rep.TotalDownlinkBytes += rs.DownlinkBytes
+	if rs.Participants > 0 {
+		rep.FinalLoss = rs.Loss
+	}
+	for i := range rs.Workers {
+		ws := &rs.Workers[i]
+		sum := &rep.Workers[i]
+		if ws.Samples > 0 {
+			sum.Rounds++
+		}
+		if ws.Dropped {
+			sum.Dropped++
+		}
+		sum.PeakRAMBytes = max(sum.PeakRAMBytes, ws.PeakRAMBytes)
+		sum.PeakDiskBytes = max(sum.PeakDiskBytes, ws.PeakDiskBytes)
+		sum.DiskWrites += ws.DiskWrites
+		sum.DiskReads += ws.DiskReads
+		sum.UploadBytes += ws.UploadBytes
+		sum.DownloadBytes += ws.DownloadBytes
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / 1e6 }
+
+// Render formats the report as the fleet counterpart of edgesim.Render.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet training report: %s, %d workers, %d rounds, %.2f MB model updates\n",
+		rep.Aggregator, len(rep.Workers), len(rep.Rounds), mb(rep.ModelBytes))
+	fmt.Fprintf(&b, "%-22s%-20s%12s%8s%12s%15s%12s%9s%8s\n",
+		"worker", "device", "budget (MB)", "shard", "strategy", "peak RAM (MB)", "flash (MB)", "writes", "reads")
+	for _, w := range rep.Workers {
+		fmt.Fprintf(&b, "%-22s%-20s%12.2f%8d%12s%15.3f%12.3f%9d%8d\n",
+			w.Name, w.Device, mb(w.BudgetBytes), w.ShardSamples, w.Strategy,
+			mb(w.PeakRAMBytes), mb(w.PeakDiskBytes), w.DiskWrites, w.DiskReads)
+	}
+	fmt.Fprintf(&b, "%-10s%14s%12s%10s%14s%16s\n",
+		"round", "participants", "dropouts", "loss", "uplink (MB)", "downlink (MB)")
+	for _, rs := range rep.Rounds {
+		fmt.Fprintf(&b, "%-10d%14d%12d%10.4f%14.2f%16.2f\n",
+			rs.Round, rs.Participants, rs.Dropouts, rs.Loss, mb(rs.UplinkBytes), mb(rs.DownlinkBytes))
+	}
+	fmt.Fprintf(&b, "totals: uplink %.2f MB, downlink %.2f MB, final loss %.4f\n",
+		mb(rep.TotalUplinkBytes), mb(rep.TotalDownlinkBytes), rep.FinalLoss)
+	return b.String()
+}

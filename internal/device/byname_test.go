@@ -11,7 +11,30 @@ func TestByName(t *testing.T) {
 	if err != nil || d.Name != CloudGPU().Name {
 		t.Fatalf("ByName(cloud) = %v, %v", d, err)
 	}
+	d, err = ByName("jetson")
+	if err != nil || d.Name != JetsonNano().Name {
+		t.Fatalf("ByName(jetson) = %v, %v", d, err)
+	}
+	d, err = ByName("rpi")
+	if err != nil || d.Name != RaspberryPi().Name {
+		t.Fatalf("ByName(rpi) = %v, %v", d, err)
+	}
 	if _, err := ByName("toaster"); err == nil {
 		t.Fatal("unknown device accepted")
+	}
+}
+
+// TestFleetDeviceOrdering pins the relation the heterogeneous fleet mixes
+// rely on: the Jetson outclasses the Waggle node, which outclasses the Pi,
+// in both memory and compute.
+func TestFleetDeviceOrdering(t *testing.T) {
+	j, w, p := JetsonNano(), Waggle(), RaspberryPi()
+	if !(j.MemoryBytes > w.MemoryBytes && w.MemoryBytes > p.MemoryBytes) {
+		t.Fatalf("memory ordering violated: jetson %d, waggle %d, rpi %d",
+			j.MemoryBytes, w.MemoryBytes, p.MemoryBytes)
+	}
+	if !(j.ComputeGFLOPS > w.ComputeGFLOPS && w.ComputeGFLOPS > p.ComputeGFLOPS) {
+		t.Fatalf("compute ordering violated: jetson %v, waggle %v, rpi %v",
+			j.ComputeGFLOPS, w.ComputeGFLOPS, p.ComputeGFLOPS)
 	}
 }

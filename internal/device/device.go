@@ -47,17 +47,55 @@ func Waggle() Device {
 	}
 }
 
-// ByName resolves a device by its short name, for command-line -device
-// flags: "waggle" (the ODROID XU4 payload node) or "cloud" (the datacentre
-// GPU comparison point).
+// JetsonNano returns an NVIDIA Jetson Nano class node: the stronger end of
+// the heterogeneous fleet mixes the fleet package trains across — 4 GB
+// LPDDR4, a 128-core Maxwell GPU (~236 GFLOPS sustained at fp32) and a
+// 5-10 W power envelope.
+func JetsonNano() Device {
+	return Device{
+		Name:                    "jetson-nano",
+		MemoryBytes:             4 << 30,
+		StorageBytes:            64 << 30,
+		ComputeGFLOPS:           236,
+		NetworkMbps:             100,
+		IdlePowerWatts:          1.5,
+		ActivePowerWatts:        10,
+		NetworkEnergyJoulePerMB: 1.2,
+	}
+}
+
+// RaspberryPi returns a Raspberry Pi 3B class node: the weaker end of the
+// heterogeneous fleet mixes — 1 GB LPDDR2, a quad-A53 CPU (~5 GFLOPS
+// sustained) and SD storage.
+func RaspberryPi() Device {
+	return Device{
+		Name:                    "raspberry-pi-3b",
+		MemoryBytes:             1 << 30,
+		StorageBytes:            16 << 30,
+		ComputeGFLOPS:           5,
+		NetworkMbps:             35,
+		IdlePowerWatts:          1.3,
+		ActivePowerWatts:        5.5,
+		NetworkEnergyJoulePerMB: 2.5,
+	}
+}
+
+// ByName resolves a device by its short name, for command-line -device and
+// -device-mix flags: "waggle" (the ODROID XU4 payload node), "jetson" and
+// "rpi" (the heterogeneous fleet endpoints) or "cloud" (the datacentre GPU
+// comparison point).
 func ByName(name string) (Device, error) {
 	switch name {
 	case "waggle", "odroid", "edge":
 		return Waggle(), nil
+	case "jetson", "nano", "jetson-nano":
+		return JetsonNano(), nil
+	case "rpi", "pi", "raspberry-pi", "raspberrypi":
+		return RaspberryPi(), nil
 	case "cloud", "gpu":
 		return CloudGPU(), nil
 	default:
-		return Device{}, fmt.Errorf("device: unknown device %q (want waggle or cloud)", name)
+		return Device{}, fmt.Errorf("device: unknown device %q (want waggle, jetson, rpi or cloud)", name)
 	}
 }
 

@@ -2,6 +2,7 @@ package edgesim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -22,6 +23,27 @@ type FederatedConfig struct {
 	// UpdateFraction is the size of one uploaded update relative to the full
 	// model (1.0 for full weights, smaller for sparsified/quantised updates).
 	UpdateFraction float64
+	// Participation is the fraction of nodes selected per round (partial
+	// participation); zero means full participation. The selected count is
+	// max(1, round(Participation*Nodes)) — the same rule the executable
+	// fleet package applies, so the two accountings agree exactly.
+	Participation float64
+}
+
+// ParticipantsPerRound returns how many nodes exchange updates in one round
+// under the participation fraction p (zero meaning full participation).
+func ParticipantsPerRound(nodes int, p float64) int {
+	if p <= 0 || p >= 1 {
+		return nodes
+	}
+	k := int(math.Round(p * float64(nodes)))
+	if k < 1 {
+		k = 1
+	}
+	if k > nodes {
+		k = nodes
+	}
+	return k
 }
 
 // DefaultFederatedConfig runs weekly aggregation rounds with full-model
@@ -37,9 +59,10 @@ func DefaultFederatedConfig() FederatedConfig {
 // FederatedResult extends Result with the round structure of the exchange.
 type FederatedResult struct {
 	Result
-	Rounds          int
-	BytesPerRound   int64 // per node: upload + download of one round
-	UsefulWhenLocal bool  // whether the per-node specialisation survives averaging
+	Rounds               int
+	ParticipantsPerRound int   // nodes exchanging updates in one round
+	BytesPerRound        int64 // per participating node: upload + download of one round
+	UsefulWhenLocal      bool  // whether the per-node specialisation survives averaging
 }
 
 // SimulateFederated computes the traffic and energy of the federated strategy
@@ -51,6 +74,9 @@ func SimulateFederated(cfg FederatedConfig) (FederatedResult, []Result, error) {
 	if cfg.UpdateFraction <= 0 || cfg.UpdateFraction > 1 {
 		return FederatedResult{}, nil, fmt.Errorf("edgesim: update fraction %v outside (0, 1]", cfg.UpdateFraction)
 	}
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return FederatedResult{}, nil, fmt.Errorf("edgesim: participation %v outside [0, 1]", cfg.Participation)
+	}
 	base, err := Simulate(cfg.Fleet)
 	if err != nil {
 		return FederatedResult{}, nil, err
@@ -59,16 +85,20 @@ func SimulateFederated(cfg FederatedConfig) (FederatedResult, []Result, error) {
 	node := cfg.Fleet.Node
 	updateBytes := int64(float64(node.ModelBytes) * cfg.UpdateFraction)
 	perRound := updateBytes + node.ModelBytes // upload the update, download the aggregate
-	fleetNodes := int64(cfg.Fleet.Nodes)
+	participants := int64(ParticipantsPerRound(cfg.Fleet.Nodes, cfg.Participation))
 
-	res := FederatedResult{Rounds: cfg.Rounds, BytesPerRound: perRound}
+	res := FederatedResult{
+		Rounds:               cfg.Rounds,
+		ParticipantsPerRound: int(participants),
+		BytesPerRound:        perRound,
+	}
 	res.Strategy = "federated"
-	res.UplinkBytes = fleetNodes * updateBytes * int64(cfg.Rounds)
-	res.DownlinkBytes = fleetNodes * node.ModelBytes * int64(cfg.Rounds)
+	res.UplinkBytes = participants * updateBytes * int64(cfg.Rounds)
+	res.DownlinkBytes = participants * node.ModelBytes * int64(cfg.Rounds)
 	res.SensitiveImagesShared = 0
 	res.Specialised = false // averaging across viewpoints undoes per-node specialisation
 	res.UsefulWhenLocal = false
-	res.NodeRadioEnergyJ = float64(cfg.Fleet.Nodes) * cfg.Fleet.Edge.TransferEnergyJoules(perRound*int64(cfg.Rounds))
+	res.NodeRadioEnergyJ = float64(participants) * cfg.Fleet.Edge.TransferEnergyJoules(perRound*int64(cfg.Rounds))
 
 	// Local training cost is the same as the edge-training strategy.
 	for _, r := range base {
@@ -87,8 +117,8 @@ func SimulateFederated(cfg FederatedConfig) (FederatedResult, []Result, error) {
 func RenderFederated(fed FederatedResult, base []Result) string {
 	var b strings.Builder
 	b.WriteString(Render(append(append([]Result{}, base...), fed.Result)))
-	fmt.Fprintf(&b, "\nfederated exchange: %d rounds of %.1f MB per node per round\n",
-		fed.Rounds, float64(fed.BytesPerRound)/1e6)
+	fmt.Fprintf(&b, "\nfederated exchange: %d rounds of %.1f MB per node per round (%d participants/round)\n",
+		fed.Rounds, float64(fed.BytesPerRound)/1e6, fed.ParticipantsPerRound)
 	b.WriteString("note: averaging across nodes undoes the per-viewpoint specialisation that Section III is after;\n")
 	b.WriteString("federated updates are attractive when nodes share a common viewpoint distribution, not here.\n")
 	return b.String()

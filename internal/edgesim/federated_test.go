@@ -103,3 +103,51 @@ func TestRenderFederated(t *testing.T) {
 		t.Fatalf("render incomplete:\n%s", out)
 	}
 }
+
+func TestSimulateFederatedPartialParticipation(t *testing.T) {
+	cfg := DefaultFederatedConfig()
+	full, _, err := SimulateFederated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Participation = 0.5
+	half, _, err := SimulateFederated(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ParticipantsPerRound(cfg.Fleet.Nodes, 0.5)
+	if half.ParticipantsPerRound != k {
+		t.Fatalf("participants %d, want %d", half.ParticipantsPerRound, k)
+	}
+	wantUp := full.UplinkBytes * int64(k) / int64(cfg.Fleet.Nodes)
+	if half.UplinkBytes != wantUp {
+		t.Fatalf("uplink %d, want %d", half.UplinkBytes, wantUp)
+	}
+	if half.DownlinkBytes >= full.DownlinkBytes {
+		t.Fatalf("partial participation should cut downlink: %d vs %d", half.DownlinkBytes, full.DownlinkBytes)
+	}
+	// Per-participant round traffic is unchanged; only the participant count moves.
+	if half.BytesPerRound != full.BytesPerRound {
+		t.Fatalf("per-node round bytes changed: %d vs %d", half.BytesPerRound, full.BytesPerRound)
+	}
+	cfg.Participation = 1.5
+	if _, _, err := SimulateFederated(cfg); err == nil {
+		t.Fatal("participation > 1 accepted")
+	}
+}
+
+func TestParticipantsPerRound(t *testing.T) {
+	cases := []struct {
+		nodes int
+		p     float64
+		want  int
+	}{
+		{10, 0, 10}, {10, 1, 10}, {10, 0.5, 5}, {10, 0.26, 3},
+		{10, 0.01, 1}, {3, 0.5, 2}, {1, 0.1, 1},
+	}
+	for _, tc := range cases {
+		if got := ParticipantsPerRound(tc.nodes, tc.p); got != tc.want {
+			t.Errorf("ParticipantsPerRound(%d, %v) = %d, want %d", tc.nodes, tc.p, got, tc.want)
+		}
+	}
+}

@@ -124,6 +124,7 @@ type Linear struct {
 	hasBias bool
 	lastIn  *tensor.Tensor
 	dwBuf   *tensor.Tensor // reusable weight-gradient workspace
+	dbBuf   []float64      // reusable bias-gradient workspace
 }
 
 // NewLinear creates a fully connected layer with Kaiming-initialised weights.
@@ -170,13 +171,26 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulTNInto(l.dwBuf, gradOut, l.lastIn)
 	l.W.Grad.AddInPlace(l.dwBuf)
 	if l.hasBias {
+		// Column sums land in a scratch first so the whole-batch contribution
+		// reaches B.Grad as a single element-wise addition (the accumulation
+		// contract on Layer), not one addition per sample.
 		n := gradOut.Dim(0)
+		if cap(l.dbBuf) < l.Out {
+			l.dbBuf = make([]float64, l.Out)
+		}
+		db := l.dbBuf[:l.Out]
+		for j := range db {
+			db[j] = 0
+		}
 		gd, bg := gradOut.Data(), l.B.Grad.Data()
 		for i := 0; i < n; i++ {
 			row := gd[i*l.Out : (i+1)*l.Out]
 			for j := range row {
-				bg[j] += row[j]
+				db[j] += row[j]
 			}
+		}
+		for j := range db {
+			bg[j] += db[j]
 		}
 	}
 	return tensor.MatMul(gradOut, l.W.Value)

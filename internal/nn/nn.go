@@ -49,6 +49,14 @@ func (p *Param) Count() int { return p.Value.Size() }
 // checkpointed executor can snapshot stage outputs by reference and replay
 // forwards without corrupting retained states. Layers never mutate their
 // inputs or upstream gradients.
+//
+// Accumulation contract: Backward adds each parameter's whole-call gradient
+// contribution to Param.Grad with a single element-wise addition (computing
+// into a scratch first if the kernel reduces per sample), never one addition
+// per sample. Accumulating k batches without ZeroGrads therefore associates
+// exactly like folding the k per-batch gradients in call order — the
+// property that makes the fleet package's synchronous gradient all-reduce
+// bit-identical to single-node gradient accumulation over the same batches.
 type Layer interface {
 	// Name returns a short human-readable identifier.
 	Name() string

@@ -1,0 +1,100 @@
+package trainer
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Dataset sharding for fleet training: each edge worker owns a contiguous
+// slice of the global sample set. Contiguous (rather than strided) shards are
+// deliberate — the synthetic viewpoint datasets are ordered by node, so a
+// contiguous shard carries one node's label and viewpoint skew, which is the
+// non-IID setting federated training has to survive. Contiguity also means
+// the concatenation of the shards in index order reproduces the original
+// dataset exactly, the property the fleet's gradient-equivalence guarantee is
+// stated against.
+
+// ShardRange returns the half-open sample range [lo, hi) of the i-th of n
+// contiguous shards of a dataset with total samples. The first total%n shards
+// receive one extra sample, so shard sizes differ by at most one; shards
+// beyond the sample count are empty (lo == hi). It panics if n <= 0 or i is
+// outside [0, n), which are programming errors, not data conditions.
+func ShardRange(total, n, i int) (lo, hi int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("trainer: ShardRange with %d shards", n))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("trainer: ShardRange index %d outside [0, %d)", i, n))
+	}
+	if total < 0 {
+		total = 0
+	}
+	base, extra := total/n, total%n
+	lo = i*base + min(i, extra)
+	hi = lo + base
+	if i < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+// Shard returns the i-th of n contiguous shards of ds as a Dataset view. The
+// view fetches samples from ds on demand (it holds no copies); batches are
+// assembled exactly like SliceDataset batches, so a shard batch is
+// bit-identical to the corresponding rows of a batch over the full dataset.
+// A shard may be empty (when n exceeds the sample count); an empty shard
+// reports zero batches and its Batch returns the zero Batch.
+func Shard(ds Dataset, n, i int) Dataset {
+	lo, hi := ShardRange(ds.Len(), n, i)
+	return &shardDataset{ds: ds, lo: lo, n: hi - lo}
+}
+
+// shardDataset is a contiguous sample-range view of another Dataset.
+type shardDataset struct {
+	ds Dataset
+	lo int // first sample of the shard in ds
+	n  int // samples in the shard
+}
+
+// Len implements Dataset.
+func (s *shardDataset) Len() int { return s.n }
+
+// NumBatches implements Dataset.
+func (s *shardDataset) NumBatches(size int) int {
+	if size <= 0 || s.n == 0 {
+		return 0
+	}
+	return (s.n + size - 1) / size
+}
+
+// Batch implements Dataset by concatenating the shard's samples, fetched one
+// at a time from the underlying dataset (sample j of the shard is minibatch
+// lo+j of size 1).
+func (s *shardDataset) Batch(b, size int) Batch {
+	start := b * size
+	end := start + size
+	if end > s.n {
+		end = s.n
+	}
+	if start >= end {
+		return Batch{}
+	}
+	first := s.ds.Batch(s.lo+start, 1)
+	if first.Images == nil {
+		return Batch{}
+	}
+	shape := first.Images.Shape()
+	count := end - start
+	out := tensor.New(append([]int{count}, shape[1:]...)...)
+	per := first.Images.Size()
+	labels := make([]int, 0, count)
+	copy(out.Data()[:per], first.Images.Data())
+	labels = append(labels, first.Labels...)
+	for j := 1; j < count; j++ {
+		sample := s.ds.Batch(s.lo+start+j, 1)
+		copy(out.Data()[j*per:(j+1)*per], sample.Images.Data())
+		labels = append(labels, sample.Labels...)
+	}
+	return Batch{Images: out, Labels: labels}
+}

@@ -1,0 +1,158 @@
+package trainer
+
+import (
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// labelledDataset builds a SliceDataset of total single-pixel samples whose
+// values and labels encode the sample index, so tests can verify exactly
+// which samples a shard sees.
+func labelledDataset(total int) *SliceDataset {
+	var samples []Batch
+	for i := 0; i < total; i++ {
+		img := tensor.New(1, 1)
+		img.Set(float64(i), 0, 0)
+		samples = append(samples, Batch{Images: img, Labels: []int{i}})
+	}
+	return NewSliceDataset(samples)
+}
+
+func TestShardRangePartition(t *testing.T) {
+	cases := []struct {
+		total, n int
+		sizes    []int
+	}{
+		{10, 2, []int{5, 5}},
+		{7, 3, []int{3, 2, 2}}, // uneven: first shard takes the extra
+		{5, 4, []int{2, 1, 1, 1}},
+		{3, 5, []int{1, 1, 1, 0, 0}}, // more shards than samples: empties
+		{0, 3, []int{0, 0, 0}},
+		{4, 1, []int{4}},
+	}
+	for _, tc := range cases {
+		prev := 0
+		for i := 0; i < tc.n; i++ {
+			lo, hi := ShardRange(tc.total, tc.n, i)
+			if lo != prev {
+				t.Errorf("ShardRange(%d,%d,%d): lo=%d, want contiguous %d", tc.total, tc.n, i, lo, prev)
+			}
+			if hi-lo != tc.sizes[i] {
+				t.Errorf("ShardRange(%d,%d,%d): size=%d, want %d", tc.total, tc.n, i, hi-lo, tc.sizes[i])
+			}
+			prev = hi
+		}
+		if prev != tc.total {
+			t.Errorf("ShardRange(%d,%d,*): shards cover %d samples", tc.total, tc.n, prev)
+		}
+	}
+}
+
+func TestShardRangePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ShardRange(10, 0, 0) },
+		func() { ShardRange(10, 3, 3) },
+		func() { ShardRange(10, 3, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ShardRange accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShardSamplesAndBatches(t *testing.T) {
+	ds := labelledDataset(7)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		sh := Shard(ds, 3, i)
+		lo, hi := ShardRange(7, 3, i)
+		if sh.Len() != hi-lo {
+			t.Fatalf("shard %d: Len=%d, want %d", i, sh.Len(), hi-lo)
+		}
+		// One batch covering the whole shard must carry exactly its samples.
+		b := sh.Batch(0, sh.Len())
+		if b.Images.Dim(0) != sh.Len() || len(b.Labels) != sh.Len() {
+			t.Fatalf("shard %d: batch has %d images / %d labels", i, b.Images.Dim(0), len(b.Labels))
+		}
+		for j := 0; j < sh.Len(); j++ {
+			idx := int(b.Images.Data()[j])
+			if idx != lo+j || b.Labels[j] != lo+j {
+				t.Fatalf("shard %d sample %d: got sample %d (label %d), want %d", i, j, idx, b.Labels[j], lo+j)
+			}
+			if seen[idx] {
+				t.Fatalf("sample %d appears in two shards", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 7 {
+		t.Fatalf("shards cover %d of 7 samples", len(seen))
+	}
+}
+
+func TestShardSmallBatches(t *testing.T) {
+	ds := labelledDataset(7)
+	sh := Shard(ds, 3, 0) // samples 0,1,2
+	if nb := sh.NumBatches(2); nb != 2 {
+		t.Fatalf("NumBatches(2) = %d, want 2", nb)
+	}
+	b0, b1 := sh.Batch(0, 2), sh.Batch(1, 2)
+	if b0.Images.Dim(0) != 2 || b1.Images.Dim(0) != 1 {
+		t.Fatalf("batch sizes %d, %d; want 2, 1", b0.Images.Dim(0), b1.Images.Dim(0))
+	}
+	if got := []int{b0.Labels[0], b0.Labels[1], b1.Labels[0]}; got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("batch labels %v, want [0 1 2]", got)
+	}
+	if out := sh.Batch(2, 2); out.Images != nil {
+		t.Fatalf("out-of-range batch not empty")
+	}
+}
+
+func TestShardEmpty(t *testing.T) {
+	ds := labelledDataset(2)
+	sh := Shard(ds, 4, 3) // beyond the sample count
+	if sh.Len() != 0 {
+		t.Fatalf("empty shard Len = %d", sh.Len())
+	}
+	if nb := sh.NumBatches(4); nb != 0 {
+		t.Fatalf("empty shard NumBatches = %d", nb)
+	}
+	if b := sh.Batch(0, 4); b.Images != nil || b.Labels != nil {
+		t.Fatalf("empty shard Batch not zero: %+v", b)
+	}
+}
+
+// TestShardBatchBitIdentity pins the property the fleet's equivalence
+// guarantee relies on: a shard batch is bit-identical to the corresponding
+// rows of a batch over the full dataset.
+func TestShardBatchBitIdentity(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	var samples []Batch
+	for i := 0; i < 6; i++ {
+		samples = append(samples, Batch{
+			Images: tensor.RandNormal(rng, 0, 1, 1, 2, 3, 3),
+			Labels: []int{i % 3},
+		})
+	}
+	ds := NewSliceDataset(samples)
+	union := ds.Batch(0, 6)
+	per := samples[0].Images.Size()
+	for i := 0; i < 3; i++ {
+		sh := Shard(ds, 3, i)
+		b := sh.Batch(0, sh.Len())
+		lo, _ := ShardRange(6, 3, i)
+		want := union.Images.Data()[lo*per : (lo+sh.Len())*per]
+		got := b.Images.Data()
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("shard %d element %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
