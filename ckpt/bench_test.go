@@ -1,0 +1,87 @@
+package ckpt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// benchSession builds a training-session-sized checkpoint: ~1.6 MB of
+// parameters across 24 tensors plus Adam moments for each, comparable to
+// the small edge student with optimizer state.
+func benchSession() *Session {
+	rng := tensor.NewRNG(3)
+	s := &Session{Kind: "trainer", LibraryVersion: LibraryVersion, Epoch: 2, Step: 5, Seed: 9}
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("layer%02d.w", i)
+		t := tensor.RandNormal(rng, 0, 0.1, 16, 16, 4, 8)
+		s.Params = append(s.Params, NamedTensor{Name: name, Tensor: t})
+		s.Opt.Slots = append(s.Opt.Slots,
+			OptSlot{Param: name, Slot: "m", Data: make([]float64, t.Size())},
+			OptSlot{Param: name, Slot: "v", Data: make([]float64, t.Size())},
+		)
+	}
+	s.Opt.Name = "adam"
+	s.Opt.Step = 40
+	return s
+}
+
+// BenchmarkCheckpointSave measures one durable save — encode, temp file,
+// fsync, rename, manifest — in raw and compressed frame styles.
+func BenchmarkCheckpointSave(b *testing.B) {
+	for _, style := range []struct {
+		name string
+		opts []Option
+	}{{"raw", nil}, {"compressed", []Option{WithCompression()}}} {
+		b.Run(style.name, func(b *testing.B) {
+			s := benchSession()
+			d, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc, err := Encode(s, style.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Save(s, style.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointRestore measures one full load from the manifest —
+// read, CRC verification, decode — in raw and compressed frame styles.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	for _, style := range []struct {
+		name string
+		opts []Option
+	}{{"raw", nil}, {"compressed", []Option{WithCompression()}}} {
+		b.Run(style.name, func(b *testing.B) {
+			s := benchSession()
+			d, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := d.Save(s, style.opts...); err != nil {
+				b.Fatal(err)
+			}
+			enc, err := Encode(s, style.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(enc)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.Load(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,680 @@
+package ckpt
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/parallel"
+)
+
+// Format constants. The magic doubles as a human-greppable file signature.
+const (
+	// Magic is the 8-byte file signature opening every checkpoint.
+	Magic = "EDGCKPT1"
+	// FormatVersion is the current binary layout version.
+	FormatVersion = 1
+
+	headerBytes      = 16 // magic + version + frame count
+	frameHeaderBytes = 28 // type + style + encoded len + raw len + CRC32
+)
+
+// Frame styles: how a frame's payload bytes are encoded.
+const (
+	// StyleRaw stores the payload verbatim; encoded len == raw len.
+	StyleRaw = uint32(0)
+	// StyleDeflate stores the payload DEFLATE-compressed (compress/flate).
+	// Frames compress independently, so parallel encoding stays
+	// bit-deterministic.
+	StyleDeflate = uint32(1)
+)
+
+// Frame types: what one frame carries. Unknown types are a decode error, so
+// a flipped type byte can never be silently skipped.
+const (
+	frameMeta       = uint32(1) // cursors, seed, RNG, counts of the other frames
+	frameParam      = uint32(2) // one model parameter tensor
+	frameLayerState = uint32(3) // one non-trainable layer state tensor
+	frameOptMeta    = uint32(4) // optimizer name, step, slot count
+	frameOptSlot    = uint32(5) // one optimizer state vector
+	frameWorker     = uint32(6) // one fleet worker's progress
+)
+
+// Sanity bounds: a corrupt header must yield a typed error, not an absurd
+// allocation. Actual reads grow incrementally, so a lying length costs at
+// most the bytes really present in the stream.
+const (
+	maxFrames     = 1 << 22 // 4M frames
+	maxFrameBytes = int64(1) << 40
+	maxSlotElems  = int64(1) << 40
+)
+
+// Option tunes how a checkpoint is written.
+type Option func(*writeConfig)
+
+type writeConfig struct {
+	style uint32
+}
+
+// WithCompression selects the DEFLATE frame style for every frame. The
+// default is raw frames: on an SD-card-backed edge node the fsync dominates,
+// and raw bytes round-trip fastest.
+func WithCompression() Option {
+	return func(c *writeConfig) { c.style = StyleDeflate }
+}
+
+// flateWriters pools DEFLATE compressors: a fresh flate.Writer allocates
+// ~1 MB of window state, which would otherwise be paid once per frame.
+// Reset produces output bit-identical to a newly constructed writer, so
+// pooling does not perturb the format's determinism.
+var flateWriters = sync.Pool{New: func() any {
+	w, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+	if err != nil {
+		// BestSpeed is a valid level; NewWriter cannot fail on it.
+		panic(err)
+	}
+	return w
+}}
+
+// rawFrame is one frame before styling: its type and raw payload bytes.
+type rawFrame struct {
+	typ     uint32
+	payload []byte
+}
+
+// encFrame is one frame after styling: encoded payload plus header fields.
+type encFrame struct {
+	typ    uint32
+	style  uint32
+	rawLen uint64
+	crc    uint32
+	enc    []byte
+}
+
+// buildFrames lays the session out as raw frames in the canonical order:
+// meta, params, layer state, optimizer meta, optimizer slots, workers. The
+// order is part of the format: decode reassembles slices in frame order.
+func buildFrames(s *Session) ([]rawFrame, error) {
+	frames := make([]rawFrame, 0,
+		1+len(s.Params)+len(s.LayerState)+1+len(s.Opt.Slots)+len(s.Workers))
+
+	var meta bytes.Buffer
+	putString(&meta, s.Kind)
+	putString(&meta, s.LibraryVersion)
+	putInt64(&meta, int64(s.Epoch))
+	putInt64(&meta, int64(s.Step))
+	putInt64(&meta, int64(s.Round))
+	putInt64(&meta, int64(s.BatchSize))
+	putUint64(&meta, s.Seed)
+	putUint32(&meta, uint32(len(s.RNG)))
+	for _, w := range s.RNG {
+		putUint64(&meta, w)
+	}
+	putUint32(&meta, uint32(len(s.Params)))
+	putUint32(&meta, uint32(len(s.LayerState)))
+	putUint32(&meta, uint32(len(s.Opt.Slots)))
+	putUint32(&meta, uint32(len(s.Workers)))
+	frames = append(frames, rawFrame{frameMeta, meta.Bytes()})
+
+	for _, nt := range s.Params {
+		b, err := encodeNamedTensor(nt)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: encoding parameter %q: %w", nt.Name, err)
+		}
+		frames = append(frames, rawFrame{frameParam, b})
+	}
+	for _, nt := range s.LayerState {
+		b, err := encodeNamedTensor(nt)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: encoding layer state %q: %w", nt.Name, err)
+		}
+		frames = append(frames, rawFrame{frameLayerState, b})
+	}
+
+	var om bytes.Buffer
+	putString(&om, s.Opt.Name)
+	putInt64(&om, s.Opt.Step)
+	putUint32(&om, uint32(len(s.Opt.Slots)))
+	frames = append(frames, rawFrame{frameOptMeta, om.Bytes()})
+	for _, slot := range s.Opt.Slots {
+		frames = append(frames, rawFrame{frameOptSlot, encodeOptSlot(slot)})
+	}
+
+	for _, w := range s.Workers {
+		var wb bytes.Buffer
+		putString(&wb, w.Name)
+		putInt64(&wb, int64(w.Index))
+		putInt64(&wb, w.Rounds)
+		putInt64(&wb, w.Samples)
+		putString(&wb, w.Opt.Name)
+		putInt64(&wb, w.Opt.Step)
+		putUint32(&wb, uint32(len(w.Opt.Slots)))
+		for _, slot := range w.Opt.Slots {
+			wb.Write(encodeOptSlot(slot))
+		}
+		frames = append(frames, rawFrame{frameWorker, wb.Bytes()})
+	}
+	return frames, nil
+}
+
+func encodeNamedTensor(nt NamedTensor) ([]byte, error) {
+	if nt.Tensor == nil {
+		return nil, fmt.Errorf("nil tensor")
+	}
+	var b bytes.Buffer
+	b.Grow(4 + len(nt.Name) + int(nn.EncodedTensorBytes(nt.Tensor)))
+	putString(&b, nt.Name)
+	if err := nn.WriteTensor(&b, nt.Tensor); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func encodeOptSlot(slot OptSlot) []byte {
+	var b bytes.Buffer
+	b.Grow(8 + len(slot.Param) + len(slot.Slot) + 8 + 8*len(slot.Data))
+	putString(&b, slot.Param)
+	putString(&b, slot.Slot)
+	putUint64(&b, uint64(len(slot.Data)))
+	var scratch [8]byte
+	for _, v := range slot.Data {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		b.Write(scratch[:])
+	}
+	return b.Bytes()
+}
+
+// encodeAll styles the raw frames — compression and CRC, the expensive part
+// — in parallel. Every frame is encoded independently into its own buffer,
+// so the resulting bytes are identical at any worker count.
+func encodeAll(frames []rawFrame, style uint32) ([]encFrame, error) {
+	out := make([]encFrame, len(frames))
+	errs := make([]error, len(frames))
+	parallel.ForChunks(len(frames), 1, func(i, _, _ int) {
+		f := frames[i]
+		ef := encFrame{typ: f.typ, style: style, rawLen: uint64(len(f.payload))}
+		switch style {
+		case StyleRaw:
+			ef.enc = f.payload
+		case StyleDeflate:
+			var b bytes.Buffer
+			fw := flateWriters.Get().(*flate.Writer)
+			fw.Reset(&b)
+			_, err := fw.Write(f.payload)
+			if err == nil {
+				err = fw.Close()
+			}
+			flateWriters.Put(fw)
+			if err != nil {
+				errs[i] = fmt.Errorf("ckpt: compressing frame %d: %w", i, err)
+				return
+			}
+			ef.enc = b.Bytes()
+		default:
+			errs[i] = fmt.Errorf("ckpt: unknown frame style %d", style)
+			return
+		}
+		ef.crc = crc32.ChecksumIEEE(ef.enc)
+		out[i] = ef
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Write serializes the session to w in the framed checkpoint format. The
+// bytes written are identical to Encode's: both modes share this code path.
+func Write(w io.Writer, s *Session, opts ...Option) error {
+	var cfg writeConfig
+	cfg.style = StyleRaw
+	for _, o := range opts {
+		o(&cfg)
+	}
+	raw, err := buildFrames(s)
+	if err != nil {
+		return err
+	}
+	enc, err := encodeAll(raw, cfg.style)
+	if err != nil {
+		return err
+	}
+	var head [headerBytes]byte
+	copy(head[:8], Magic)
+	binary.LittleEndian.PutUint32(head[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(head[12:], uint32(len(enc)))
+	if _, err := w.Write(head[:]); err != nil {
+		return fmt.Errorf("ckpt: writing header: %w", err)
+	}
+	var fh [frameHeaderBytes]byte
+	for i, f := range enc {
+		binary.LittleEndian.PutUint32(fh[0:], f.typ)
+		binary.LittleEndian.PutUint32(fh[4:], f.style)
+		binary.LittleEndian.PutUint64(fh[8:], uint64(len(f.enc)))
+		binary.LittleEndian.PutUint64(fh[16:], f.rawLen)
+		binary.LittleEndian.PutUint32(fh[24:], f.crc)
+		if _, err := w.Write(fh[:]); err != nil {
+			return fmt.Errorf("ckpt: writing frame %d header: %w", i, err)
+		}
+		if _, err := w.Write(f.enc); err != nil {
+			return fmt.Errorf("ckpt: writing frame %d payload: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the session in memory, returning exactly the bytes Write
+// would stream.
+func Encode(s *Session, opts ...Option) ([]byte, error) {
+	var b bytes.Buffer
+	if err := Write(&b, s, opts...); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Read deserializes a checkpoint from r. Frame payloads are gathered
+// sequentially (the stream is read exactly once, in order) and then
+// CRC-checked, decompressed and parsed in parallel. Any structural problem
+// returns an error wrapping ErrCorrupt.
+func Read(r io.Reader) (*Session, error) {
+	var head [headerBytes]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, corruptf("reading header: %v", err)
+	}
+	if string(head[:8]) != Magic {
+		return nil, corruptf("bad magic %q", head[:8])
+	}
+	if v := binary.LittleEndian.Uint32(head[8:]); v != FormatVersion {
+		return nil, corruptf("unsupported format version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(head[12:])
+	if count == 0 || count > maxFrames {
+		return nil, corruptf("implausible frame count %d", count)
+	}
+
+	// Grow the frame table as frames actually arrive: a corrupt count cannot
+	// force one huge up-front allocation.
+	frames := make([]encFrame, 0, min(count, 4096))
+	for i := 0; i < int(count); i++ {
+		var fh [frameHeaderBytes]byte
+		if _, err := io.ReadFull(r, fh[:]); err != nil {
+			return nil, corruptf("reading frame %d header: %v", i, err)
+		}
+		f := encFrame{
+			typ:    binary.LittleEndian.Uint32(fh[0:]),
+			style:  binary.LittleEndian.Uint32(fh[4:]),
+			rawLen: binary.LittleEndian.Uint64(fh[16:]),
+			crc:    binary.LittleEndian.Uint32(fh[24:]),
+		}
+		encLen := binary.LittleEndian.Uint64(fh[8:])
+		if f.typ < frameMeta || f.typ > frameWorker {
+			return nil, corruptf("frame %d has unknown type %d", i, f.typ)
+		}
+		if f.style != StyleRaw && f.style != StyleDeflate {
+			return nil, corruptf("frame %d has unknown style %d", i, f.style)
+		}
+		if encLen > uint64(maxFrameBytes) || f.rawLen > uint64(maxFrameBytes) {
+			return nil, corruptf("frame %d has implausible length (%d encoded, %d raw)", i, encLen, f.rawLen)
+		}
+		if f.style == StyleRaw && encLen != f.rawLen {
+			return nil, corruptf("frame %d raw style with mismatched lengths (%d encoded, %d raw)", i, encLen, f.rawLen)
+		}
+		// Read through a growing buffer rather than one up-front allocation,
+		// so a lying length costs only the bytes actually present.
+		var b bytes.Buffer
+		b.Grow(int(min(encLen, 1<<20)))
+		if n, err := io.CopyN(&b, r, int64(encLen)); err != nil {
+			return nil, corruptf("reading frame %d payload: got %d of %d bytes: %v", i, n, encLen, err)
+		}
+		f.enc = b.Bytes()
+		frames = append(frames, f)
+	}
+	return decodeFrames(frames)
+}
+
+// Decode deserializes an in-memory checkpoint, additionally rejecting
+// trailing garbage after the last frame.
+func Decode(data []byte) (*Session, error) {
+	r := bytes.NewReader(data)
+	s, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, corruptf("%d trailing bytes after the last frame", r.Len())
+	}
+	return s, nil
+}
+
+// decodeFrames verifies and parses every frame in parallel, then assembles
+// the session in frame order and validates the counts the meta frame
+// declares, so dropped or duplicated frames are always detected.
+func decodeFrames(frames []encFrame) (*Session, error) {
+	type parsed struct {
+		meta   *Session
+		param  *NamedTensor
+		state  *NamedTensor
+		opt    *OptimizerState
+		slot   *OptSlot
+		worker *WorkerState
+	}
+	out := make([]parsed, len(frames))
+	errs := make([]error, len(frames))
+	parallel.ForChunks(len(frames), 1, func(i, _, _ int) {
+		f := frames[i]
+		if got := crc32.ChecksumIEEE(f.enc); got != f.crc {
+			errs[i] = corruptf("frame %d CRC mismatch (stored %#x, computed %#x)", i, f.crc, got)
+			return
+		}
+		payload := f.enc
+		if f.style == StyleDeflate {
+			var b bytes.Buffer
+			b.Grow(int(min(f.rawLen, 1<<20)))
+			// Read one byte beyond the declared raw length so an understating
+			// header is caught, not silently truncated.
+			n, err := io.Copy(&b, io.LimitReader(flate.NewReader(bytes.NewReader(f.enc)), int64(f.rawLen)+1))
+			if err != nil || uint64(n) != f.rawLen {
+				errs[i] = corruptf("frame %d decompresses to %d bytes, header says %d (%v)", i, n, f.rawLen, err)
+				return
+			}
+			payload = b.Bytes()
+		}
+		p := &out[i]
+		var err error
+		switch f.typ {
+		case frameMeta:
+			p.meta, err = parseMeta(payload)
+		case frameParam:
+			p.param, err = parseNamedTensor(payload)
+		case frameLayerState:
+			p.state, err = parseNamedTensor(payload)
+		case frameOptMeta:
+			p.opt, err = parseOptMeta(payload)
+		case frameOptSlot:
+			p.slot, err = parseOptSlot(payload)
+		case frameWorker:
+			p.worker, err = parseWorker(payload)
+		}
+		if err != nil {
+			errs[i] = corruptf("frame %d (type %d): %v", i, f.typ, err)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var s *Session
+	var optMeta *OptimizerState
+	for i := range out {
+		p := &out[i]
+		switch {
+		case p.meta != nil:
+			if s != nil {
+				return nil, corruptf("duplicate meta frame")
+			}
+			s = p.meta
+		case s == nil:
+			return nil, corruptf("frame %d precedes the meta frame", i)
+		case p.param != nil:
+			s.Params = append(s.Params, *p.param)
+		case p.state != nil:
+			s.LayerState = append(s.LayerState, *p.state)
+		case p.opt != nil:
+			if optMeta != nil {
+				return nil, corruptf("duplicate optimizer meta frame")
+			}
+			optMeta = p.opt
+			s.Opt.Name = p.opt.Name
+			s.Opt.Step = p.opt.Step
+		case p.slot != nil:
+			s.Opt.Slots = append(s.Opt.Slots, *p.slot)
+		case p.worker != nil:
+			s.Workers = append(s.Workers, *p.worker)
+		}
+	}
+	if s == nil {
+		return nil, corruptf("missing meta frame")
+	}
+	if optMeta == nil {
+		return nil, corruptf("missing optimizer meta frame")
+	}
+	// The meta frame pins the expected composition; every mismatch means a
+	// frame was lost, duplicated or mistyped.
+	if len(s.Params) != s.declParams || len(s.LayerState) != s.declStates ||
+		len(s.Opt.Slots) != s.declOptSlots || len(s.Workers) != s.declWorkers ||
+		len(s.Opt.Slots) != optMeta.declSlots {
+		return nil, corruptf("frame composition mismatch: have %d params/%d states/%d opt slots/%d workers, meta declares %d/%d/%d/%d (optimizer meta %d slots)",
+			len(s.Params), len(s.LayerState), len(s.Opt.Slots), len(s.Workers),
+			s.declParams, s.declStates, s.declOptSlots, s.declWorkers, optMeta.declSlots)
+	}
+	// The declared counts served their purpose; return a plain-data session.
+	s.declParams, s.declStates, s.declOptSlots, s.declWorkers = 0, 0, 0, 0
+	s.Opt.declSlots = 0
+	return s, nil
+}
+
+// payloadReader is a bounds-checked little-endian cursor over one frame
+// payload. Every read error marks the payload corrupt.
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *payloadReader) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("truncated payload reading %s at offset %d", what, p.off)
+	}
+}
+
+func (p *payloadReader) take(n int, what string) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || p.off+n > len(p.b) || p.off+n < p.off {
+		p.fail(what)
+		return nil
+	}
+	b := p.b[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+func (p *payloadReader) uint32(what string) uint32 {
+	b := p.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (p *payloadReader) uint64(what string) uint64 {
+	b := p.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (p *payloadReader) int64(what string) int64 { return int64(p.uint64(what)) }
+
+func (p *payloadReader) string(what string) string {
+	n := p.uint32(what + " length")
+	if p.err != nil {
+		return ""
+	}
+	if n > uint32(len(p.b)) {
+		p.fail(what)
+		return ""
+	}
+	b := p.take(int(n), what)
+	return string(b)
+}
+
+func (p *payloadReader) done() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.off != len(p.b) {
+		return fmt.Errorf("%d leftover bytes in payload", len(p.b)-p.off)
+	}
+	return nil
+}
+
+// Declared-count fields live on Session/OptimizerState only during decoding;
+// they are never serialized from these fields (the meta frame carries them).
+// Keeping them unexported keeps the public structs plain data.
+
+func parseMeta(payload []byte) (*Session, error) {
+	p := &payloadReader{b: payload}
+	s := &Session{}
+	s.Kind = p.string("kind")
+	s.LibraryVersion = p.string("library version")
+	s.Epoch = int(p.int64("epoch"))
+	s.Step = int(p.int64("step"))
+	s.Round = int(p.int64("round"))
+	s.BatchSize = int(p.int64("batch size"))
+	s.Seed = p.uint64("seed")
+	nRNG := p.uint32("rng word count")
+	if p.err == nil && nRNG > 64 {
+		return nil, fmt.Errorf("implausible RNG word count %d", nRNG)
+	}
+	for i := uint32(0); i < nRNG && p.err == nil; i++ {
+		s.RNG = append(s.RNG, p.uint64("rng word"))
+	}
+	s.declParams = int(p.uint32("param count"))
+	s.declStates = int(p.uint32("layer state count"))
+	s.declOptSlots = int(p.uint32("opt slot count"))
+	s.declWorkers = int(p.uint32("worker count"))
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseNamedTensor(payload []byte) (*NamedTensor, error) {
+	p := &payloadReader{b: payload}
+	name := p.string("name")
+	if p.err != nil {
+		return nil, p.err
+	}
+	rest := p.b[p.off:]
+	t, err := nn.ReadTensor(bytes.NewReader(rest))
+	if err != nil {
+		return nil, err
+	}
+	if nn.EncodedTensorBytes(t) != int64(len(rest)) {
+		return nil, fmt.Errorf("%d leftover bytes after tensor %q", int64(len(rest))-nn.EncodedTensorBytes(t), name)
+	}
+	return &NamedTensor{Name: name, Tensor: t}, nil
+}
+
+func parseOptMeta(payload []byte) (*OptimizerState, error) {
+	p := &payloadReader{b: payload}
+	st := &OptimizerState{}
+	st.Name = p.string("optimizer name")
+	st.Step = p.int64("optimizer step")
+	st.declSlots = int(p.uint32("optimizer slot count"))
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// parseOptSlotAt reads one slot vector from the cursor.
+func parseOptSlotAt(p *payloadReader) (OptSlot, error) {
+	var slot OptSlot
+	slot.Param = p.string("slot parameter name")
+	slot.Slot = p.string("slot name")
+	n := p.uint64("slot element count")
+	if p.err != nil {
+		return slot, p.err
+	}
+	// Bound before the int conversion so 32-bit targets reject a lying
+	// count instead of truncating it (same discipline as nn.ReadTensor).
+	if n > uint64(maxSlotElems) || n > uint64(math.MaxInt/8) {
+		return slot, fmt.Errorf("implausible slot element count %d", n)
+	}
+	b := p.take(int(n)*8, "slot data")
+	if p.err != nil {
+		return slot, p.err
+	}
+	slot.Data = make([]float64, n)
+	for i := range slot.Data {
+		slot.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return slot, nil
+}
+
+func parseOptSlot(payload []byte) (*OptSlot, error) {
+	p := &payloadReader{b: payload}
+	slot, err := parseOptSlotAt(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return &slot, nil
+}
+
+func parseWorker(payload []byte) (*WorkerState, error) {
+	p := &payloadReader{b: payload}
+	w := &WorkerState{}
+	w.Name = p.string("worker name")
+	w.Index = int(p.int64("worker index"))
+	w.Rounds = p.int64("worker rounds")
+	w.Samples = p.int64("worker samples")
+	w.Opt.Name = p.string("worker optimizer name")
+	w.Opt.Step = p.int64("worker optimizer step")
+	nslots := p.uint32("worker slot count")
+	if p.err != nil {
+		return nil, p.err
+	}
+	if nslots > maxFrames {
+		return nil, fmt.Errorf("implausible worker slot count %d", nslots)
+	}
+	for i := uint32(0); i < nslots; i++ {
+		slot, err := parseOptSlotAt(p)
+		if err != nil {
+			return nil, err
+		}
+		w.Opt.Slots = append(w.Opt.Slots, slot)
+	}
+	if err := p.done(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Little-endian buffer writers for payload construction.
+
+func putUint32(b *bytes.Buffer, v uint32) {
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], v)
+	b.Write(s[:])
+}
+
+func putUint64(b *bytes.Buffer, v uint64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], v)
+	b.Write(s[:])
+}
+
+func putInt64(b *bytes.Buffer, v int64) { putUint64(b, uint64(v)) }
+
+func putString(b *bytes.Buffer, s string) {
+	putUint32(b, uint32(len(s)))
+	b.WriteString(s)
+}

@@ -1,0 +1,182 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadWithoutManifest(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, _, err := d.Load(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load on empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+	if _, err := d.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Latest on empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+func TestHasManifest(t *testing.T) {
+	dir := t.TempDir()
+	if HasManifest(dir) {
+		t.Fatal("HasManifest true on empty directory")
+	}
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := d.Save(sampleSession()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if !HasManifest(dir) {
+		t.Fatal("HasManifest false after a Save")
+	}
+	if HasManifest(filepath.Join(dir, "nope")) {
+		t.Fatal("HasManifest true on a missing directory")
+	}
+}
+
+// TestSavePrunesAndSequences saves repeatedly and asserts the directory
+// retains only the manifest plus the two newest checkpoints, with strictly
+// increasing sequence numbers.
+func TestSavePrunesAndSequences(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var names []string
+	for i := 0; i < 5; i++ {
+		s := sampleSession()
+		s.Step = i
+		name, err := d.Save(s)
+		if err != nil {
+			t.Fatalf("Save %d: %v", i, err)
+		}
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		a, _ := seqOf(names[i-1])
+		b, _ := seqOf(names[i])
+		if b <= a {
+			t.Fatalf("sequence not increasing: %s then %s", names[i-1], names[i])
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	if len(files) != 3 {
+		t.Fatalf("directory holds %v, want MANIFEST plus exactly two checkpoints", files)
+	}
+	for _, want := range []string{ManifestName, names[3], names[4]} {
+		found := false
+		for _, f := range files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("directory %v is missing %s", files, want)
+		}
+	}
+}
+
+// TestReopenContinuesSequence reopens a directory and asserts new saves do
+// not collide with leftovers of a crash mid-save: an orphan checkpoint the
+// manifest never came to reference is reclaimed (flash is scarce on the
+// target devices) and stale temp files are removed.
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := d.Save(sampleSession()); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	latest1, err := d.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that published ckpt-000009.ckpt but never updated the
+	// manifest, plus an abandoned temp file.
+	orphan := checkpointName(9)
+	b, err := Encode(sampleSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, orphan), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := ".tmp-" + checkpointName(2) + "-12345"
+	if err := os.WriteFile(filepath.Join(dir, stale), b[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	for _, gone := range []string{orphan, stale} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); err == nil {
+			t.Fatalf("reopen did not reclaim %s", gone)
+		}
+	}
+	name, err := d2.Save(sampleSession())
+	if err != nil {
+		t.Fatalf("Save after reopen: %v", err)
+	}
+	if n, _ := seqOf(name); n <= 1 {
+		t.Fatalf("save after reopen reused sequence %d", n)
+	}
+	s, from, err := d2.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if from != name {
+		t.Fatalf("Load used %s, want the new latest %s", from, name)
+	}
+	if s == nil || s.Kind != "trainer" {
+		t.Fatalf("unexpected session %+v", s)
+	}
+	// The old latest remains the fallback.
+	mb, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mb), "previous "+latest1) {
+		t.Fatalf("manifest %q does not reference previous %s", mb, latest1)
+	}
+}
+
+// TestMalformedManifest asserts garbage manifests yield typed errors, not
+// panics.
+func TestMalformedManifest(t *testing.T) {
+	for _, content := range []string{
+		"",
+		"not a manifest\nlatest x\n",
+		manifestHeader + "\n",
+		manifestHeader + "\nlatest\n",
+		manifestHeader + "\nlatest ../../etc/passwd\n",
+		manifestHeader + "\nwhatever ckpt-000001.ckpt\n",
+	} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		d := &Dir{path: dir, seq: 1}
+		if _, _, err := d.Load(); err == nil || errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("manifest %q: Load returned %v, want a parse error", content, err)
+		}
+	}
+}

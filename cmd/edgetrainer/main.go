@@ -17,6 +17,8 @@
 //	edgetrainer -policy auto -budget 2MB          # cheapest strategy fitting a RAM budget
 //	edgetrainer -policy auto -device waggle       # budget from the device's memory
 //	edgetrainer -policy twolevel -slots 2 -disk-slots 3 -store tiered   # real flash spilling
+//	edgetrainer -checkpoint-dir run1 -checkpoint-every 10   # durable checkpoints
+//	edgetrainer -resume run1                      # continue a killed run
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"log"
 	"strings"
 
+	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/device"
@@ -55,6 +58,10 @@ func main() {
 	samples := flag.Int("samples", 160, "synthetic training samples")
 	viewpoint := flag.Float64("viewpoint", 0.8, "node viewpoint skew in [0,1]")
 	seed := flag.Uint64("seed", 1, "random seed")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable training checkpoints")
+	ckptEvery := flag.Int("checkpoint-every", 10, "optimisation steps between durable checkpoints")
+	ckptCompress := flag.Bool("checkpoint-compress", false, "DEFLATE-compress checkpoint frames")
+	resume := flag.String("resume", "", "resume from the durable checkpoints in this directory")
 	flag.Parse()
 
 	cfg := resnet.DefaultSmallConfig()
@@ -140,8 +147,44 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Durable checkpointing and crash-safe resume. A -resume path must hold a
+	// manifest (it is rejected with a clear error otherwise); new checkpoints
+	// continue into -checkpoint-dir when given, else into the resume path.
+	start := trainer.Cursor{}
+	var cp *trainer.CheckpointPlan
+	resumeDir, saveDir, err := ckpt.OpenResume(*resume, *ckptDir)
+	if err != nil {
+		log.Fatalf("cannot resume: %v", err)
+	}
+	if saveDir != nil {
+		cp = &trainer.CheckpointPlan{Dir: saveDir, EverySteps: *ckptEvery, Compress: *ckptCompress, Seed: *seed}
+	}
+	if resumeDir != nil {
+		s, name, err := resumeDir.Load()
+		if err != nil {
+			log.Fatalf("cannot resume from %q: %v", *resume, err)
+		}
+		// The dataset and the model initialisation both derive from -seed, so
+		// resuming under a different seed would silently break bit-identity
+		// with the original run. Compared unconditionally: 0 is a legal seed,
+		// and edgetrainer always stamps its own into the checkpoints.
+		if s.Seed != *seed {
+			log.Fatalf("cannot resume from %q: %s was written with -seed %d, this run uses -seed %d",
+				*resume, name, s.Seed, *seed)
+		}
+		cur, err := tr.RestoreSession(s)
+		if err != nil {
+			log.Fatalf("cannot resume from %q: restoring %s: %v", *resume, name, err)
+		}
+		start = cur
+		fmt.Printf("resumed from %s at epoch %d, batch %d\n", *resume, cur.Epoch, cur.Batch)
+	}
+
 	fmt.Printf("edge student training: %d-stage %s, policy=%s, store=%s, batch=%d, viewpoint=%.2f\n",
 		c.Len(), cfg.Variant, *policy, kind, *batch, *viewpoint)
+	if cp != nil {
+		fmt.Printf("checkpointing to %s every %d steps\n", cp.Dir.Path(), cp.EverySteps)
+	}
 	if pol.MemoryBudget > 0 {
 		// MiB, matching the binary units -budget accepts, so the echoed
 		// number equals what the user typed.
@@ -159,7 +202,7 @@ func main() {
 			fmt.Println(choice)
 		}
 	}
-	stats, err := tr.Train(dataset)
+	stats, err := tr.TrainFrom(dataset, start, cp)
 	if err != nil {
 		log.Fatal(err)
 	}

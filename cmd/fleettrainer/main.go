@@ -14,6 +14,8 @@
 //	fleettrainer -budget 280KB,210KB,201KB                   # budgets forcing mixed strategies
 //	fleettrainer -agg allreduce -rounds 8                    # synchronous data-parallel SGD
 //	fleettrainer -dropout 0.2 -participation 0.5 -straggler 100ms
+//	fleettrainer -checkpoint-dir fleet1 -checkpoint-every 2  # durable round checkpoints
+//	fleettrainer -resume fleet1                              # continue a killed fleet
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/device"
@@ -48,6 +51,10 @@ func main() {
 	straggler := flag.Duration("straggler", 0, "maximum injected straggler delay per worker per round")
 	lr := flag.Float64("lr", 0.05, "learning rate")
 	seed := flag.Uint64("seed", 1, "random seed")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for durable round checkpoints")
+	ckptEvery := flag.Int("checkpoint-every", 1, "rounds between durable checkpoints")
+	ckptCompress := flag.Bool("checkpoint-compress", false, "DEFLATE-compress checkpoint frames")
+	resume := flag.String("resume", "", "resume from the durable checkpoints in this directory (requires the original -seed)")
 	flag.Parse()
 
 	if *nodes <= 0 {
@@ -144,8 +151,28 @@ func main() {
 	}
 	defer f.Close()
 
+	// Durable round checkpoints and crash-safe resume. A -resume path must
+	// hold a manifest (rejected with a clear error otherwise); new
+	// checkpoints continue into -checkpoint-dir when given, else into the
+	// resume path.
+	startRound := 0
+	resumeDir, dir, err := ckpt.OpenResume(*resume, *ckptDir)
+	if err != nil {
+		log.Fatalf("cannot resume: %v", err)
+	}
+	if resumeDir != nil {
+		startRound, err = f.ResumeFrom(resumeDir)
+		if err != nil {
+			log.Fatalf("cannot resume from %q: %v", *resume, err)
+		}
+		fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
+	}
+
 	fmt.Printf("fleet training: %d workers, %s aggregation, %d rounds, %d samples (non-IID shards)\n",
 		*nodes, aggregator.Name(), *rounds, dataset.Len())
+	if dir != nil {
+		fmt.Printf("checkpointing to %s every %d round(s)\n", dir.Path(), *ckptEvery)
+	}
 	for _, w := range f.Workers() {
 		if w.Choice.Strategy == "" {
 			fmt.Printf("  %-20s idle (empty shard)\n", w.Spec.Name)
@@ -155,7 +182,11 @@ func main() {
 			w.Spec.Name, float64(w.Spec.BudgetBytes)/1e6, w.Choice)
 	}
 
-	rep, err := f.Run()
+	var ckptOpts []ckpt.Option
+	if *ckptCompress {
+		ckptOpts = append(ckptOpts, ckpt.WithCompression())
+	}
+	rep, err := f.RunFrom(startRound, dir, *ckptEvery, ckptOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,16 @@
 //     checkpointing schedule and reproduces baseline gradients exactly.
 //   - store — the pluggable checkpoint stores (RAM references, the bit-exact
 //     disk codec, and the tiered store that really spills flash-tier slots).
+//   - ckpt — the durable checkpoint format and crash-safe resume engine: a
+//     framed binary on-disk format (magic + version header, per-frame
+//     type/length/CRC32, raw and DEFLATE styles, parallel encode/decode with
+//     worker-count-independent bytes) that serializes a complete training
+//     session — weights, batch-norm state, optimizer state, cursors and
+//     per-worker fleet progress — behind crash-safe saves (temp file, fsync,
+//     atomic rename, MANIFEST with automatic fallback). Both the trainer
+//     (SaveCheckpoint/ResumeFrom, mid-epoch at step boundaries) and the
+//     fleet (periodic round checkpoints, elastic resume) restart
+//     bit-identical to a never-interrupted run.
 //   - fleet — executable multi-node training: concurrent heterogeneous edge
 //     workers (per-worker budgets auto-select different checkpoint
 //     strategies), non-IID dataset shards, and deterministic aggregation by

@@ -7,6 +7,7 @@ package edgetrain
 // the registry.
 
 import (
+	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
@@ -110,6 +111,48 @@ const (
 	TierDisk = schedule.TierDisk
 )
 
+// Re-exported durable-checkpoint types; see package ckpt.
+type (
+	// CheckpointSession is the complete training state a durable checkpoint
+	// serializes (cursors, parameters, layer state, optimizer state,
+	// per-worker fleet progress).
+	CheckpointSession = ckpt.Session
+	// CheckpointDir manages a crash-safe checkpoint directory (atomic saves
+	// behind a MANIFEST with corruption fallback).
+	CheckpointDir = ckpt.Dir
+	// CheckpointOption tunes how checkpoints are written.
+	CheckpointOption = ckpt.Option
+)
+
+// Durable-checkpoint entry points; see package ckpt.
+var (
+	// OpenCheckpointDir prepares a crash-safe checkpoint directory.
+	OpenCheckpointDir = ckpt.Open
+	// HasCheckpointManifest reports whether a path holds a checkpoint
+	// manifest (the pre-flight check behind the CLIs' -resume validation).
+	HasCheckpointManifest = ckpt.HasManifest
+	// EncodeCheckpoint serializes a session to the framed binary format in
+	// memory; WriteCheckpoint streams the identical bytes to an io.Writer.
+	EncodeCheckpoint = ckpt.Encode
+	// WriteCheckpoint streams a session in the framed binary format.
+	WriteCheckpoint = ckpt.Write
+	// DecodeCheckpoint parses an in-memory checkpoint; ReadCheckpoint
+	// consumes the identical format from an io.Reader.
+	DecodeCheckpoint = ckpt.Decode
+	// ReadCheckpoint parses a checkpoint from a stream.
+	ReadCheckpoint = ckpt.Read
+	// WithCheckpointCompression selects DEFLATE-compressed frames.
+	WithCheckpointCompression = ckpt.WithCompression
+)
+
+// Durable-checkpoint sentinel errors; see package ckpt.
+var (
+	// ErrCheckpointCorrupt marks structurally invalid checkpoint bytes.
+	ErrCheckpointCorrupt = ckpt.ErrCorrupt
+	// ErrNoCheckpoint marks a directory that was never checkpointed into.
+	ErrNoCheckpoint = ckpt.ErrNoCheckpoint
+)
+
 // Version is the library version. The reproduction is tagged as a whole; the
 // individual internal packages do not carry separate versions.
-const Version = "2.2.0"
+const Version = ckpt.LibraryVersion

@@ -1,0 +1,191 @@
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+// Durable round checkpoints and elastic resume. A fleet checkpoint captures
+// the state that persists across rounds: the global model parameters, the
+// global optimizer's state (gradient all-reduce), each worker's local
+// optimizer state (FedAvg momentum/Adam), per-worker progress counters and
+// the next round to run. Everything else is reconstructed per round — every
+// participant starts a round by downloading the global parameters, and all
+// stochastic fleet decisions are drawn from a generator derived only from
+// (seed, round) — so a restarted process resumes from the last durable round
+// bit-identical to a never-interrupted fleet.
+//
+// Resume is elastic: worker state is matched by worker index, a rejoining
+// worker picks its saved optimizer state back up, a newly joined worker
+// starts with fresh state, and state saved for workers no longer configured
+// is dropped. Bit-identity with an uninterrupted run is guaranteed when the
+// fleet configuration (membership, seed, aggregation) is unchanged.
+
+// globalOptimizerHolder is implemented by aggregators that apply a global
+// optimizer whose state must survive checkpoint/resume (GradAllReduce).
+type globalOptimizerHolder interface {
+	GlobalOptimizer() trainer.Optimizer
+}
+
+// GlobalOptimizer exposes the all-reduce aggregator's global optimizer for
+// checkpointing.
+func (a *GradAllReduce) GlobalOptimizer() trainer.Optimizer { return a.Opt }
+
+// CaptureSession assembles the fleet's durable state with the given next
+// round cursor. Tensors are cloned; the fleet may keep running.
+func (f *Fleet) CaptureSession(nextRound int) (*ckpt.Session, error) {
+	s := &ckpt.Session{
+		Kind:           "fleet",
+		LibraryVersion: ckpt.LibraryVersion,
+		Round:          nextRound,
+		BatchSize:      f.cfg.BatchSize,
+		Seed:           f.cfg.Seed,
+		Params:         ckpt.CaptureParams(f.globalPs),
+		LayerState:     ckpt.CaptureLayerState(f.global.Stages),
+	}
+	if h, ok := f.agg.(globalOptimizerHolder); ok {
+		opt, err := trainer.CaptureOptimizerState(h.GlobalOptimizer(), f.globalPs)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: capturing global optimizer state: %w", err)
+		}
+		s.Opt = opt
+	}
+	for _, w := range f.workers {
+		opt, err := trainer.CaptureOptimizerState(w.opt, w.Chain.Params())
+		if err != nil {
+			return nil, fmt.Errorf("fleet: capturing %s optimizer state: %w", w.Spec.Name, err)
+		}
+		s.Workers = append(s.Workers, ckpt.WorkerState{
+			Index:   w.Index,
+			Name:    w.Spec.Name,
+			Rounds:  w.roundsDone,
+			Samples: w.samplesDone,
+			Opt:     opt,
+		})
+	}
+	return s, nil
+}
+
+// SaveCheckpoint durably writes the fleet state into the directory and
+// returns the checkpoint file name.
+func (f *Fleet) SaveCheckpoint(d *ckpt.Dir, nextRound int, opts ...ckpt.Option) (string, error) {
+	s, err := f.CaptureSession(nextRound)
+	if err != nil {
+		return "", err
+	}
+	return d.Save(s, opts...)
+}
+
+// ResumeFrom restores the fleet from the directory's newest loadable
+// checkpoint and returns the next round to run.
+func (f *Fleet) ResumeFrom(d *ckpt.Dir) (int, error) {
+	s, name, err := d.Load()
+	if err != nil {
+		return 0, err
+	}
+	next, err := f.RestoreSession(s)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: restoring %s: %w", name, err)
+	}
+	return next, nil
+}
+
+// RestoreSession applies a loaded fleet session and returns its next-round
+// cursor.
+func (f *Fleet) RestoreSession(s *ckpt.Session) (int, error) {
+	if s.Kind != "fleet" {
+		return 0, fmt.Errorf("fleet: checkpoint kind is %q, want \"fleet\"", s.Kind)
+	}
+	if s.Seed != f.cfg.Seed {
+		// The per-round generators derive from the seed alone; resuming under
+		// a different seed would draw different participants/dropouts and
+		// silently break bit-identity with the original run.
+		return 0, fmt.Errorf("fleet: checkpoint was written with seed %d, this fleet is configured with seed %d", s.Seed, f.cfg.Seed)
+	}
+	if s.BatchSize != f.cfg.BatchSize {
+		// RoundBatch visits shard batches round-robin by the local batch
+		// size, so resuming under a different one silently changes which
+		// samples the remaining rounds train on.
+		return 0, fmt.Errorf("fleet: checkpoint was written with batch size %d, this fleet is configured with %d", s.BatchSize, f.cfg.BatchSize)
+	}
+	// Pre-check every optimizer kind BEFORE mutating anything, so a
+	// mismatched resume leaves the fleet untouched (the all-or-nothing
+	// restore contract).
+	h, hasGlobalOpt := f.agg.(globalOptimizerHolder)
+	if !hasGlobalOpt && (s.Opt.Name != "" || s.Opt.Step != 0 || len(s.Opt.Slots) > 0) {
+		// A checkpoint written by an aggregator with a global optimizer
+		// (all-reduce) cannot be resumed into one without — dropping that
+		// state would silently change the trajectory.
+		return 0, fmt.Errorf("fleet: checkpoint carries global %q optimizer state but aggregator %q has no global optimizer",
+			s.Opt.Name, f.agg.Name())
+	}
+	if hasGlobalOpt && s.Opt.Name != h.GlobalOptimizer().Name() {
+		return 0, fmt.Errorf("fleet: checkpoint has global %q optimizer state but aggregator %q uses %q",
+			s.Opt.Name, f.agg.Name(), h.GlobalOptimizer().Name())
+	}
+	savedWorkers := make(map[int]*ckpt.WorkerState, len(s.Workers))
+	for i := range s.Workers {
+		savedWorkers[s.Workers[i].Index] = &s.Workers[i]
+	}
+	for _, w := range f.workers {
+		if ws, ok := savedWorkers[w.Index]; ok && ws.Opt.Name != w.opt.Name() {
+			return 0, fmt.Errorf("fleet: checkpoint has %q optimizer state for %s but the worker uses %q",
+				ws.Opt.Name, w.Spec.Name, w.opt.Name())
+		}
+	}
+	if err := s.ApplyParams(f.globalPs); err != nil {
+		return 0, err
+	}
+	if err := s.ApplyLayerState(f.global.Stages); err != nil {
+		return 0, err
+	}
+	if hasGlobalOpt {
+		if err := trainer.RestoreOptimizerState(h.GlobalOptimizer(), f.globalPs, s.Opt); err != nil {
+			return 0, fmt.Errorf("fleet: restoring global optimizer state: %w", err)
+		}
+	}
+	for _, w := range f.workers {
+		ws, ok := savedWorkers[w.Index]
+		if !ok {
+			continue // a worker that joined after the checkpoint starts fresh
+		}
+		if err := trainer.RestoreOptimizerState(w.opt, w.Chain.Params(), ws.Opt); err != nil {
+			return 0, fmt.Errorf("fleet: restoring %s optimizer state: %w", w.Spec.Name, err)
+		}
+		w.roundsDone = ws.Rounds
+		w.samplesDone = ws.Samples
+	}
+	return s.Round, nil
+}
+
+// RunFrom executes rounds startRound..Rounds-1 and assembles the report for
+// them. When d is non-nil it checkpoints durably: after every round r with
+// (r+1) divisible by everyRounds (an absolute cadence, so an interrupted and
+// resumed run checkpoints at the same rounds as an uninterrupted one), and
+// once after the final round. Run is RunFrom(0, nil, 0).
+func (f *Fleet) RunFrom(startRound int, d *ckpt.Dir, everyRounds int, opts ...ckpt.Option) (*Report, error) {
+	if startRound < 0 || startRound > f.cfg.Rounds {
+		return nil, fmt.Errorf("fleet: resume round %d outside [0, %d]", startRound, f.cfg.Rounds)
+	}
+	rep := f.newReport()
+	for r := startRound; r < f.cfg.Rounds; r++ {
+		rs, err := f.Round(r)
+		if err != nil {
+			return nil, err
+		}
+		rep.add(rs)
+		if d != nil && everyRounds > 0 && (r+1)%everyRounds == 0 && r+1 < f.cfg.Rounds {
+			if _, err := f.SaveCheckpoint(d, r+1, opts...); err != nil {
+				return nil, fmt.Errorf("fleet: checkpointing after round %d: %w", r, err)
+			}
+		}
+	}
+	if d != nil {
+		if _, err := f.SaveCheckpoint(d, f.cfg.Rounds, opts...); err != nil {
+			return nil, fmt.Errorf("fleet: writing completion checkpoint: %w", err)
+		}
+	}
+	return rep, nil
+}

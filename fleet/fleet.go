@@ -119,6 +119,10 @@ type Worker struct {
 	batch       int // effective local batch size (shard length when Config.BatchSize is 0)
 	localEpochs int
 	fullBatch   trainer.Batch // cached full-shard batch (the shard is immutable)
+
+	// Durable progress counters (checkpointed and restored by ckpt sessions).
+	roundsDone  int64 // rounds this worker's update was folded in
+	samplesDone int64 // samples behind those updates
 }
 
 // Policy returns the worker's checkpointing policy (budget-aware, routed
@@ -456,6 +460,8 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 		ws.UploadBytes = f.modelBytes
 		rs.UplinkBytes += f.modelBytes
 		rs.Participants++
+		f.workers[i].roundsDone++
+		f.workers[i].samplesDone += int64(u.Samples)
 		folded = append(folded, *u)
 	}
 	if len(folded) > 0 {
@@ -503,17 +509,10 @@ func weightedLoss(updates []Update) float64 {
 	return sum / total
 }
 
-// Run executes the configured number of rounds and assembles the report.
+// Run executes the configured number of rounds and assembles the report. It
+// is RunFrom from round zero with no checkpointing.
 func (f *Fleet) Run() (*Report, error) {
-	rep := f.newReport()
-	for r := 0; r < f.cfg.Rounds; r++ {
-		rs, err := f.Round(r)
-		if err != nil {
-			return nil, err
-		}
-		rep.add(rs)
-	}
-	return rep, nil
+	return f.RunFrom(0, nil, 0)
 }
 
 // FederatedModel maps a measured fleet run onto the analytical federated

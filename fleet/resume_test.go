@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+// fleetResumeConfig builds a fleet config with per-worker stateful
+// optimisers and fleet-scale failure knobs, so resume has real durable
+// state to carry: momentum velocities per worker, dropout draws per round.
+func fleetResumeConfig(agg Aggregator, seed uint64) Config {
+	return Config{
+		Workers: []WorkerSpec{
+			{Device: device.Waggle()},
+			{Device: device.JetsonNano()},
+			{Device: device.RaspberryPi()},
+		},
+		Rounds:      4,
+		Optimizer:   func() trainer.Optimizer { return trainer.NewMomentum(0.05, 0.9) },
+		Aggregator:  agg,
+		Seed:        seed,
+		DropoutRate: 0.3, // some selected workers drop and later rejoin
+	}
+}
+
+// TestFleetResumeBitIdentical kills a fleet after two rounds (checkpointed
+// durably) and resumes it in a fresh process: the final global parameters
+// must be bit-identical to a never-interrupted fleet — including rounds in
+// which a worker dropped out and rejoined, and per-worker optimizer state
+// carried across the restart.
+func TestFleetResumeBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		agg  func() Aggregator
+	}{
+		{"fedavg-momentum", func() Aggregator { return NewFedAvg() }},
+		{"allreduce-adam", func() Aggregator { return NewGradAllReduce(trainer.NewAdam(0.01)) }},
+	}
+	ds := makeDataset(12, 5)
+	factory := resnetFactory(11)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fleetResumeConfig(tc.agg(), 21)
+
+			// Uninterrupted reference fleet.
+			ref, err := New(cfg, factory, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			if _, err := ref.Run(); err != nil {
+				t.Fatal(err)
+			}
+			want := globalParams(t, ref)
+
+			// Victim fleet: two rounds, durable checkpoint, then "power loss"
+			// (the process state is simply abandoned).
+			dir, err := ckpt.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			victim, err := New(fleetResumeConfig(tc.agg(), 21), factory, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer victim.Close()
+			for r := 0; r < 2; r++ {
+				if _, err := victim.Round(r); err != nil {
+					t.Fatalf("victim round %d: %v", r, err)
+				}
+			}
+			if _, err := victim.SaveCheckpoint(dir, 2); err != nil {
+				t.Fatalf("SaveCheckpoint: %v", err)
+			}
+
+			// Restarted process: fresh fleet (fresh replicas, fresh worker
+			// optimisers), elastic resume, remaining rounds.
+			resumed, err := New(fleetResumeConfig(tc.agg(), 21), factory, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			start, err := resumed.ResumeFrom(dir)
+			if err != nil {
+				t.Fatalf("ResumeFrom: %v", err)
+			}
+			if start != 2 {
+				t.Fatalf("resume round %d, want 2", start)
+			}
+			if _, err := resumed.RunFrom(start, dir, 1); err != nil {
+				t.Fatal(err)
+			}
+			assertSameParams(t, want, globalParams(t, resumed), tc.name+" resumed vs uninterrupted")
+
+			// The completion checkpoint resumes to "nothing left to do".
+			again, err := New(fleetResumeConfig(tc.agg(), 21), factory, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer again.Close()
+			start, err = again.ResumeFrom(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if start != cfg.Rounds {
+				t.Fatalf("completion cursor %d, want %d", start, cfg.Rounds)
+			}
+			rep, err := again.RunFrom(start, nil, 0)
+			if err != nil || len(rep.Rounds) != 0 {
+				t.Fatalf("resumed completed fleet ran %d rounds (err %v)", len(rep.Rounds), err)
+			}
+			assertSameParams(t, want, globalParams(t, again), tc.name+" completion checkpoint")
+		})
+	}
+}
+
+// TestFleetRunFromPeriodicCheckpoints runs a fleet with periodic round
+// checkpoints and asserts the directory ends at the completion cursor, with
+// per-worker progress counters recorded.
+func TestFleetRunFromPeriodicCheckpoints(t *testing.T) {
+	ds := makeDataset(9, 3)
+	cfg := fleetResumeConfig(NewFedAvg(), 8)
+	cfg.DropoutRate = 0
+	f, err := New(cfg, mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dir, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunFrom(0, dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := dir.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "fleet" || s.Round != cfg.Rounds {
+		t.Fatalf("final checkpoint kind %q round %d, want fleet/%d", s.Kind, s.Round, cfg.Rounds)
+	}
+	if len(s.Workers) != len(cfg.Workers) {
+		t.Fatalf("checkpoint has %d workers, want %d", len(s.Workers), len(cfg.Workers))
+	}
+	for _, w := range s.Workers {
+		if w.Rounds != int64(cfg.Rounds) {
+			t.Fatalf("worker %d folded %d rounds, want %d (full participation, no dropout)", w.Index, w.Rounds, cfg.Rounds)
+		}
+		if w.Samples <= 0 {
+			t.Fatalf("worker %d recorded no samples", w.Index)
+		}
+		if w.Opt.Name != "momentum" || len(w.Opt.Slots) == 0 {
+			t.Fatalf("worker %d optimizer state not captured: %+v", w.Index, w.Opt.Name)
+		}
+	}
+}
+
+// TestFleetResumeRejectsMismatches pins the guard rails: wrong seed, wrong
+// checkpoint kind and an empty directory all fail loudly.
+func TestFleetResumeRejectsMismatches(t *testing.T) {
+	ds := makeDataset(6, 3)
+	cfg := fleetResumeConfig(NewFedAvg(), 13)
+	f, err := New(cfg, mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dir, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SaveCheckpoint(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different seed: the per-round draws would diverge from the original
+	// trajectory, so resume must refuse.
+	other, err := New(fleetResumeConfig(NewFedAvg(), 14), mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, err := other.ResumeFrom(dir); err == nil {
+		t.Fatal("resume with a different seed succeeded")
+	}
+
+	// A trainer checkpoint is not a fleet checkpoint.
+	s := &ckpt.Session{Kind: "trainer", Seed: 13}
+	if _, err := dir.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ResumeFrom(dir); err == nil {
+		t.Fatal("resume from a trainer checkpoint succeeded")
+	}
+
+	empty, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ResumeFrom(empty); !errors.Is(err, ckpt.ErrNoCheckpoint) {
+		t.Fatalf("resume from empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+
+	// A checkpoint written by an all-reduce fleet (global optimizer state)
+	// must not resume into a FedAvg fleet that would silently drop it.
+	arCfg := fleetResumeConfig(NewGradAllReduce(trainer.NewMomentum(0.05, 0.9)), 13)
+	ar, err := New(arCfg, mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Close()
+	if _, err := ar.Round(0); err != nil {
+		t.Fatal(err)
+	}
+	arDir, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ar.SaveCheckpoint(arDir, 1); err != nil {
+		t.Fatal(err)
+	}
+	fedavg, err := New(fleetResumeConfig(NewFedAvg(), 13), mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fedavg.Close()
+	if _, err := fedavg.ResumeFrom(arDir); err == nil {
+		t.Fatal("fedavg fleet resumed an allreduce checkpoint, dropping its global optimizer state")
+	}
+
+	// A global optimizer of a different kind must be rejected BEFORE any
+	// state is applied: the refused fleet's parameters stay untouched.
+	adamFleet, err := New(fleetResumeConfig(NewGradAllReduce(trainer.NewAdam(0.01)), 13), mlpFactory(2), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adamFleet.Close()
+	before := globalParams(t, adamFleet)
+	if _, err := adamFleet.ResumeFrom(arDir); err == nil {
+		t.Fatal("adam all-reduce fleet resumed a momentum checkpoint")
+	}
+	assertSameParams(t, before, globalParams(t, adamFleet), "refused resume must not mutate the fleet")
+}

@@ -104,6 +104,17 @@ func (b *BasicBlock) Params() []*Param {
 	return ps
 }
 
+// StateTensors implements Stateful: the block's batch-norm running
+// statistics, in layer order.
+func (b *BasicBlock) StateTensors() []NamedState {
+	st := append([]NamedState{}, b.BN1.StateTensors()...)
+	st = append(st, b.BN2.StateTensors()...)
+	if b.DownBN != nil {
+		st = append(st, b.DownBN.StateTensors()...)
+	}
+	return st
+}
+
 // OutputShape implements Layer.
 func (b *BasicBlock) OutputShape(in []int) []int {
 	s := b.Conv1.OutputShape(in)
@@ -244,6 +255,18 @@ func (b *Bottleneck) Params() []*Param {
 		ps = append(ps, b.DownBN.Params()...)
 	}
 	return ps
+}
+
+// StateTensors implements Stateful: the block's batch-norm running
+// statistics, in layer order.
+func (b *Bottleneck) StateTensors() []NamedState {
+	st := append([]NamedState{}, b.BN1.StateTensors()...)
+	st = append(st, b.BN2.StateTensors()...)
+	st = append(st, b.BN3.StateTensors()...)
+	if b.DownBN != nil {
+		st = append(st, b.DownBN.StateTensors()...)
+	}
+	return st
 }
 
 // OutputShape implements Layer.

@@ -244,6 +244,16 @@ func (bn *BatchNorm2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }
 
+// StateTensors implements Stateful: the running statistics are the only
+// non-trainable state a checkpoint must carry for exact inference-mode
+// behaviour after a resume.
+func (bn *BatchNorm2D) StateTensors() []NamedState {
+	return []NamedState{
+		{Name: bn.name + ".running_mean", Tensor: bn.RunningMean},
+		{Name: bn.name + ".running_var", Tensor: bn.RunningVar},
+	}
+}
+
 // OutputShape implements Layer.
 func (bn *BatchNorm2D) OutputShape(in []int) []int { return append([]int(nil), in...) }
 

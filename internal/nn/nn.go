@@ -121,6 +121,34 @@ func ZeroGrads(layers []Layer) {
 	}
 }
 
+// NamedState is one non-trainable state tensor of a layer, under a
+// model-unique name derived from the layer name.
+type NamedState struct {
+	Name   string
+	Tensor *tensor.Tensor
+}
+
+// Stateful is implemented by layers (and containers of layers) that carry
+// non-trainable state which must survive checkpoint and resume — batch-norm
+// running statistics. StateTensors returns live references, so callers can
+// both read the state (checkpoint) and copy into it (resume).
+type Stateful interface {
+	StateTensors() []NamedState
+}
+
+// CollectState gathers the non-trainable state of all layers in layer order,
+// recursing into containers. Layers without durable state contribute
+// nothing.
+func CollectState(layers []Layer) []NamedState {
+	var out []NamedState
+	for _, l := range layers {
+		if s, ok := l.(Stateful); ok {
+			out = append(out, s.StateTensors()...)
+		}
+	}
+	return out
+}
+
 // Sequential is an ordered chain of layers, itself usable as a Layer.
 type Sequential struct {
 	name   string
@@ -161,6 +189,9 @@ func (s *Sequential) Params() []*Param {
 	}
 	return ps
 }
+
+// StateTensors implements Stateful by recursing into the layers.
+func (s *Sequential) StateTensors() []NamedState { return CollectState(s.Layers) }
 
 // OutputShape threads the input shape through every layer.
 func (s *Sequential) OutputShape(in []int) []int {

@@ -89,6 +89,32 @@ func (r *RNG) Normal(mean, std float64) float64 {
 	return mean + std*u*f
 }
 
+// StateWords is the number of 64-bit words State returns and SetState
+// expects: the four xoshiro words, the spare-deviate flag and the spare
+// deviate's bits.
+const StateWords = 6
+
+// State serializes the generator into raw 64-bit words, so a checkpoint can
+// capture the RNG mid-stream and SetState can continue the exact sequence.
+func (r *RNG) State() [StateWords]uint64 {
+	var s [StateWords]uint64
+	copy(s[:4], r.state[:])
+	if r.hasSpare {
+		s[4] = 1
+	}
+	s[5] = math.Float64bits(r.spare)
+	return s
+}
+
+// SetState restores a generator to a state captured by State. The restored
+// generator produces exactly the deviate sequence the captured one would
+// have produced.
+func (r *RNG) SetState(s [StateWords]uint64) {
+	copy(r.state[:], s[:4])
+	r.hasSpare = s[4] != 0
+	r.spare = math.Float64frombits(s[5])
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

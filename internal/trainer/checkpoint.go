@@ -1,0 +1,205 @@
+package trainer
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/tensor"
+)
+
+// Durable checkpoint/resume for single-node training. A checkpoint captures
+// the full training state at an optimisation-step boundary — parameter
+// values, batch-norm running statistics, optimizer state and the epoch/batch
+// cursor — so a run killed at any instant resumes from its last durable
+// checkpoint and finishes with weights bit-identical to an uninterrupted
+// run. The one caveat is per-epoch statistics: the resumed epoch's
+// EpochStats cover only the batches executed after the resume.
+
+// Cursor locates a step boundary in a training run: the NEXT batch to
+// execute. The zero Cursor is the start of training; Epoch == Cfg.Epochs
+// marks a completed run.
+type Cursor struct {
+	Epoch int
+	Batch int
+}
+
+// CheckpointPlan configures durable checkpointing for TrainFrom.
+type CheckpointPlan struct {
+	// Dir is the checkpoint directory; required.
+	Dir *ckpt.Dir
+	// EverySteps saves a checkpoint after every n optimisation steps
+	// (counted from the start of this TrainFrom call). Zero saves only the
+	// final completion checkpoint.
+	EverySteps int
+	// Compress selects DEFLATE frames instead of raw ones.
+	Compress bool
+	// Seed is recorded in the session for provenance (the run's configured
+	// random seed); it is not consumed on resume.
+	Seed uint64
+	// RNG, when non-nil, is a generator whose mid-stream state is captured
+	// into every checkpoint (a data-augmentation or dropout generator the
+	// run threads through its dataset). Restore it after ResumeFrom with
+	// Session.ApplyRNG — Dir.Load exposes the full session. The core
+	// training loop itself draws no randomness, so most runs leave it nil.
+	RNG *tensor.RNG
+}
+
+func (cp *CheckpointPlan) options() []ckpt.Option {
+	if cp.Compress {
+		return []ckpt.Option{ckpt.WithCompression()}
+	}
+	return nil
+}
+
+// save writes one checkpoint under the plan (stamping the plan's seed and
+// RNG state).
+func (cp *CheckpointPlan) save(t *Trainer, cur Cursor) error {
+	s, err := t.CaptureSession(cur)
+	if err != nil {
+		return err
+	}
+	s.Seed = cp.Seed
+	if cp.RNG != nil {
+		s.RNG = ckpt.CaptureRNG(cp.RNG)
+	}
+	_, err = cp.Dir.Save(s, cp.options()...)
+	return err
+}
+
+// CaptureSession assembles the durable training state at the given cursor.
+// Parameter and state tensors are cloned, so the caller may keep training
+// while the session is encoded.
+func (t *Trainer) CaptureSession(cur Cursor) (*ckpt.Session, error) {
+	opt, err := CaptureOptimizerState(t.Cfg.Optimizer, t.Chain.Params())
+	if err != nil {
+		return nil, err
+	}
+	return &ckpt.Session{
+		Kind:           "trainer",
+		LibraryVersion: ckpt.LibraryVersion,
+		Epoch:          cur.Epoch,
+		Step:           cur.Batch,
+		BatchSize:      t.Cfg.BatchSize,
+		Params:         ckpt.CaptureParams(t.Chain.Params()),
+		LayerState:     ckpt.CaptureLayerState(t.Chain.Stages),
+		Opt:            opt,
+	}, nil
+}
+
+// SaveCheckpoint durably writes the training state at the given cursor into
+// the directory and returns the checkpoint file name.
+func (t *Trainer) SaveCheckpoint(d *ckpt.Dir, cur Cursor, opts ...ckpt.Option) (string, error) {
+	s, err := t.CaptureSession(cur)
+	if err != nil {
+		return "", err
+	}
+	return d.Save(s, opts...)
+}
+
+// ResumeFrom restores the trainer from the directory's newest loadable
+// checkpoint — parameters, layer state and optimizer state — and returns the
+// cursor to continue from. The trainer's model and optimizer must match the
+// checkpointed run (same constructor, same optimizer kind); mismatches fail
+// with a descriptive error before any state is partially applied.
+func (t *Trainer) ResumeFrom(d *ckpt.Dir) (Cursor, error) {
+	s, name, err := d.Load()
+	if err != nil {
+		return Cursor{}, err
+	}
+	cur, err := t.RestoreSession(s)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("trainer: restoring %s: %w", name, err)
+	}
+	return cur, nil
+}
+
+// RestoreSession applies a loaded session to the trainer and returns its
+// cursor.
+func (t *Trainer) RestoreSession(s *ckpt.Session) (Cursor, error) {
+	if s.Kind != "trainer" {
+		return Cursor{}, fmt.Errorf("trainer: checkpoint kind is %q, want \"trainer\"", s.Kind)
+	}
+	if s.Opt.Name != t.Cfg.Optimizer.Name() {
+		// Checked before any weights are copied, so a wrong-optimizer resume
+		// leaves the trainer untouched.
+		return Cursor{}, fmt.Errorf("trainer: checkpoint has %q optimizer state but the run uses %q",
+			s.Opt.Name, t.Cfg.Optimizer.Name())
+	}
+	if s.BatchSize != 0 && s.BatchSize != t.Cfg.BatchSize {
+		// The Step cursor counts batches OF THE CHECKPOINTED SIZE; resuming
+		// it under a different batch size would silently shift the resume
+		// point inside the epoch.
+		return Cursor{}, fmt.Errorf("trainer: checkpoint was written with batch size %d, this run uses %d",
+			s.BatchSize, t.Cfg.BatchSize)
+	}
+	params := t.Chain.Params()
+	if err := s.ApplyParams(params); err != nil {
+		return Cursor{}, err
+	}
+	if err := s.ApplyLayerState(t.Chain.Stages); err != nil {
+		return Cursor{}, err
+	}
+	if err := RestoreOptimizerState(t.Cfg.Optimizer, params, s.Opt); err != nil {
+		return Cursor{}, err
+	}
+	return Cursor{Epoch: s.Epoch, Batch: s.Step}, nil
+}
+
+// TrainFrom runs training from the given cursor to the configured epoch
+// count, saving durable checkpoints along the way when cp is non-nil: every
+// cp.EverySteps optimisation steps and once at completion. It returns the
+// per-epoch statistics of the epochs it executed (the first may cover only
+// part of an epoch when resuming mid-epoch).
+//
+// Train is TrainFrom from the zero cursor with no checkpointing.
+func (t *Trainer) TrainFrom(ds Dataset, start Cursor, cp *CheckpointPlan) ([]EpochStats, error) {
+	if start.Epoch < 0 || start.Batch < 0 {
+		return nil, fmt.Errorf("trainer: negative resume cursor %+v", start)
+	}
+	if start.Epoch > t.Cfg.Epochs {
+		// Writing the completion checkpoint below would rewind the cursor
+		// beneath the weights' real progress; a checkpoint trained further
+		// than this run's epoch budget must be rejected, not truncated.
+		return nil, fmt.Errorf("trainer: resume cursor epoch %d exceeds the configured %d epochs", start.Epoch, t.Cfg.Epochs)
+	}
+	if cp != nil && cp.Dir == nil {
+		return nil, fmt.Errorf("trainer: checkpoint plan without a directory")
+	}
+	if nb := ds.NumBatches(t.Cfg.BatchSize); start.Batch >= nb && nb > 0 && start.Epoch < t.Cfg.Epochs {
+		return nil, fmt.Errorf("trainer: resume cursor batch %d out of range (epoch has %d batches)", start.Batch, nb)
+	}
+
+	stepsDone := 0
+	var afterStep func(next Cursor) error
+	if cp != nil && cp.EverySteps > 0 {
+		afterStep = func(next Cursor) error {
+			stepsDone++
+			if stepsDone%cp.EverySteps != 0 {
+				return nil
+			}
+			if err := cp.save(t, next); err != nil {
+				return fmt.Errorf("trainer: checkpointing at %+v: %w", next, err)
+			}
+			return nil
+		}
+	}
+
+	var all []EpochStats
+	for e := start.Epoch; e < t.Cfg.Epochs; e++ {
+		sb := 0
+		if e == start.Epoch {
+			sb = start.Batch
+		}
+		st, err := t.trainEpoch(ds, e, sb, afterStep)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, st)
+	}
+	if cp != nil {
+		if err := cp.save(t, Cursor{Epoch: t.Cfg.Epochs}); err != nil {
+			return all, fmt.Errorf("trainer: writing completion checkpoint: %w", err)
+		}
+	}
+	return all, nil
+}

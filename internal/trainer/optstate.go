@@ -1,0 +1,145 @@
+package trainer
+
+import (
+	"fmt"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/nn"
+)
+
+// Optimizer state capture for checkpoint/resume. The in-memory optimisers
+// key their state by *nn.Param identity, which does not survive a process
+// restart, so the durable form (ckpt.OptimizerState) is keyed by parameter
+// name instead. Capture and restore iterate the parameter list in order,
+// making the serialized slot order deterministic.
+
+// StatefulOptimizer is an Optimizer whose internal state must survive
+// checkpoint and resume (momentum velocities, Adam moments and step count).
+// SGD carries no state and does not implement it.
+type StatefulOptimizer interface {
+	Optimizer
+	// CaptureState snapshots the optimizer state for the given parameters as
+	// owned copies. Parameters the optimizer has not touched yet contribute
+	// no slots (their state is implicitly zero).
+	CaptureState(params []*nn.Param) (ckpt.OptimizerState, error)
+	// RestoreState replaces the optimizer's state for the given parameters
+	// with a captured snapshot.
+	RestoreState(params []*nn.Param, st ckpt.OptimizerState) error
+}
+
+// CaptureOptimizerState snapshots any optimizer's durable state: stateful
+// optimisers serialize their vectors, stateless ones just their name.
+func CaptureOptimizerState(opt Optimizer, params []*nn.Param) (ckpt.OptimizerState, error) {
+	if so, ok := opt.(StatefulOptimizer); ok {
+		return so.CaptureState(params)
+	}
+	return ckpt.OptimizerState{Name: opt.Name()}, nil
+}
+
+// RestoreOptimizerState restores a captured snapshot into an optimizer,
+// verifying the optimizer kind matches — resuming Adam state into SGD would
+// silently train a different trajectory.
+func RestoreOptimizerState(opt Optimizer, params []*nn.Param, st ckpt.OptimizerState) error {
+	if st.Name != opt.Name() {
+		return fmt.Errorf("trainer: checkpoint has %q optimizer state but the run uses %q", st.Name, opt.Name())
+	}
+	if so, ok := opt.(StatefulOptimizer); ok {
+		return so.RestoreState(params, st)
+	}
+	if len(st.Slots) > 0 || st.Step != 0 {
+		return fmt.Errorf("trainer: checkpoint carries state for the stateless %q optimizer", opt.Name())
+	}
+	return nil
+}
+
+// captureSlots serializes one named state vector per tracked parameter, in
+// parameter order. Parameter names must be unique (the same invariant
+// nn.SaveParams enforces).
+func captureSlots(params []*nn.Param, slot string, vecs map[*nn.Param][]float64) ([]ckpt.OptSlot, error) {
+	var out []ckpt.OptSlot
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return nil, fmt.Errorf("trainer: duplicate parameter name %q while capturing optimizer state", p.Name)
+		}
+		seen[p.Name] = true
+		v, ok := vecs[p]
+		if !ok {
+			continue
+		}
+		out = append(out, ckpt.OptSlot{Param: p.Name, Slot: slot, Data: append([]float64(nil), v...)})
+	}
+	return out, nil
+}
+
+// restoreSlots rebuilds the per-parameter vector map from serialized slots
+// of the given slot name.
+func restoreSlots(params []*nn.Param, slot string, slots []ckpt.OptSlot) (map[*nn.Param][]float64, error) {
+	byName := make(map[string]*nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	vecs := make(map[*nn.Param][]float64)
+	for _, s := range slots {
+		if s.Slot != slot {
+			continue
+		}
+		p, ok := byName[s.Param]
+		if !ok {
+			return nil, fmt.Errorf("trainer: checkpoint has %s state for unknown parameter %q", slot, s.Param)
+		}
+		if len(s.Data) != p.Count() {
+			return nil, fmt.Errorf("trainer: %s state for %q has %d elements, parameter has %d",
+				slot, s.Param, len(s.Data), p.Count())
+		}
+		vecs[p] = append([]float64(nil), s.Data...)
+	}
+	return vecs, nil
+}
+
+// CaptureState implements StatefulOptimizer.
+func (m *Momentum) CaptureState(params []*nn.Param) (ckpt.OptimizerState, error) {
+	slots, err := captureSlots(params, "velocity", m.velocity)
+	if err != nil {
+		return ckpt.OptimizerState{}, err
+	}
+	return ckpt.OptimizerState{Name: m.Name(), Slots: slots}, nil
+}
+
+// RestoreState implements StatefulOptimizer.
+func (m *Momentum) RestoreState(params []*nn.Param, st ckpt.OptimizerState) error {
+	vecs, err := restoreSlots(params, "velocity", st.Slots)
+	if err != nil {
+		return err
+	}
+	m.velocity = vecs
+	return nil
+}
+
+// CaptureState implements StatefulOptimizer.
+func (a *Adam) CaptureState(params []*nn.Param) (ckpt.OptimizerState, error) {
+	mSlots, err := captureSlots(params, "m", a.m)
+	if err != nil {
+		return ckpt.OptimizerState{}, err
+	}
+	vSlots, err := captureSlots(params, "v", a.v)
+	if err != nil {
+		return ckpt.OptimizerState{}, err
+	}
+	return ckpt.OptimizerState{Name: a.Name(), Step: int64(a.step), Slots: append(mSlots, vSlots...)}, nil
+}
+
+// RestoreState implements StatefulOptimizer.
+func (a *Adam) RestoreState(params []*nn.Param, st ckpt.OptimizerState) error {
+	mVecs, err := restoreSlots(params, "m", st.Slots)
+	if err != nil {
+		return err
+	}
+	vVecs, err := restoreSlots(params, "v", st.Slots)
+	if err != nil {
+		return err
+	}
+	a.m, a.v = mVecs, vVecs
+	a.step = int(st.Step)
+	return nil
+}

@@ -123,6 +123,15 @@ func New(c *chain.Chain, cfg Config) (*Trainer, error) {
 
 // TrainEpoch runs one pass over the dataset and returns its statistics.
 func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
+	return t.trainEpoch(ds, epoch, 0, nil)
+}
+
+// trainEpoch runs one epoch starting at batch startBatch (non-zero when
+// resuming mid-epoch from a checkpoint). afterStep, when non-nil, runs after
+// every optimisation step with the cursor of the NEXT batch — the hook the
+// checkpointing loop saves at, so a resumed run continues exactly where the
+// interrupted one left off.
+func (t *Trainer) trainEpoch(ds Dataset, epoch, startBatch int, afterStep func(next Cursor) error) (EpochStats, error) {
 	stats := EpochStats{Epoch: epoch}
 	pol := t.Cfg.Policy
 	// Tier-annotating policies spill to disk; give them one shared store for
@@ -142,7 +151,7 @@ func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 	nb := ds.NumBatches(t.Cfg.BatchSize)
 	totalCorrectWeight := 0.0
 	totalSamples := 0
-	for b := 0; b < nb; b++ {
+	for b := startBatch; b < nb; b++ {
 		batch := ds.Batch(b, t.Cfg.BatchSize)
 		if batch.Images == nil || len(batch.Labels) == 0 {
 			continue
@@ -181,6 +190,15 @@ func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 		if t.Cfg.Hook != nil {
 			t.Cfg.Hook(stats.Steps, loss)
 		}
+		if afterStep != nil {
+			next := Cursor{Epoch: epoch, Batch: b + 1}
+			if next.Batch >= nb {
+				next = Cursor{Epoch: epoch + 1, Batch: 0}
+			}
+			if err := afterStep(next); err != nil {
+				return stats, err
+			}
+		}
 	}
 	if stats.Steps > 0 {
 		stats.Loss /= float64(stats.Steps)
@@ -192,16 +210,9 @@ func (t *Trainer) TrainEpoch(ds Dataset, epoch int) (EpochStats, error) {
 }
 
 // Train runs the configured number of epochs and returns per-epoch stats.
+// It is TrainFrom from the start of training with no checkpointing.
 func (t *Trainer) Train(ds Dataset) ([]EpochStats, error) {
-	var all []EpochStats
-	for e := 0; e < t.Cfg.Epochs; e++ {
-		st, err := t.TrainEpoch(ds, e)
-		if err != nil {
-			return all, err
-		}
-		all = append(all, st)
-	}
-	return all, nil
+	return t.TrainFrom(ds, Cursor{}, nil)
 }
 
 // Evaluate computes the loss and accuracy of the chain on a dataset without
