@@ -16,12 +16,12 @@ func frameBoundaries(t *testing.T, b []byte) []int {
 	count := binary.LittleEndian.Uint32(b[12:])
 	off := headerBytes
 	for i := uint32(0); i < count; i++ {
-		if off+frameHeaderBytes > len(b) {
+		if off+FrameHeaderBytes > len(b) {
 			t.Fatalf("frame %d header at %d overruns %d bytes", i, off, len(b))
 		}
 		encLen := int(binary.LittleEndian.Uint64(b[off+8:]))
-		offsets = append(offsets, off+frameHeaderBytes, off+frameHeaderBytes+encLen)
-		off += frameHeaderBytes + encLen
+		offsets = append(offsets, off+FrameHeaderBytes, off+FrameHeaderBytes+encLen)
+		off += FrameHeaderBytes + encLen
 	}
 	if off != len(b) {
 		t.Fatalf("frames end at %d, file has %d bytes", off, len(b))

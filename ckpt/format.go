@@ -12,6 +12,7 @@ import (
 
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/parallel"
+	"github.com/edgeml/edgetrain/internal/wire"
 )
 
 // Format constants. The magic doubles as a human-greppable file signature.
@@ -21,8 +22,10 @@ const (
 	// FormatVersion is the current binary layout version.
 	FormatVersion = 1
 
-	headerBytes      = 16 // magic + version + frame count
-	frameHeaderBytes = 28 // type + style + encoded len + raw len + CRC32
+	headerBytes = 16 // magic + version + frame count
+	// FrameHeaderBytes is the fixed size of one frame header
+	// (type + style + encoded len + raw len + CRC32).
+	FrameHeaderBytes = 28
 )
 
 // Frame styles: how a frame's payload bytes are encoded.
@@ -82,6 +85,20 @@ var flateWriters = sync.Pool{New: func() any {
 	return w
 }}
 
+// Frame is the codec unit shared by the on-disk checkpoint format and the
+// fleet coordination wire protocol (package coord): a caller-defined type tag
+// and an opaque payload, carried raw or DEFLATE-compressed behind a CRC32 of
+// the encoded bytes. WriteFrame and ReadFrame move single frames through the
+// exact byte layout checkpoint files use, so a network peer's update payload
+// enjoys the same corruption detection as a checkpoint on flash.
+type Frame struct {
+	// Type tags the payload. The checkpoint file format reserves types 1-6;
+	// other consumers (the coord wire protocol) use their own ranges.
+	Type uint32
+	// Payload is the raw (decoded) payload bytes.
+	Payload []byte
+}
+
 // rawFrame is one frame before styling: its type and raw payload bytes.
 type rawFrame struct {
 	typ     uint32
@@ -97,6 +114,134 @@ type encFrame struct {
 	enc    []byte
 }
 
+// encodeFramePayload styles one payload (verbatim or DEFLATE) and computes
+// the CRC32 of the encoded bytes — the per-frame work both the parallel
+// checkpoint writer and the single-frame WriteFrame share.
+func encodeFramePayload(payload []byte, style uint32) (enc []byte, crc uint32, err error) {
+	switch style {
+	case StyleRaw:
+		enc = payload
+	case StyleDeflate:
+		var b bytes.Buffer
+		fw := flateWriters.Get().(*flate.Writer)
+		fw.Reset(&b)
+		_, err := fw.Write(payload)
+		if err == nil {
+			err = fw.Close()
+		}
+		flateWriters.Put(fw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("ckpt: compressing frame: %w", err)
+		}
+		enc = b.Bytes()
+	default:
+		return nil, 0, fmt.Errorf("ckpt: unknown frame style %d", style)
+	}
+	return enc, crc32.ChecksumIEEE(enc), nil
+}
+
+// decodeFramePayload verifies one encoded frame's CRC and undoes its style,
+// returning the raw payload — shared by the parallel checkpoint decoder and
+// the single-frame ReadFrame. idx labels the frame in error messages.
+func decodeFramePayload(f encFrame, idx int) ([]byte, error) {
+	if got := crc32.ChecksumIEEE(f.enc); got != f.crc {
+		return nil, corruptf("frame %d CRC mismatch (stored %#x, computed %#x)", idx, f.crc, got)
+	}
+	if f.style == StyleRaw {
+		return f.enc, nil
+	}
+	var b bytes.Buffer
+	b.Grow(int(min(f.rawLen, 1<<20)))
+	// Read one byte beyond the declared raw length so an understating
+	// header is caught, not silently truncated.
+	n, err := io.Copy(&b, io.LimitReader(flate.NewReader(bytes.NewReader(f.enc)), int64(f.rawLen)+1))
+	if err != nil || uint64(n) != f.rawLen {
+		return nil, corruptf("frame %d decompresses to %d bytes, header says %d (%v)", idx, n, f.rawLen, err)
+	}
+	return b.Bytes(), nil
+}
+
+// WriteFrame encodes one frame to w in the checkpoint frame layout — the
+// 28-byte header (type, style, encoded length, raw length, CRC32-IEEE) and
+// the styled payload — and returns the total bytes written. It is the unit
+// the coord wire protocol frames every message with; the bytes are identical
+// to the corresponding frame of a checkpoint file.
+func WriteFrame(w io.Writer, f Frame, style uint32) (int, error) {
+	enc, crc, err := encodeFramePayload(f.Payload, style)
+	if err != nil {
+		return 0, err
+	}
+	var fh [FrameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(fh[0:], f.Type)
+	binary.LittleEndian.PutUint32(fh[4:], style)
+	binary.LittleEndian.PutUint64(fh[8:], uint64(len(enc)))
+	binary.LittleEndian.PutUint64(fh[16:], uint64(len(f.Payload)))
+	binary.LittleEndian.PutUint32(fh[24:], crc)
+	if _, err := w.Write(fh[:]); err != nil {
+		return 0, fmt.Errorf("ckpt: writing frame header: %w", err)
+	}
+	if _, err := w.Write(enc); err != nil {
+		return FrameHeaderBytes, fmt.Errorf("ckpt: writing frame payload: %w", err)
+	}
+	return FrameHeaderBytes + len(enc), nil
+}
+
+// readEncFrame reads one frame header and its encoded payload from r without
+// decoding it. maxBytes bounds both declared lengths; idx labels the frame in
+// error messages. The payload is read through a growing buffer, so a lying
+// length costs only the bytes actually present.
+func readEncFrame(r io.Reader, idx int, maxBytes int64) (encFrame, int, error) {
+	var fh [FrameHeaderBytes]byte
+	if _, err := io.ReadFull(r, fh[:]); err != nil {
+		return encFrame{}, 0, corruptf("reading frame %d header: %v", idx, err)
+	}
+	f := encFrame{
+		typ:    binary.LittleEndian.Uint32(fh[0:]),
+		style:  binary.LittleEndian.Uint32(fh[4:]),
+		rawLen: binary.LittleEndian.Uint64(fh[16:]),
+		crc:    binary.LittleEndian.Uint32(fh[24:]),
+	}
+	encLen := binary.LittleEndian.Uint64(fh[8:])
+	if f.style != StyleRaw && f.style != StyleDeflate {
+		return encFrame{}, 0, corruptf("frame %d has unknown style %d", idx, f.style)
+	}
+	if encLen > uint64(maxBytes) || f.rawLen > uint64(maxBytes) {
+		return encFrame{}, 0, corruptf("frame %d has implausible length (%d encoded, %d raw)", idx, encLen, f.rawLen)
+	}
+	if f.style == StyleRaw && encLen != f.rawLen {
+		return encFrame{}, 0, corruptf("frame %d raw style with mismatched lengths (%d encoded, %d raw)", idx, encLen, f.rawLen)
+	}
+	var b bytes.Buffer
+	b.Grow(int(min(encLen, 1<<20)))
+	if n, err := io.CopyN(&b, r, int64(encLen)); err != nil {
+		return encFrame{}, 0, corruptf("reading frame %d payload: got %d of %d bytes: %v", idx, n, encLen, err)
+	}
+	f.enc = b.Bytes()
+	return f, FrameHeaderBytes + int(encLen), nil
+}
+
+// ReadFrame reads one frame written by WriteFrame: header validation, an
+// incremental bounded payload read, CRC verification and decompression. It
+// returns the decoded frame and the total bytes consumed. maxBytes bounds the
+// frame's declared sizes (a DoS guard when the reader faces a network peer
+// rather than a local file); maxBytes <= 0 applies the format's global bound.
+// Frame types are not interpreted — each consumer owns its type namespace.
+// Every structural defect is reported as an error wrapping ErrCorrupt.
+func ReadFrame(r io.Reader, maxBytes int64) (Frame, int, error) {
+	if maxBytes <= 0 {
+		maxBytes = maxFrameBytes
+	}
+	f, n, err := readEncFrame(r, 0, maxBytes)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	payload, err := decodeFramePayload(f, 0)
+	if err != nil {
+		return Frame{}, n, err
+	}
+	return Frame{Type: f.typ, Payload: payload}, n, nil
+}
+
 // buildFrames lays the session out as raw frames in the canonical order:
 // meta, params, layer state, optimizer meta, optimizer slots, workers. The
 // order is part of the format: decode reassembles slices in frame order.
@@ -105,21 +250,21 @@ func buildFrames(s *Session) ([]rawFrame, error) {
 		1+len(s.Params)+len(s.LayerState)+1+len(s.Opt.Slots)+len(s.Workers))
 
 	var meta bytes.Buffer
-	putString(&meta, s.Kind)
-	putString(&meta, s.LibraryVersion)
-	putInt64(&meta, int64(s.Epoch))
-	putInt64(&meta, int64(s.Step))
-	putInt64(&meta, int64(s.Round))
-	putInt64(&meta, int64(s.BatchSize))
-	putUint64(&meta, s.Seed)
-	putUint32(&meta, uint32(len(s.RNG)))
+	wire.PutString(&meta, s.Kind)
+	wire.PutString(&meta, s.LibraryVersion)
+	wire.PutInt64(&meta, int64(s.Epoch))
+	wire.PutInt64(&meta, int64(s.Step))
+	wire.PutInt64(&meta, int64(s.Round))
+	wire.PutInt64(&meta, int64(s.BatchSize))
+	wire.PutUint64(&meta, s.Seed)
+	wire.PutUint32(&meta, uint32(len(s.RNG)))
 	for _, w := range s.RNG {
-		putUint64(&meta, w)
+		wire.PutUint64(&meta, w)
 	}
-	putUint32(&meta, uint32(len(s.Params)))
-	putUint32(&meta, uint32(len(s.LayerState)))
-	putUint32(&meta, uint32(len(s.Opt.Slots)))
-	putUint32(&meta, uint32(len(s.Workers)))
+	wire.PutUint32(&meta, uint32(len(s.Params)))
+	wire.PutUint32(&meta, uint32(len(s.LayerState)))
+	wire.PutUint32(&meta, uint32(len(s.Opt.Slots)))
+	wire.PutUint32(&meta, uint32(len(s.Workers)))
 	frames = append(frames, rawFrame{frameMeta, meta.Bytes()})
 
 	for _, nt := range s.Params {
@@ -138,27 +283,16 @@ func buildFrames(s *Session) ([]rawFrame, error) {
 	}
 
 	var om bytes.Buffer
-	putString(&om, s.Opt.Name)
-	putInt64(&om, s.Opt.Step)
-	putUint32(&om, uint32(len(s.Opt.Slots)))
+	wire.PutString(&om, s.Opt.Name)
+	wire.PutInt64(&om, s.Opt.Step)
+	wire.PutUint32(&om, uint32(len(s.Opt.Slots)))
 	frames = append(frames, rawFrame{frameOptMeta, om.Bytes()})
 	for _, slot := range s.Opt.Slots {
 		frames = append(frames, rawFrame{frameOptSlot, encodeOptSlot(slot)})
 	}
 
-	for _, w := range s.Workers {
-		var wb bytes.Buffer
-		putString(&wb, w.Name)
-		putInt64(&wb, int64(w.Index))
-		putInt64(&wb, w.Rounds)
-		putInt64(&wb, w.Samples)
-		putString(&wb, w.Opt.Name)
-		putInt64(&wb, w.Opt.Step)
-		putUint32(&wb, uint32(len(w.Opt.Slots)))
-		for _, slot := range w.Opt.Slots {
-			wb.Write(encodeOptSlot(slot))
-		}
-		frames = append(frames, rawFrame{frameWorker, wb.Bytes()})
+	for i := range s.Workers {
+		frames = append(frames, rawFrame{frameWorker, EncodeWorkerState(&s.Workers[i])})
 	}
 	return frames, nil
 }
@@ -169,7 +303,7 @@ func encodeNamedTensor(nt NamedTensor) ([]byte, error) {
 	}
 	var b bytes.Buffer
 	b.Grow(4 + len(nt.Name) + int(nn.EncodedTensorBytes(nt.Tensor)))
-	putString(&b, nt.Name)
+	wire.PutString(&b, nt.Name)
 	if err := nn.WriteTensor(&b, nt.Tensor); err != nil {
 		return nil, err
 	}
@@ -179,15 +313,39 @@ func encodeNamedTensor(nt NamedTensor) ([]byte, error) {
 func encodeOptSlot(slot OptSlot) []byte {
 	var b bytes.Buffer
 	b.Grow(8 + len(slot.Param) + len(slot.Slot) + 8 + 8*len(slot.Data))
-	putString(&b, slot.Param)
-	putString(&b, slot.Slot)
-	putUint64(&b, uint64(len(slot.Data)))
+	wire.PutString(&b, slot.Param)
+	wire.PutString(&b, slot.Slot)
+	wire.PutUint64(&b, uint64(len(slot.Data)))
 	var scratch [8]byte
 	for _, v := range slot.Data {
 		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
 		b.Write(scratch[:])
 	}
 	return b.Bytes()
+}
+
+// EncodeWorkerState serializes one worker's durable progress — index, name,
+// round/sample counters and optimizer state — in exactly the payload layout
+// of a checkpoint file's worker frame. The coord protocol reuses it to carry
+// recovered worker state to a rejoining node.
+func EncodeWorkerState(w *WorkerState) []byte {
+	var wb bytes.Buffer
+	wire.PutString(&wb, w.Name)
+	wire.PutInt64(&wb, int64(w.Index))
+	wire.PutInt64(&wb, w.Rounds)
+	wire.PutInt64(&wb, w.Samples)
+	wire.PutString(&wb, w.Opt.Name)
+	wire.PutInt64(&wb, w.Opt.Step)
+	wire.PutUint32(&wb, uint32(len(w.Opt.Slots)))
+	for _, slot := range w.Opt.Slots {
+		wb.Write(encodeOptSlot(slot))
+	}
+	return wb.Bytes()
+}
+
+// DecodeWorkerState parses a payload written by EncodeWorkerState.
+func DecodeWorkerState(payload []byte) (*WorkerState, error) {
+	return parseWorker(payload)
 }
 
 // encodeAll styles the raw frames — compression and CRC, the expensive part
@@ -198,30 +356,12 @@ func encodeAll(frames []rawFrame, style uint32) ([]encFrame, error) {
 	errs := make([]error, len(frames))
 	parallel.ForChunks(len(frames), 1, func(i, _, _ int) {
 		f := frames[i]
-		ef := encFrame{typ: f.typ, style: style, rawLen: uint64(len(f.payload))}
-		switch style {
-		case StyleRaw:
-			ef.enc = f.payload
-		case StyleDeflate:
-			var b bytes.Buffer
-			fw := flateWriters.Get().(*flate.Writer)
-			fw.Reset(&b)
-			_, err := fw.Write(f.payload)
-			if err == nil {
-				err = fw.Close()
-			}
-			flateWriters.Put(fw)
-			if err != nil {
-				errs[i] = fmt.Errorf("ckpt: compressing frame %d: %w", i, err)
-				return
-			}
-			ef.enc = b.Bytes()
-		default:
-			errs[i] = fmt.Errorf("ckpt: unknown frame style %d", style)
+		enc, crc, err := encodeFramePayload(f.payload, style)
+		if err != nil {
+			errs[i] = fmt.Errorf("ckpt: frame %d: %w", i, err)
 			return
 		}
-		ef.crc = crc32.ChecksumIEEE(ef.enc)
-		out[i] = ef
+		out[i] = encFrame{typ: f.typ, style: style, rawLen: uint64(len(f.payload)), crc: crc, enc: enc}
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -254,7 +394,7 @@ func Write(w io.Writer, s *Session, opts ...Option) error {
 	if _, err := w.Write(head[:]); err != nil {
 		return fmt.Errorf("ckpt: writing header: %w", err)
 	}
-	var fh [frameHeaderBytes]byte
+	var fh [FrameHeaderBytes]byte
 	for i, f := range enc {
 		binary.LittleEndian.PutUint32(fh[0:], f.typ)
 		binary.LittleEndian.PutUint32(fh[4:], f.style)
@@ -305,37 +445,13 @@ func Read(r io.Reader) (*Session, error) {
 	// force one huge up-front allocation.
 	frames := make([]encFrame, 0, min(count, 4096))
 	for i := 0; i < int(count); i++ {
-		var fh [frameHeaderBytes]byte
-		if _, err := io.ReadFull(r, fh[:]); err != nil {
-			return nil, corruptf("reading frame %d header: %v", i, err)
+		f, _, err := readEncFrame(r, i, maxFrameBytes)
+		if err != nil {
+			return nil, err
 		}
-		f := encFrame{
-			typ:    binary.LittleEndian.Uint32(fh[0:]),
-			style:  binary.LittleEndian.Uint32(fh[4:]),
-			rawLen: binary.LittleEndian.Uint64(fh[16:]),
-			crc:    binary.LittleEndian.Uint32(fh[24:]),
-		}
-		encLen := binary.LittleEndian.Uint64(fh[8:])
 		if f.typ < frameMeta || f.typ > frameWorker {
 			return nil, corruptf("frame %d has unknown type %d", i, f.typ)
 		}
-		if f.style != StyleRaw && f.style != StyleDeflate {
-			return nil, corruptf("frame %d has unknown style %d", i, f.style)
-		}
-		if encLen > uint64(maxFrameBytes) || f.rawLen > uint64(maxFrameBytes) {
-			return nil, corruptf("frame %d has implausible length (%d encoded, %d raw)", i, encLen, f.rawLen)
-		}
-		if f.style == StyleRaw && encLen != f.rawLen {
-			return nil, corruptf("frame %d raw style with mismatched lengths (%d encoded, %d raw)", i, encLen, f.rawLen)
-		}
-		// Read through a growing buffer rather than one up-front allocation,
-		// so a lying length costs only the bytes actually present.
-		var b bytes.Buffer
-		b.Grow(int(min(encLen, 1<<20)))
-		if n, err := io.CopyN(&b, r, int64(encLen)); err != nil {
-			return nil, corruptf("reading frame %d payload: got %d of %d bytes: %v", i, n, encLen, err)
-		}
-		f.enc = b.Bytes()
 		frames = append(frames, f)
 	}
 	return decodeFrames(frames)
@@ -371,25 +487,12 @@ func decodeFrames(frames []encFrame) (*Session, error) {
 	errs := make([]error, len(frames))
 	parallel.ForChunks(len(frames), 1, func(i, _, _ int) {
 		f := frames[i]
-		if got := crc32.ChecksumIEEE(f.enc); got != f.crc {
-			errs[i] = corruptf("frame %d CRC mismatch (stored %#x, computed %#x)", i, f.crc, got)
+		payload, err := decodeFramePayload(f, i)
+		if err != nil {
+			errs[i] = err
 			return
 		}
-		payload := f.enc
-		if f.style == StyleDeflate {
-			var b bytes.Buffer
-			b.Grow(int(min(f.rawLen, 1<<20)))
-			// Read one byte beyond the declared raw length so an understating
-			// header is caught, not silently truncated.
-			n, err := io.Copy(&b, io.LimitReader(flate.NewReader(bytes.NewReader(f.enc)), int64(f.rawLen)+1))
-			if err != nil || uint64(n) != f.rawLen {
-				errs[i] = corruptf("frame %d decompresses to %d bytes, header says %d (%v)", i, n, f.rawLen, err)
-				return
-			}
-			payload = b.Bytes()
-		}
 		p := &out[i]
-		var err error
 		switch f.typ {
 		case frameMeta:
 			p.meta, err = parseMeta(payload)
@@ -464,112 +567,44 @@ func decodeFrames(frames []encFrame) (*Session, error) {
 	return s, nil
 }
 
-// payloadReader is a bounds-checked little-endian cursor over one frame
-// payload. Every read error marks the payload corrupt.
-type payloadReader struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (p *payloadReader) fail(what string) {
-	if p.err == nil {
-		p.err = fmt.Errorf("truncated payload reading %s at offset %d", what, p.off)
-	}
-}
-
-func (p *payloadReader) take(n int, what string) []byte {
-	if p.err != nil {
-		return nil
-	}
-	if n < 0 || p.off+n > len(p.b) || p.off+n < p.off {
-		p.fail(what)
-		return nil
-	}
-	b := p.b[p.off : p.off+n]
-	p.off += n
-	return b
-}
-
-func (p *payloadReader) uint32(what string) uint32 {
-	b := p.take(4, what)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b)
-}
-
-func (p *payloadReader) uint64(what string) uint64 {
-	b := p.take(8, what)
-	if b == nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(b)
-}
-
-func (p *payloadReader) int64(what string) int64 { return int64(p.uint64(what)) }
-
-func (p *payloadReader) string(what string) string {
-	n := p.uint32(what + " length")
-	if p.err != nil {
-		return ""
-	}
-	if n > uint32(len(p.b)) {
-		p.fail(what)
-		return ""
-	}
-	b := p.take(int(n), what)
-	return string(b)
-}
-
-func (p *payloadReader) done() error {
-	if p.err != nil {
-		return p.err
-	}
-	if p.off != len(p.b) {
-		return fmt.Errorf("%d leftover bytes in payload", len(p.b)-p.off)
-	}
-	return nil
-}
-
 // Declared-count fields live on Session/OptimizerState only during decoding;
 // they are never serialized from these fields (the meta frame carries them).
 // Keeping them unexported keeps the public structs plain data.
 
 func parseMeta(payload []byte) (*Session, error) {
-	p := &payloadReader{b: payload}
+	p := wire.NewReader(payload)
 	s := &Session{}
-	s.Kind = p.string("kind")
-	s.LibraryVersion = p.string("library version")
-	s.Epoch = int(p.int64("epoch"))
-	s.Step = int(p.int64("step"))
-	s.Round = int(p.int64("round"))
-	s.BatchSize = int(p.int64("batch size"))
-	s.Seed = p.uint64("seed")
-	nRNG := p.uint32("rng word count")
-	if p.err == nil && nRNG > 64 {
+	s.Kind = p.String("kind")
+	s.LibraryVersion = p.String("library version")
+	s.Epoch = int(p.Int64("epoch"))
+	s.Step = int(p.Int64("step"))
+	s.Round = int(p.Int64("round"))
+	s.BatchSize = int(p.Int64("batch size"))
+	s.Seed = p.Uint64("seed")
+	nRNG := p.Uint32("rng word count")
+	if p.Err() == nil && nRNG > 64 {
 		return nil, fmt.Errorf("implausible RNG word count %d", nRNG)
 	}
-	for i := uint32(0); i < nRNG && p.err == nil; i++ {
-		s.RNG = append(s.RNG, p.uint64("rng word"))
+	for i := uint32(0); i < nRNG && p.Err() == nil; i++ {
+		s.RNG = append(s.RNG, p.Uint64("rng word"))
 	}
-	s.declParams = int(p.uint32("param count"))
-	s.declStates = int(p.uint32("layer state count"))
-	s.declOptSlots = int(p.uint32("opt slot count"))
-	s.declWorkers = int(p.uint32("worker count"))
-	if err := p.done(); err != nil {
+	s.declParams = int(p.Uint32("param count"))
+	s.declStates = int(p.Uint32("layer state count"))
+	s.declOptSlots = int(p.Uint32("opt slot count"))
+	s.declWorkers = int(p.Uint32("worker count"))
+	if err := p.Done(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
 func parseNamedTensor(payload []byte) (*NamedTensor, error) {
-	p := &payloadReader{b: payload}
-	name := p.string("name")
-	if p.err != nil {
-		return nil, p.err
+	p := wire.NewReader(payload)
+	name := p.String("name")
+	if err := p.Err(); err != nil {
+		return nil, err
 	}
-	rest := p.b[p.off:]
+	rest := p.Rest()
 	t, err := nn.ReadTensor(bytes.NewReader(rest))
 	if err != nil {
 		return nil, err
@@ -581,34 +616,34 @@ func parseNamedTensor(payload []byte) (*NamedTensor, error) {
 }
 
 func parseOptMeta(payload []byte) (*OptimizerState, error) {
-	p := &payloadReader{b: payload}
+	p := wire.NewReader(payload)
 	st := &OptimizerState{}
-	st.Name = p.string("optimizer name")
-	st.Step = p.int64("optimizer step")
-	st.declSlots = int(p.uint32("optimizer slot count"))
-	if err := p.done(); err != nil {
+	st.Name = p.String("optimizer name")
+	st.Step = p.Int64("optimizer step")
+	st.declSlots = int(p.Uint32("optimizer slot count"))
+	if err := p.Done(); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
 
 // parseOptSlotAt reads one slot vector from the cursor.
-func parseOptSlotAt(p *payloadReader) (OptSlot, error) {
+func parseOptSlotAt(p *wire.Reader) (OptSlot, error) {
 	var slot OptSlot
-	slot.Param = p.string("slot parameter name")
-	slot.Slot = p.string("slot name")
-	n := p.uint64("slot element count")
-	if p.err != nil {
-		return slot, p.err
+	slot.Param = p.String("slot parameter name")
+	slot.Slot = p.String("slot name")
+	n := p.Uint64("slot element count")
+	if err := p.Err(); err != nil {
+		return slot, err
 	}
 	// Bound before the int conversion so 32-bit targets reject a lying
 	// count instead of truncating it (same discipline as nn.ReadTensor).
 	if n > uint64(maxSlotElems) || n > uint64(math.MaxInt/8) {
 		return slot, fmt.Errorf("implausible slot element count %d", n)
 	}
-	b := p.take(int(n)*8, "slot data")
-	if p.err != nil {
-		return slot, p.err
+	b := p.Take(int(n)*8, "slot data")
+	if err := p.Err(); err != nil {
+		return slot, err
 	}
 	slot.Data = make([]float64, n)
 	for i := range slot.Data {
@@ -618,29 +653,29 @@ func parseOptSlotAt(p *payloadReader) (OptSlot, error) {
 }
 
 func parseOptSlot(payload []byte) (*OptSlot, error) {
-	p := &payloadReader{b: payload}
+	p := wire.NewReader(payload)
 	slot, err := parseOptSlotAt(p)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.done(); err != nil {
+	if err := p.Done(); err != nil {
 		return nil, err
 	}
 	return &slot, nil
 }
 
 func parseWorker(payload []byte) (*WorkerState, error) {
-	p := &payloadReader{b: payload}
+	p := wire.NewReader(payload)
 	w := &WorkerState{}
-	w.Name = p.string("worker name")
-	w.Index = int(p.int64("worker index"))
-	w.Rounds = p.int64("worker rounds")
-	w.Samples = p.int64("worker samples")
-	w.Opt.Name = p.string("worker optimizer name")
-	w.Opt.Step = p.int64("worker optimizer step")
-	nslots := p.uint32("worker slot count")
-	if p.err != nil {
-		return nil, p.err
+	w.Name = p.String("worker name")
+	w.Index = int(p.Int64("worker index"))
+	w.Rounds = p.Int64("worker rounds")
+	w.Samples = p.Int64("worker samples")
+	w.Opt.Name = p.String("worker optimizer name")
+	w.Opt.Step = p.Int64("worker optimizer step")
+	nslots := p.Uint32("worker slot count")
+	if err := p.Err(); err != nil {
+		return nil, err
 	}
 	if nslots > maxFrames {
 		return nil, fmt.Errorf("implausible worker slot count %d", nslots)
@@ -652,29 +687,8 @@ func parseWorker(payload []byte) (*WorkerState, error) {
 		}
 		w.Opt.Slots = append(w.Opt.Slots, slot)
 	}
-	if err := p.done(); err != nil {
+	if err := p.Done(); err != nil {
 		return nil, err
 	}
 	return w, nil
-}
-
-// Little-endian buffer writers for payload construction.
-
-func putUint32(b *bytes.Buffer, v uint32) {
-	var s [4]byte
-	binary.LittleEndian.PutUint32(s[:], v)
-	b.Write(s[:])
-}
-
-func putUint64(b *bytes.Buffer, v uint64) {
-	var s [8]byte
-	binary.LittleEndian.PutUint64(s[:], v)
-	b.Write(s[:])
-}
-
-func putInt64(b *bytes.Buffer, v int64) { putUint64(b, uint64(v)) }
-
-func putString(b *bytes.Buffer, s string) {
-	putUint32(b, uint32(len(s)))
-	b.WriteString(s)
 }

@@ -1,0 +1,88 @@
+// Command edgecoord runs the fleet coordinator: it owns the global model and
+// round state, listens for edge workers on TCP, drives the aggregation
+// rounds, and prints the fleet report when the run completes. Workers join
+// with cmd/edgeworker; a distributed run produces global weights
+// byte-identical to the same configuration under cmd/fleettrainer.
+//
+// Usage:
+//
+//	edgecoord -workers 3 -rounds 4                  # wait for 3 workers
+//	edgecoord -listen 0.0.0.0:7600 -agg allreduce   # fixed port, all-reduce
+//	edgecoord -compress -round-deadline 30s         # DEFLATE frames, straggler cap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/edgeml/edgetrain/coord"
+	"github.com/edgeml/edgetrain/internal/fleetdemo"
+	"github.com/edgeml/edgetrain/internal/parallel"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port)")
+	workers := flag.Int("workers", 2, "fleet size: worker slots, which fixes the shard count")
+	minWorkers := flag.Int("min-workers", 0, "workers required before round zero (0 = all slots)")
+	rounds := flag.Int("rounds", 4, "aggregation rounds")
+	localEpochs := flag.Int("local-epochs", 1, "fedavg local epochs per round")
+	batch := flag.Int("batch", 0, "local batch size (0 = one full-shard batch)")
+	samples := flag.Int("samples", 48, "total synthetic training samples across the fleet")
+	agg := flag.String("agg", "fedavg", "aggregation mode: fedavg or allreduce")
+	opt := flag.String("opt", "sgd", "optimizer: sgd, momentum or adam")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	seed := flag.Uint64("seed", 1, "random seed forwarded to workers")
+	compress := flag.Bool("compress", false, "DEFLATE-compress wire frames")
+	joinTimeout := flag.Duration("join-timeout", 30*time.Second, "how long to wait for the fleet to assemble")
+	updateTimeout := flag.Duration("update-timeout", 0, "per-worker liveness bound during a round (0 disables)")
+	roundDeadline := flag.Duration("round-deadline", 0, "hard cap on one round's collection phase (0 disables)")
+	quiet := flag.Bool("quiet", false, "suppress per-event progress lines")
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	c, err := coord.New(coord.Config{
+		Workers:       *workers,
+		MinWorkers:    *minWorkers,
+		Rounds:        *rounds,
+		LocalEpochs:   *localEpochs,
+		BatchSize:     *batch,
+		Samples:       *samples,
+		Seed:          *seed,
+		Aggregator:    *agg,
+		Optimizer:     *opt,
+		LR:            *lr,
+		JoinTimeout:   *joinTimeout,
+		UpdateTimeout: *updateTimeout,
+		RoundDeadline: *roundDeadline,
+		Logf:          logf,
+	}, fleetdemo.Model(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	addr, err := c.Start(&coord.TCP{Compress: *compress}, *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The smoke tests (and shell scripts) scrape this line for the bound port.
+	fmt.Printf("listening on %s\n", addr)
+	fmt.Printf("coordinator: %d worker slots, %s aggregation, %d rounds, %d samples, %s lr %g\n",
+		*workers, *agg, *rounds, *samples, *opt, *lr)
+	fmt.Printf("parallelism: %d workers (EDGETRAIN_WORKERS overrides)\n", parallel.Workers())
+
+	rep, err := c.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+}

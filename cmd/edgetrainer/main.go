@@ -33,6 +33,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/device"
 	"github.com/edgeml/edgetrain/internal/memmodel"
 	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/resnet"
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
@@ -182,8 +183,11 @@ func main() {
 
 	fmt.Printf("edge student training: %d-stage %s, policy=%s, store=%s, batch=%d, viewpoint=%.2f\n",
 		c.Len(), cfg.Variant, *policy, kind, *batch, *viewpoint)
+	fmt.Printf("parallelism: %d workers (EDGETRAIN_WORKERS overrides)\n", parallel.Workers())
 	if cp != nil {
 		fmt.Printf("checkpointing to %s every %d steps\n", cp.Dir.Path(), cp.EverySteps)
+	} else {
+		fmt.Println("durable checkpoints: disabled (use -checkpoint-dir)")
 	}
 	if pol.MemoryBudget > 0 {
 		// MiB, matching the binary units -budget accepts, so the echoed

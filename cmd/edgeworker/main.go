@@ -1,0 +1,84 @@
+// Command edgeworker runs one edge worker process: it dials the coordinator
+// started by cmd/edgecoord, registers with a capability handshake (device
+// profile, RAM budget, supported aggregators), pulls its shard and round
+// assignments, trains locally with the existing chain/plan machinery, and
+// pushes updates back until the run completes. A worker restarted under the
+// same -name recovers its optimizer state from the coordinator.
+//
+// Usage:
+//
+//	edgeworker -addr 127.0.0.1:7600 -name w0
+//	edgeworker -addr 127.0.0.1:7600 -name w1 -device rpi -budget 210KB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/edgeml/edgetrain/coord"
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/fleetdemo"
+	"github.com/edgeml/edgetrain/internal/memmodel"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+func main() {
+	addr := flag.String("addr", "", "coordinator address (required)")
+	name := flag.String("name", "", "worker name — the rejoin identity (required)")
+	deviceName := flag.String("device", "waggle", "device profile: waggle, jetson, rpi or cloud")
+	budget := flag.String("budget", "device", "RAM budget: 'device' (the node's memory) or a size like 210KB")
+	compress := flag.Bool("compress", false, "DEFLATE-compress wire frames (must match the coordinator)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "liveness interval while training")
+	spill := flag.String("spill-dir", "", "directory for tiered checkpoint spill (default in-memory)")
+	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
+	flag.Parse()
+
+	if *addr == "" || *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dev, err := device.ByName(*deviceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := fleet.WorkerSpec{Name: *name, Device: dev, SpillDir: *spill}
+	if *budget != "" && *budget != "device" {
+		b, err := memmodel.ParseBytes(*budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.BudgetBytes = b
+	}
+	logf := func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	res, err := coord.RunWorker(&coord.TCP{Compress: *compress}, *addr, coord.WorkerOptions{
+		Spec: spec,
+		Model: func(a coord.Assignment) (*chain.Chain, error) {
+			return fleetdemo.Model(a.Seed)()
+		},
+		Dataset: func(a coord.Assignment) (trainer.Dataset, error) {
+			return fleetdemo.Dataset(a.Workers, a.Samples, a.Seed), nil
+		},
+		Heartbeat: *heartbeat,
+		Logf:      logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worker %s done: slot %d, %d rounds contributed, %.2f MB sent, %.2f MB received\n",
+		*name, res.Assignment.Index, res.Rounds,
+		float64(res.WireSent)/1e6, float64(res.WireReceived)/1e6)
+	if res.Restored {
+		fmt.Println("recovered optimizer state from the coordinator on rejoin")
+	}
+}

@@ -27,14 +27,12 @@ import (
 
 	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/fleet"
-	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/device"
 	"github.com/edgeml/edgetrain/internal/edgesim"
+	"github.com/edgeml/edgetrain/internal/fleetdemo"
 	"github.com/edgeml/edgetrain/internal/memmodel"
-	"github.com/edgeml/edgetrain/internal/resnet"
-	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/trainer"
-	"github.com/edgeml/edgetrain/internal/vision"
 )
 
 func main() {
@@ -91,35 +89,11 @@ func main() {
 		}
 	}
 
-	// Non-IID data: each worker's contiguous shard carries its own viewpoint
-	// skew, spread across the fleet. The requested total is distributed with
-	// the same split rule trainer.Shard applies, so the generated blocks are
-	// exactly the shards the workers will see.
-	rng := tensor.NewRNG(*seed + 1)
-	var ds []trainer.Batch
-	for i := 0; i < *nodes; i++ {
-		vp := 0.2
-		if *nodes > 1 {
-			vp += 0.7 * float64(i) / float64(*nodes-1)
-		}
-		lo, hi := trainer.ShardRange(*samples, *nodes, i)
-		for j := 0; j < hi-lo; j++ {
-			c := vision.Class(j % vision.NumClasses)
-			ds = append(ds, trainer.Batch{Images: vision.Sample(rng, c, vp, 16), Labels: []int{int(c)}})
-		}
-	}
-	dataset := trainer.NewSliceDataset(ds)
-
-	model := func() (*chain.Chain, error) {
-		cfg := resnet.DefaultSmallConfig()
-		cfg.NumClasses = vision.NumClasses
-		cfg.Seed = *seed
-		net, err := resnet.BuildSmall(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return chain.FromSequential(net), nil
-	}
+	// Shared demo builders: the same non-IID viewpoint shards and small
+	// ResNet the distributed edgecoord/edgeworker pair reconstructs, so a
+	// fleettrainer run is the in-process reference for a distributed one.
+	dataset := fleetdemo.Dataset(*nodes, *samples, *seed)
+	model := fleetdemo.Model(*seed)
 
 	aggregator, err := fleet.NewAggregator(*agg, trainer.NewSGD(*lr))
 	if err != nil {
@@ -170,8 +144,11 @@ func main() {
 
 	fmt.Printf("fleet training: %d workers, %s aggregation, %d rounds, %d samples (non-IID shards)\n",
 		*nodes, aggregator.Name(), *rounds, dataset.Len())
+	fmt.Printf("parallelism: %d workers (EDGETRAIN_WORKERS overrides)\n", parallel.Workers())
 	if dir != nil {
 		fmt.Printf("checkpointing to %s every %d round(s)\n", dir.Path(), *ckptEvery)
+	} else {
+		fmt.Println("durable checkpoints: disabled (use -checkpoint-dir)")
 	}
 	for _, w := range f.Workers() {
 		if w.Choice.Strategy == "" {

@@ -6,10 +6,13 @@ package edgetrain
 // untested.
 
 import (
+	"bufio"
+	"bytes"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmds compiles all cmd/ binaries into one temp dir and returns it.
@@ -72,6 +75,92 @@ func TestCommandSmoke(t *testing.T) {
 				t.Fatalf("%s %v output does not contain %q:\n%s", binary, tc.args, tc.want, out)
 			}
 		})
+	}
+}
+
+// TestDistributedFleetSmoke drives the coordinator and two worker binaries
+// end to end over 127.0.0.1: the coordinator binds an ephemeral port, two
+// edgeworkers join, two rounds complete, and everything shuts down cleanly
+// with a non-empty fleet report.
+func TestDistributedFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+
+	coord := exec.Command(filepath.Join(bin, "edgecoord"),
+		"-workers", "2", "-rounds", "2", "-samples", "8", "-quiet")
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coordOut bytes.Buffer
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator announces its bound port on the first line.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		coordOut.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("coordinator never announced its address:\n%s", coordOut.String())
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			coordOut.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	workers := make(chan error, 2)
+	outs := make([]bytes.Buffer, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			w := exec.Command(filepath.Join(bin, "edgeworker"),
+				"-addr", addr, "-name", []string{"w0", "w1"}[i], "-quiet")
+			w.Stdout = &outs[i]
+			w.Stderr = &outs[i]
+			workers <- w.Run()
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workers:
+			if err != nil {
+				t.Fatalf("worker failed: %v\nw0: %s\nw1: %s", err, outs[0].String(), outs[1].String())
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("workers did not finish\ncoordinator so far:\n%s", coordOut.String())
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator exited with %v:\n%s", err, coordOut.String())
+	}
+	<-drained
+	out := coordOut.String()
+	for _, want := range []string{
+		"fleet training report: fedavg, 2 workers, 2 rounds",
+		"wire (MB)",
+		"final loss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("coordinator report lacks %q:\n%s", want, out)
+		}
+	}
+	for i := range outs {
+		if !strings.Contains(outs[i].String(), "2 rounds contributed") {
+			t.Fatalf("worker %d did not contribute 2 rounds:\n%s", i, outs[i].String())
+		}
 	}
 }
 

@@ -1,0 +1,849 @@
+// Package coord runs a fleet training round loop over a real transport: a
+// long-running coordinator process owns the global model, round state and
+// aggregator, and edge worker processes register with a capability
+// handshake, pull round assignments, train locally with the existing
+// chain/plan machinery, and push updates back.
+//
+// The wire protocol is deliberately thin: every message is one ckpt frame
+// (the checkpoint codec's 28-byte header + CRC32, raw or DEFLATE payload)
+// and every tensor crosses as the fp64-exact nn tensor encoding. Combined
+// with the fleet engine's deterministic fold contract — updates folded in
+// ascending worker-slot order, no RNG consumed under full participation —
+// a distributed run produces global weights byte-identical to the
+// in-process fleet.Run, over TCP or the in-process Loopback transport
+// alike; the equivalence tests pin exactly that.
+//
+// The fleet is elastic. A worker that dies mid-round (connection error,
+// missed liveness deadline) is dropped from that round's fold and the round
+// completes with the survivors. The coordinator keeps each slot's latest
+// durable state (optimizer slots, progress counters, captured with every
+// update), so a worker rejoining under the same name recovers its optimizer
+// state exactly as fleet.ResumeFrom restores a checkpointed in-process
+// worker. Stragglers past the round deadline stay joined: their late update
+// is acknowledged and discarded, and they rejoin the next round.
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+// ErrClosed is returned by Wait when the coordinator was closed before the
+// run completed.
+var ErrClosed = errors.New("coord: coordinator closed")
+
+// Config controls a coordinated fleet run.
+type Config struct {
+	// Workers is the fleet size: the number of slots, which fixes the shard
+	// count. Workers join and leave elastically, but the sharding never
+	// changes mid-run.
+	Workers int
+	// MinWorkers is how many workers must join before round zero starts
+	// (default Workers).
+	MinWorkers int
+	// Rounds is the number of aggregation rounds (default 1).
+	Rounds int
+	// LocalEpochs, BatchSize and Samples mirror fleet.Config and the dataset
+	// size; they are handed to workers in the welcome so every worker
+	// reconstructs the same shards the in-process engine would.
+	LocalEpochs int
+	BatchSize   int
+	Samples     int
+	// Seed is the run seed, forwarded to workers for deterministic dataset
+	// and model construction.
+	Seed uint64
+	// Aggregator is the aggregation mode: "fedavg" (default) or "allreduce".
+	Aggregator string
+	// Optimizer ("sgd", "momentum", "adam"; default "sgd") and LR (default
+	// 0.05) configure both the workers' local optimisers and, for
+	// all-reduce, the coordinator's global optimiser.
+	Optimizer string
+	LR        float64
+	// JoinTimeout bounds the wait for MinWorkers at startup; if it expires
+	// with at least one worker joined, the run starts short-handed (default
+	// 30s).
+	JoinTimeout time.Duration
+	// UpdateTimeout is the per-worker liveness bound: a worker expected to
+	// deliver an update that has been silent (no heartbeat, no message) this
+	// long is declared dead and dropped from the round. Zero disables.
+	UpdateTimeout time.Duration
+	// RoundDeadline is the hard cap on one round's collection phase. When it
+	// expires, workers still outstanding are marked dropped for the round
+	// (they stay joined; a late update is acknowledged and discarded) and
+	// the fold proceeds with the updates in hand. Zero disables.
+	RoundDeadline time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the global model and drives the round loop over a
+// transport. All mutable round state is confined to one goroutine (the run
+// loop); connection handlers only perform I/O and exchange typed events
+// with it, so the coordinator needs no lock around model or slot state.
+type Coordinator struct {
+	cfg        Config
+	agg        fleet.Aggregator
+	global     *chain.Chain
+	globalPs   []*nn.Param
+	modelBytes int64
+
+	listener Listener
+	events   chan event
+	quit     chan struct{}
+	done     chan struct{}
+	closing  sync.Once
+	started  atomic.Bool
+
+	mu     sync.Mutex
+	report *fleet.Report
+	states []ckpt.WorkerState
+	runErr error
+}
+
+// New builds a coordinator around the model the factory produces. The
+// factory must match the workers' (same seed, same architecture): the
+// handshake does not ship code, only configuration.
+func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("coord: fleet size %d", cfg.Workers)
+	}
+	if cfg.MinWorkers <= 0 || cfg.MinWorkers > cfg.Workers {
+		cfg.MinWorkers = cfg.Workers
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.LocalEpochs <= 0 {
+		cfg.LocalEpochs = 1
+	}
+	if cfg.Aggregator == "" {
+		cfg.Aggregator = "fedavg"
+	}
+	if cfg.Optimizer == "" {
+		cfg.Optimizer = "sgd"
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if model == nil {
+		return nil, fmt.Errorf("coord: nil model factory")
+	}
+	globalOpt, err := trainer.NewOptimizer(cfg.Optimizer, cfg.LR)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	agg, err := fleet.NewAggregator(cfg.Aggregator, globalOpt)
+	if err != nil {
+		return nil, err
+	}
+	global, err := model()
+	if err != nil {
+		return nil, fmt.Errorf("coord: building global model: %w", err)
+	}
+	if global == nil || global.Len() == 0 {
+		return nil, fmt.Errorf("coord: model factory produced an empty chain")
+	}
+	return &Coordinator{
+		cfg:        cfg,
+		agg:        agg,
+		global:     global,
+		globalPs:   global.Params(),
+		modelBytes: nn.ParamBytes(global.Stages),
+		events:     make(chan event, 64),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}, nil
+}
+
+// Start binds the transport endpoint and launches the accept and round
+// loops, returning the bound address workers should dial.
+func (c *Coordinator) Start(t Transport, addr string) (string, error) {
+	if c.started.Swap(true) {
+		return "", fmt.Errorf("coord: coordinator already started")
+	}
+	l, err := t.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	c.listener = l
+	go c.acceptLoop()
+	go c.run()
+	return l.Addr(), nil
+}
+
+// Wait blocks until the run completes (or the coordinator is closed) and
+// returns the assembled fleet report.
+func (c *Coordinator) Wait() (*fleet.Report, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.report, c.runErr
+}
+
+// Global returns the global model. Safe to read after Wait returns.
+func (c *Coordinator) Global() *chain.Chain { return c.global }
+
+// WorkerStates returns each slot's latest captured durable state, in slot
+// order (slots that never delivered an update are omitted). Safe after Wait.
+func (c *Coordinator) WorkerStates() []ckpt.WorkerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states
+}
+
+// Close aborts a running coordinator and releases the listener. Closing
+// after a completed run is a no-op beyond cleanup.
+func (c *Coordinator) Close() error {
+	c.closing.Do(func() { close(c.quit) })
+	if c.listener != nil {
+		c.listener.Close()
+	}
+	return nil
+}
+
+type eventKind int
+
+const (
+	evHello eventKind = iota
+	evUpdate
+	evDeath
+	evBye // handler delivered the final done frame; the worker left cleanly
+)
+
+type event struct {
+	kind       eventKind
+	rem        *remote
+	conn       Conn
+	hello      hello
+	upd        updateMsg
+	helloReply chan helloReply
+	ackReply   chan ackReply
+}
+
+type helloReply struct {
+	a   Assignment
+	rem *remote
+	err error
+}
+
+type ackReply struct {
+	status string
+	drop   bool
+}
+
+// directive is what a parked pull receives: the next round's broadcast, or
+// the end of the run.
+type directive struct {
+	done  bool
+	round int
+	frame ckpt.Frame
+}
+
+// remote is the run loop's view of one live worker connection. roundCh is
+// buffered so the run loop never blocks on a handler; lastSeen is written by
+// the handler on every received message (heartbeats included) and read by
+// the liveness check.
+type remote struct {
+	conn     Conn
+	name     string
+	index    int
+	roundCh  chan directive
+	lastSeen atomic.Int64
+	wireMark int64 // run-loop only: Stats() watermark for per-round deltas
+}
+
+// slot is one fleet position: who holds it, and the durable state the
+// coordinator retains for crash recovery.
+type slot struct {
+	name         string
+	device       string
+	budget       int64
+	rem          *remote // nil while the slot has no live worker
+	state        *ckpt.WorkerState
+	strategy     string
+	shardSamples int
+}
+
+// post delivers an event to the run loop, giving up if the coordinator is
+// shutting down (so handlers never block forever on a gone run loop).
+func (c *Coordinator) post(e event) bool {
+	select {
+	case c.events <- e:
+		return true
+	case <-c.quit:
+		return false
+	case <-c.done:
+		return false
+	}
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return
+		}
+		go c.serve(conn)
+	}
+}
+
+// serve owns one connection: it performs every read and write on it,
+// translating protocol messages into run-loop events. The protocol is
+// strict ping-pong from the worker's side, so a synchronous pipe transport
+// (Loopback) can never deadlock: whenever the worker writes, this goroutine
+// is reading, and vice versa.
+func (c *Coordinator) serve(conn Conn) {
+	defer conn.Close()
+	f, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if f.Type != msgHello {
+		conn.Send(encodeError(fmt.Sprintf("coord: expected hello, got message type %d", f.Type)))
+		return
+	}
+	h, err := parseHello(f.Payload)
+	if err != nil {
+		conn.Send(encodeError(fmt.Sprintf("coord: bad hello: %v", err)))
+		return
+	}
+	reply := make(chan helloReply, 1)
+	if !c.post(event{kind: evHello, conn: conn, hello: h, helloReply: reply}) {
+		return
+	}
+	var hr helloReply
+	select {
+	case hr = <-reply:
+	case <-c.quit:
+		return
+	case <-c.done:
+		// The run loop may have replied just before finishing.
+		select {
+		case hr = <-reply:
+		default:
+			return
+		}
+	}
+	if hr.err != nil {
+		conn.Send(encodeError(hr.err.Error()))
+		return
+	}
+	rem := hr.rem
+	if err := conn.Send(encodeWelcome(hr.a)); err != nil {
+		c.post(event{kind: evDeath, rem: rem})
+		return
+	}
+	for {
+		f, err := conn.Recv()
+		if err != nil {
+			c.post(event{kind: evDeath, rem: rem})
+			return
+		}
+		rem.lastSeen.Store(time.Now().UnixNano())
+		switch f.Type {
+		case msgHeartbeat:
+			// One-way liveness; lastSeen is already refreshed.
+		case msgPull:
+			var d directive
+			select {
+			case d = <-rem.roundCh:
+			case <-c.quit:
+				conn.Send(ckpt.Frame{Type: msgDone})
+				return
+			}
+			if d.done {
+				conn.Send(ckpt.Frame{Type: msgDone})
+				c.post(event{kind: evBye, rem: rem})
+				return
+			}
+			if err := conn.Send(d.frame); err != nil {
+				c.post(event{kind: evDeath, rem: rem})
+				return
+			}
+		case msgUpdate:
+			m, err := parseUpdate(f.Payload)
+			if err != nil {
+				conn.Send(encodeError(fmt.Sprintf("coord: bad update: %v", err)))
+				c.post(event{kind: evDeath, rem: rem})
+				return
+			}
+			ar := make(chan ackReply, 1)
+			if !c.post(event{kind: evUpdate, rem: rem, upd: m, ackReply: ar}) {
+				return
+			}
+			var a ackReply
+			select {
+			case a = <-ar:
+			case <-c.quit:
+				return
+			case <-c.done:
+				// The run loop may have replied just before finishing.
+				select {
+				case a = <-ar:
+				default:
+					return
+				}
+			}
+			if err := conn.Send(encodeAck(ackMsg{round: m.round, status: a.status})); err != nil {
+				c.post(event{kind: evDeath, rem: rem})
+				return
+			}
+			if a.drop {
+				return
+			}
+		default:
+			conn.Send(encodeError(fmt.Sprintf("coord: unexpected message type %d", f.Type)))
+			c.post(event{kind: evDeath, rem: rem})
+			return
+		}
+	}
+}
+
+// run is the coordinator's single-owner state machine: gather the fleet,
+// drive the rounds, assemble the report.
+func (c *Coordinator) run() {
+	slots := make([]slot, c.cfg.Workers)
+	var rounds []fleet.RoundStats
+	err := func() error {
+		if err := c.gather(slots); err != nil {
+			return err
+		}
+		for r := 0; r < c.cfg.Rounds; r++ {
+			rs, err := c.runRound(r, slots)
+			if err != nil {
+				return err
+			}
+			rounds = append(rounds, rs)
+			c.cfg.Logf("coord: round %d: %d participants, %d dropouts, loss %.4f, wall %v",
+				r, rs.Participants, rs.Dropouts, rs.Loss, rs.WallClock.Round(time.Millisecond))
+		}
+		return nil
+	}()
+
+	// Release every live worker with a done directive; their handlers send
+	// the final frame whenever the pull arrives and confirm with a bye.
+	awaiting := make(map[*remote]bool)
+	for i := range slots {
+		if rem := slots[i].rem; rem != nil {
+			select {
+			case rem.roundCh <- directive{done: true}:
+				awaiting[rem] = true
+			default:
+			}
+		}
+	}
+	// Drain until the byes arrive (bounded), so Wait's caller can exit
+	// without severing connections before the final frames are delivered.
+	grace := time.NewTimer(5 * time.Second)
+	defer grace.Stop()
+drain:
+	for len(awaiting) > 0 {
+		select {
+		case e := <-c.events:
+			switch e.kind {
+			case evBye, evDeath:
+				delete(awaiting, e.rem)
+			case evHello:
+				e.helloReply <- helloReply{err: fmt.Errorf("coord: run complete")}
+			case evUpdate:
+				e.ackReply <- ackReply{status: AckLate}
+			}
+		case <-grace.C:
+			break drain
+		case <-c.quit:
+			break drain
+		}
+	}
+	c.listener.Close()
+
+	c.mu.Lock()
+	c.runErr = err
+	if err == nil {
+		c.report = c.buildReport(slots, rounds)
+	}
+	for i := range slots {
+		if slots[i].state != nil {
+			c.states = append(c.states, *slots[i].state)
+		}
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// gather waits for MinWorkers to join (or JoinTimeout with at least one).
+func (c *Coordinator) gather(slots []slot) error {
+	deadline := time.NewTimer(c.cfg.JoinTimeout)
+	defer deadline.Stop()
+	for {
+		if liveCount(slots) >= c.cfg.MinWorkers {
+			return nil
+		}
+		select {
+		case e := <-c.events:
+			c.handleMembership(e, slots, nil, nil)
+		case <-deadline.C:
+			if liveCount(slots) > 0 {
+				c.cfg.Logf("coord: join timeout, starting with %d/%d workers", liveCount(slots), c.cfg.Workers)
+				return nil
+			}
+			return fmt.Errorf("coord: no workers joined within %v", c.cfg.JoinTimeout)
+		case <-c.quit:
+			return ErrClosed
+		}
+	}
+}
+
+func liveCount(slots []slot) int {
+	n := 0
+	for i := range slots {
+		if slots[i].rem != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// handleMembership processes hello and death events; update events outside
+// a collection window (a straggler finishing between rounds) are
+// acknowledged late. expected/rs are the current collection window, nil
+// outside one.
+func (c *Coordinator) handleMembership(e event, slots []slot, expected map[int]*remote, rs *fleet.RoundStats) {
+	switch e.kind {
+	case evHello:
+		c.handleHello(e, slots)
+	case evDeath:
+		i := e.rem.index
+		if slots[i].rem == e.rem {
+			slots[i].rem = nil
+			c.cfg.Logf("coord: worker %s (slot %d) left", e.rem.name, i)
+		}
+		if expected != nil && expected[i] == e.rem {
+			delete(expected, i)
+			rs.Workers[i].Dropped = true
+			rs.Dropouts++
+		}
+	case evUpdate:
+		e.ackReply <- ackReply{status: AckLate}
+	}
+}
+
+func (c *Coordinator) handleHello(e event, slots []slot) {
+	h := e.hello
+	fail := func(format string, args ...any) {
+		e.helloReply <- helloReply{err: fmt.Errorf(format, args...)}
+	}
+	if h.version != ProtocolVersion {
+		fail("coord: protocol version %d, coordinator speaks %d", h.version, ProtocolVersion)
+		return
+	}
+	if h.name == "" {
+		fail("coord: empty worker name")
+		return
+	}
+	if len(h.aggregators) > 0 && !contains(h.aggregators, c.agg.Name()) {
+		fail("coord: fleet runs %q aggregation, worker %s supports %v", c.agg.Name(), h.name, h.aggregators)
+		return
+	}
+	// Slot assignment: a returning name reclaims its slot (recovering its
+	// state), otherwise the lowest never-used slot, otherwise the lowest
+	// dead slot (whose previous holder's state is discarded).
+	idx, rejoin := -1, false
+	for i := range slots {
+		if slots[i].name == h.name {
+			if slots[i].rem != nil {
+				fail("coord: worker name %q is already connected", h.name)
+				return
+			}
+			idx, rejoin = i, true
+			break
+		}
+	}
+	if idx < 0 {
+		for i := range slots {
+			if slots[i].rem == nil && slots[i].name == "" {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		for i := range slots {
+			if slots[i].rem == nil {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		fail("coord: fleet full (%d workers)", len(slots))
+		return
+	}
+	rem := &remote{
+		conn:    e.conn,
+		name:    h.name,
+		index:   idx,
+		roundCh: make(chan directive, 1),
+	}
+	rem.lastSeen.Store(time.Now().UnixNano())
+	sent, received := e.conn.Stats()
+	rem.wireMark = sent + received
+	s := &slots[idx]
+	if !rejoin {
+		s.state = nil
+		s.strategy = ""
+		s.shardSamples = 0
+	}
+	s.name = h.name
+	s.device = h.device
+	s.budget = h.budgetBytes
+	s.rem = rem
+	a := Assignment{
+		Index:       idx,
+		Workers:     len(slots),
+		Rounds:      c.cfg.Rounds,
+		LocalEpochs: c.cfg.LocalEpochs,
+		BatchSize:   c.cfg.BatchSize,
+		Samples:     c.cfg.Samples,
+		Seed:        c.cfg.Seed,
+		Aggregator:  c.agg.Name(),
+		Optimizer:   c.cfg.Optimizer,
+		LR:          c.cfg.LR,
+	}
+	if rejoin {
+		a.State = s.state
+	}
+	verb := "joined"
+	if rejoin && s.state != nil {
+		verb = "rejoined with recovered state"
+	}
+	c.cfg.Logf("coord: worker %s (%s, %d MB budget) %s as slot %d", h.name, h.device, h.budgetBytes/1e6, verb, idx)
+	e.helloReply <- helloReply{a: a, rem: rem}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// runRound executes one aggregation round: broadcast the global parameters
+// to every live worker, collect their updates (handling joins, deaths,
+// stragglers and liveness timeouts meanwhile), fold the survivors in
+// ascending slot order, and account the round.
+func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
+	start := time.Now()
+	n := len(slots)
+	rs := fleet.RoundStats{Round: r, Workers: make([]fleet.WorkerRoundStats, n)}
+	for i := range rs.Workers {
+		rs.Workers[i].Worker = i
+	}
+
+	// Broadcast: one encoded frame shared by every directive (payloads are
+	// read-only once built).
+	params := make([]ckpt.NamedTensor, len(c.globalPs))
+	for i, p := range c.globalPs {
+		params[i] = ckpt.NamedTensor{Name: p.Name, Tensor: p.Value}
+	}
+	frame, err := encodeRound(roundMsg{round: r, params: params})
+	if err != nil {
+		return rs, err
+	}
+	expected := make(map[int]*remote)
+	for i := range slots {
+		rem := slots[i].rem
+		if rem == nil {
+			continue
+		}
+		select {
+		case rem.roundCh <- directive{round: r, frame: frame}:
+			expected[i] = rem
+			rs.Workers[i].Participated = true
+			rs.Workers[i].DownloadBytes = c.modelBytes
+			rs.DownlinkBytes += c.modelBytes
+		default:
+			// The previous directive was never consumed — the worker has not
+			// pulled since; leave it out of this round.
+		}
+	}
+	if len(expected) == 0 {
+		return rs, fmt.Errorf("coord: round %d: no live workers", r)
+	}
+
+	var deadlineC <-chan time.Time
+	if c.cfg.RoundDeadline > 0 {
+		t := time.NewTimer(c.cfg.RoundDeadline)
+		defer t.Stop()
+		deadlineC = t.C
+	}
+	var livenessC <-chan time.Time
+	if c.cfg.UpdateTimeout > 0 {
+		period := c.cfg.UpdateTimeout / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		tk := time.NewTicker(period)
+		defer tk.Stop()
+		livenessC = tk.C
+	}
+
+	updates := make(map[int]*fleet.Update)
+collect:
+	for len(expected) > 0 {
+		select {
+		case e := <-c.events:
+			if e.kind != evUpdate {
+				c.handleMembership(e, slots, expected, &rs)
+				continue
+			}
+			i := e.rem.index
+			if e.upd.round != r || expected[i] != e.rem {
+				// A straggler delivering a closed round, or a stale remote.
+				e.ackReply <- ackReply{status: AckLate}
+				continue
+			}
+			if e.upd.samples == 0 {
+				// An idle worker (empty shard) has nothing to contribute,
+				// mirroring the in-process engine's skip of empty updates.
+				delete(expected, i)
+				e.ackReply <- ackReply{status: AckOK}
+				continue
+			}
+			u := e.upd.stats
+			u.Worker = i
+			u.Samples = e.upd.samples
+			u.Loss = e.upd.loss
+			u.Vecs = e.upd.vecs
+			if err := fleet.ValidateUpdate(c.globalPs, u); err != nil {
+				// A poisoned or malformed update: drop the worker, keep the
+				// round alive with the rest of the fleet.
+				c.cfg.Logf("coord: dropping worker %s: %v", e.rem.name, err)
+				e.ackReply <- ackReply{status: AckRejected, drop: true}
+				slots[i].rem = nil
+				delete(expected, i)
+				rs.Workers[i].Dropped = true
+				rs.Dropouts++
+				continue
+			}
+			st := e.upd.state
+			st.Index = i
+			st.Name = e.rem.name
+			slots[i].state = &st
+			slots[i].strategy = e.upd.strategy
+			slots[i].shardSamples = e.upd.samples
+			ws := &rs.Workers[i]
+			ws.Duration = e.upd.duration
+			updates[i] = &u
+			delete(expected, i)
+			e.ackReply <- ackReply{status: AckOK}
+		case <-deadlineC:
+			for i := range expected {
+				rs.Workers[i].Dropped = true
+				rs.Dropouts++
+				c.cfg.Logf("coord: round %d deadline: worker %s still outstanding, dropped from fold", r, slots[i].name)
+			}
+			break collect
+		case <-livenessC:
+			now := time.Now().UnixNano()
+			for _, rem := range expected {
+				if now-rem.lastSeen.Load() > int64(c.cfg.UpdateTimeout) {
+					c.cfg.Logf("coord: worker %s silent for %v, declaring dead", rem.name, c.cfg.UpdateTimeout)
+					rem.conn.Close() // the handler's Recv fails → death event
+				}
+			}
+		case <-c.quit:
+			return rs, ErrClosed
+		}
+	}
+
+	// Fold in ascending slot order — the Aggregator contract's fold order.
+	var folded []fleet.Update
+	for i := 0; i < n; i++ {
+		u := updates[i]
+		if u == nil || u.Samples == 0 {
+			continue
+		}
+		ws := &rs.Workers[i]
+		ws.Samples = u.Samples
+		ws.Loss = u.Loss
+		ws.ForwardEvals = u.ForwardEvals
+		ws.BackwardEvals = u.BackwardEvals
+		ws.PeakStates = u.PeakStates
+		ws.PeakRAMBytes = u.PeakRAMBytes
+		ws.PeakDiskBytes = u.PeakDiskBytes
+		ws.DiskWrites = u.DiskWrites
+		ws.DiskReads = u.DiskReads
+		ws.UploadBytes = c.modelBytes
+		rs.UplinkBytes += c.modelBytes
+		rs.Participants++
+		folded = append(folded, *u)
+	}
+	if len(folded) > 0 {
+		if err := c.agg.Fold(c.globalPs, folded); err != nil {
+			return rs, fmt.Errorf("coord: round %d: %s fold: %w", r, c.agg.Name(), err)
+		}
+	}
+	rs.Loss = fleet.WeightedLoss(folded)
+
+	// Measured wire traffic: per-connection byte deltas since the last
+	// round boundary.
+	for i := range slots {
+		rem := slots[i].rem
+		if rem == nil {
+			continue
+		}
+		sent, received := rem.conn.Stats()
+		total := sent + received
+		rs.Workers[i].WireBytes = total - rem.wireMark
+		rem.wireMark = total
+	}
+	rs.WallClock = time.Since(start)
+	return rs, nil
+}
+
+func (c *Coordinator) buildReport(slots []slot, rounds []fleet.RoundStats) *fleet.Report {
+	rep := &fleet.Report{
+		Aggregator: c.agg.Name(),
+		ModelBytes: c.modelBytes,
+	}
+	for i := range slots {
+		s := &slots[i]
+		name := s.name
+		if name == "" {
+			name = fmt.Sprintf("slot%d-empty", i)
+		}
+		strategy := s.strategy
+		if strategy == "" {
+			strategy = "idle"
+		}
+		rep.Workers = append(rep.Workers, fleet.WorkerSummary{
+			Index:        i,
+			Name:         name,
+			Device:       s.device,
+			BudgetBytes:  s.budget,
+			ShardSamples: s.shardSamples,
+			Strategy:     strategy,
+		})
+	}
+	for _, rs := range rounds {
+		rep.Add(rs)
+	}
+	return rep
+}

@@ -1,0 +1,518 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/internal/vision"
+)
+
+// testModel is the deterministic model factory shared by the coordinator,
+// the workers and the in-process reference fleet: a small MLP over flattened
+// 8x8 frames.
+func testModel(seed uint64) func() (*chain.Chain, error) {
+	return func() (*chain.Chain, error) {
+		rng := tensor.NewRNG(seed)
+		return chain.New(
+			nn.NewFlatten("flatten"),
+			nn.NewLinear("fc1", 64, 24, true, rng),
+			nn.NewReLU("relu1"),
+			nn.NewLinear("fc2", 24, 16, true, rng),
+			nn.NewReLU("relu2"),
+			nn.NewLinear("fc3", 16, vision.NumClasses, true, rng),
+		), nil
+	}
+}
+
+// testDataset builds n labelled frames with a viewpoint drift across the
+// sample index, so contiguous shards are non-IID.
+func testDataset(n int, seed uint64) *trainer.SliceDataset {
+	rng := tensor.NewRNG(seed)
+	var samples []trainer.Batch
+	for i := 0; i < n; i++ {
+		c := vision.Class(i % vision.NumClasses)
+		vp := 0.2 + 0.6*float64(i)/float64(max(n-1, 1))
+		samples = append(samples, trainer.Batch{
+			Images: vision.Sample(rng, c, vp, 8),
+			Labels: []int{int(c)},
+		})
+	}
+	return trainer.NewSliceDataset(samples)
+}
+
+const (
+	eqWorkers = 3
+	eqRounds  = 3
+	eqSamples = 24
+	eqSeed    = uint64(42)
+)
+
+func workerOptions(name string, seed uint64, samples int, hook func(round int) error) WorkerOptions {
+	return WorkerOptions{
+		Spec:      fleet.WorkerSpec{Name: name},
+		Model:     func(a Assignment) (*chain.Chain, error) { return testModel(a.Seed)() },
+		Dataset:   func(a Assignment) (trainer.Dataset, error) { return testDataset(a.Samples, a.Seed), nil },
+		Heartbeat: 50 * time.Millisecond,
+
+		beforeUpdate: hook,
+	}
+}
+
+// runDistributed runs a full coordinated fleet over the given transport and
+// returns the final global parameters and the report.
+func runDistributed(t *testing.T, tr Transport, aggName string) ([]*tensor.Tensor, *fleet.Report) {
+	t.Helper()
+	c, err := New(Config{
+		Workers:    eqWorkers,
+		Rounds:     eqRounds,
+		Samples:    eqSamples,
+		Seed:       eqSeed,
+		Aggregator: aggName,
+		Optimizer:  "momentum",
+		LR:         0.05,
+	}, testModel(eqSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, eqWorkers)
+	for i := 0; i < eqWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = RunWorker(tr, addr, workerOptions(fmt.Sprintf("w%d", i), eqSeed, eqSamples, nil))
+		}(i)
+	}
+	rep, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range errs {
+		if werr != nil {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+	var ps []*tensor.Tensor
+	for _, p := range c.Global().Params() {
+		ps = append(ps, p.Value.Clone())
+	}
+	return ps, rep
+}
+
+func assertBitEqual(t *testing.T, a, b []*tensor.Tensor, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d params vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		ad, bd := a[i].Data(), b[i].Data()
+		if len(ad) != len(bd) {
+			t.Fatalf("%s: param %d size %d vs %d", what, i, len(ad), len(bd))
+		}
+		for j := range ad {
+			if math.Float64bits(ad[j]) != math.Float64bits(bd[j]) {
+				t.Fatalf("%s: param %d element %d: %v != %v", what, i, j, ad[j], bd[j])
+			}
+		}
+	}
+}
+
+// TestTransportEquivalence pins the tentpole guarantee: a 3-worker fleet run
+// over the TCP transport produces byte-identical global weights to the
+// in-process loopback run AND to the single-process fleet.Run, for both
+// aggregation modes.
+func TestTransportEquivalence(t *testing.T) {
+	for _, aggName := range []string{"fedavg", "allreduce"} {
+		t.Run(aggName, func(t *testing.T) {
+			// In-process reference: the existing single-process engine with
+			// the exact configuration the coordinator hands its workers.
+			opt, err := trainer.NewOptimizer("momentum", 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg, err := fleet.NewAggregator(aggName, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs := make([]fleet.WorkerSpec, eqWorkers)
+			for i := range specs {
+				specs[i].Name = fmt.Sprintf("w%d", i)
+			}
+			ref, err := fleet.New(fleet.Config{
+				Workers:    specs,
+				Rounds:     eqRounds,
+				Seed:       eqSeed,
+				Aggregator: agg,
+				Optimizer: func() trainer.Optimizer {
+					o, err := trainer.NewOptimizer("momentum", 0.05)
+					if err != nil {
+						panic(err)
+					}
+					return o
+				},
+			}, testModel(eqSeed), testDataset(eqSamples, eqSeed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			if _, err := ref.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var want []*tensor.Tensor
+			for _, p := range ref.Global().Params() {
+				want = append(want, p.Value.Clone())
+			}
+
+			loop, repLoop := runDistributed(t, NewLoopback(), aggName)
+			assertBitEqual(t, loop, want, "loopback vs in-process")
+
+			tcp, repTCP := runDistributed(t, &TCP{}, aggName)
+			assertBitEqual(t, tcp, loop, "tcp vs loopback")
+
+			for _, rep := range []*fleet.Report{repLoop, repTCP} {
+				if len(rep.Rounds) != eqRounds {
+					t.Fatalf("report has %d rounds", len(rep.Rounds))
+				}
+				if rep.TotalWireBytes == 0 {
+					t.Fatalf("no wire bytes measured")
+				}
+				if !strings.Contains(rep.Render(), "wire (MB)") {
+					t.Fatalf("report render lacks wire column")
+				}
+				for _, rs := range rep.Rounds {
+					if rs.Participants != eqWorkers || rs.Dropouts != 0 {
+						t.Fatalf("round %d: %d participants, %d dropouts", rs.Round, rs.Participants, rs.Dropouts)
+					}
+					if rs.WallClock <= 0 {
+						t.Fatalf("round %d has no wall clock", rs.Round)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedTransportEquivalence pins that DEFLATE framing does not
+// perturb the weights either (the codec is lossless end to end).
+func TestCompressedTransportEquivalence(t *testing.T) {
+	raw, _ := runDistributed(t, NewLoopback(), "fedavg")
+	compressed, _ := runDistributed(t, &Loopback{Compress: true}, "fedavg")
+	assertBitEqual(t, compressed, raw, "deflate vs raw")
+}
+
+// TestKillAndRejoin drops a worker mid-round — after training, before
+// upload — and asserts the round completes with the survivors, then rejoins
+// the worker and asserts it recovers its optimizer state from the
+// coordinator.
+func TestKillAndRejoin(t *testing.T) {
+	tr := NewLoopback()
+	c, err := New(Config{
+		Workers:    3,
+		Rounds:     4,
+		Samples:    eqSamples,
+		Seed:       7,
+		Aggregator: "fedavg",
+		Optimizer:  "momentum",
+		LR:         0.05,
+	}, testModel(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors hold round 2 open until the victim's second life has been
+	// welcomed back, so the rejoin deterministically lands before the final
+	// rounds regardless of scheduling.
+	rejoined := make(chan struct{})
+	var wg sync.WaitGroup
+	survivors := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, survivors[i] = RunWorker(tr, addr, workerOptions(fmt.Sprintf("w%d", i), 7, eqSamples, func(round int) error {
+				if round == 2 {
+					select {
+					case <-rejoined:
+					case <-time.After(10 * time.Second):
+						return errors.New("timed out waiting for the victim to rejoin")
+					}
+				}
+				return nil
+			}))
+		}(i)
+	}
+
+	// First life: the victim trains rounds 0 and 1, then dies before
+	// uploading round 1's update.
+	boom := errors.New("simulated crash")
+	_, err = RunWorker(tr, addr, workerOptions("victim", 7, eqSamples, func(round int) error {
+		if round == 1 {
+			return boom
+		}
+		return nil
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("victim first life returned %v, want the injected crash", err)
+	}
+
+	// Second life: rejoin under the same name, recovering durable state.
+	// The coordinator may not have processed the first life's death yet, in
+	// which case the name is still held — retry, as a real worker would.
+	var once sync.Once
+	secondLife := workerOptions("victim", 7, eqSamples, nil)
+	secondLife.Logf = func(format string, args ...any) {
+		if strings.Contains(format, "recovered optimizer state") {
+			once.Do(func() { close(rejoined) })
+		}
+	}
+	var res *WorkerResult
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		res, err = RunWorker(tr, addr, secondLife)
+		if err == nil {
+			break
+		}
+		if !strings.Contains(err.Error(), "already connected") || time.Now().After(deadline) {
+			t.Fatalf("victim second life: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !res.Restored {
+		t.Fatalf("rejoined worker did not recover state")
+	}
+	st := res.Assignment.State
+	if st == nil {
+		t.Fatalf("rejoin assignment carries no state")
+	}
+	// The recovery point is the state captured with the round-0 update.
+	if st.Rounds != 1 {
+		t.Fatalf("recovered state has %d rounds done, want 1", st.Rounds)
+	}
+	if st.Opt.Name != "momentum" || len(st.Opt.Slots) == 0 {
+		t.Fatalf("recovered state lacks momentum slots: %+v", st.Opt)
+	}
+
+	rep, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range survivors {
+		if werr != nil {
+			t.Fatalf("survivor %d: %v", i, werr)
+		}
+	}
+	// Round 1 lost the victim but completed with the two survivors.
+	r1 := rep.Rounds[1]
+	if r1.Participants != 2 || r1.Dropouts != 1 {
+		t.Fatalf("round 1: %d participants, %d dropouts, want 2 and 1", r1.Participants, r1.Dropouts)
+	}
+	// Round 0 had the full fleet; the victim's rejoin rejoins later rounds.
+	if rep.Rounds[0].Participants != 3 {
+		t.Fatalf("round 0: %d participants, want 3", rep.Rounds[0].Participants)
+	}
+	last := rep.Rounds[len(rep.Rounds)-1]
+	if last.Participants != 3 {
+		t.Fatalf("final round: %d participants, want 3 (victim rejoined)", last.Participants)
+	}
+	// The coordinator retained durable state for all three slots.
+	if got := len(c.WorkerStates()); got != 3 {
+		t.Fatalf("coordinator retained %d worker states, want 3", got)
+	}
+}
+
+// rawClient is a hand-driven protocol client for adversarial tests.
+type rawClient struct {
+	t    *testing.T
+	conn Conn
+}
+
+func dialRaw(t *testing.T, tr Transport, addr, name string, aggs []string) *rawClient {
+	t.Helper()
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(encodeHello(hello{
+		version:     ProtocolVersion,
+		name:        name,
+		device:      "rogue",
+		aggregators: aggs,
+		strategies:  []string{"storeall"},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	return &rawClient{t: t, conn: conn}
+}
+
+func (rc *rawClient) recv() ckpt.Frame {
+	rc.t.Helper()
+	f, err := rc.conn.Recv()
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	return f
+}
+
+// TestCapabilityRejection pins that a worker not supporting the fleet's
+// aggregator is turned away in the handshake.
+func TestCapabilityRejection(t *testing.T) {
+	tr := NewLoopback()
+	c, err := New(Config{
+		Workers: 1, Rounds: 1, Aggregator: "allreduce",
+		JoinTimeout: 200 * time.Millisecond,
+	}, testModel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := dialRaw(t, tr, addr, "fedavg-only", []string{"fedavg"})
+	defer rc.conn.Close()
+	f := rc.recv()
+	if f.Type != msgError {
+		t.Fatalf("got message type %d, want error", f.Type)
+	}
+	msg, err := parseError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "allreduce") {
+		t.Fatalf("rejection message %q does not name the aggregator", msg)
+	}
+	if _, err := c.Wait(); err == nil {
+		t.Fatalf("coordinator gathered a fleet from zero eligible workers")
+	}
+}
+
+// TestPoisonedUpdateDropsWorker sends a NaN-poisoned update from a raw
+// client and asserts the coordinator rejects it, drops the worker, and
+// completes the run with the honest workers.
+func TestPoisonedUpdateDropsWorker(t *testing.T) {
+	tr := NewLoopback()
+	c, err := New(Config{
+		Workers: 3, Rounds: 2, Samples: eqSamples, Seed: 5,
+		Aggregator: "fedavg", Optimizer: "sgd", LR: 0.05,
+	}, testModel(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	honest := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, honest[i] = RunWorker(tr, addr, workerOptions(fmt.Sprintf("w%d", i), 5, eqSamples, nil))
+		}(i)
+	}
+
+	rc := dialRaw(t, tr, addr, "evil", []string{"fedavg"})
+	defer rc.conn.Close()
+	welcome := rc.recv()
+	a, err := expectWelcome(welcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.conn.Send(ckpt.Frame{Type: msgPull}); err != nil {
+		t.Fatal(err)
+	}
+	round := rc.recv()
+	if round.Type != msgRound {
+		t.Fatalf("got message type %d, want round", round.Type)
+	}
+	m, err := parseRound(round.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right shapes, poisoned values.
+	var vecs []*tensor.Tensor
+	for _, nt := range m.params {
+		v := nt.Tensor.Clone()
+		v.Data()[0] = math.NaN()
+		vecs = append(vecs, v)
+	}
+	uf, err := encodeUpdate(updateMsg{
+		round:   m.round,
+		samples: eqSamples / a.Workers,
+		loss:    0.1,
+		vecs:    vecs,
+		state:   ckpt.WorkerState{Index: a.Index, Name: "evil", Opt: ckpt.OptimizerState{Name: "sgd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.conn.Send(uf); err != nil {
+		t.Fatal(err)
+	}
+	ackF := rc.recv()
+	if ackF.Type != msgAck {
+		t.Fatalf("got message type %d, want ack", ackF.Type)
+	}
+	ack, err := parseAck(ackF.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.status != AckRejected {
+		t.Fatalf("poisoned update acked %q, want %q", ack.status, AckRejected)
+	}
+	// The coordinator hangs up on a dropped worker.
+	if _, err := rc.conn.Recv(); err == nil {
+		t.Fatalf("connection still open after rejection")
+	}
+
+	rep, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range honest {
+		if werr != nil {
+			t.Fatalf("honest worker %d: %v", i, werr)
+		}
+	}
+	if rep.Rounds[0].Participants != 2 || rep.Rounds[0].Dropouts != 1 {
+		t.Fatalf("round 0: %d participants, %d dropouts, want 2 and 1",
+			rep.Rounds[0].Participants, rep.Rounds[0].Dropouts)
+	}
+	if rep.FinalLoss == 0 || math.IsNaN(rep.FinalLoss) {
+		t.Fatalf("final loss %v after poisoned round", rep.FinalLoss)
+	}
+	for _, p := range c.Global().Params() {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("global model poisoned despite rejection")
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package coord
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/wire"
+)
+
+// ProtocolVersion is the coordination protocol's version, exchanged in the
+// hello handshake; a coordinator rejects workers speaking a different one.
+const ProtocolVersion = 1
+
+// Message types. The checkpoint file format owns frame types 1..6; the wire
+// protocol starts at 16 so a protocol message can never be mistaken for a
+// checkpoint frame.
+const (
+	msgHello     = uint32(16) // worker → coordinator: capability handshake
+	msgWelcome   = uint32(17) // coordinator → worker: slot + run assignment
+	msgPull      = uint32(18) // worker → coordinator: ready for a round
+	msgRound     = uint32(19) // coordinator → worker: round index + global params
+	msgUpdate    = uint32(20) // worker → coordinator: trained update + state
+	msgAck       = uint32(21) // coordinator → worker: update verdict
+	msgHeartbeat = uint32(22) // worker → coordinator: liveness while training
+	msgDone      = uint32(23) // coordinator → worker: run complete, disconnect
+	msgError     = uint32(24) // coordinator → worker: fatal rejection
+)
+
+// Ack statuses.
+const (
+	// AckOK: the update was accepted and will be folded this round.
+	AckOK = "ok"
+	// AckLate: the update arrived after its round closed (straggler past the
+	// deadline); it was discarded but the worker stays joined.
+	AckLate = "late"
+	// AckRejected: the update failed validation; the coordinator drops the
+	// worker.
+	AckRejected = "rejected"
+)
+
+// hello is the worker's capability handshake.
+type hello struct {
+	version     uint32
+	name        string
+	device      string
+	budgetBytes int64
+	// aggregators and strategies are the worker's supported aggregation
+	// modes and checkpoint strategies; the coordinator rejects a worker that
+	// cannot run the fleet's aggregator.
+	aggregators []string
+	strategies  []string
+}
+
+func encodeHello(h hello) ckpt.Frame {
+	var b bytes.Buffer
+	wire.PutUint32(&b, h.version)
+	wire.PutString(&b, h.name)
+	wire.PutString(&b, h.device)
+	wire.PutInt64(&b, h.budgetBytes)
+	putStrings(&b, h.aggregators)
+	putStrings(&b, h.strategies)
+	return ckpt.Frame{Type: msgHello, Payload: b.Bytes()}
+}
+
+func parseHello(payload []byte) (hello, error) {
+	p := wire.NewReader(payload)
+	var h hello
+	h.version = p.Uint32("protocol version")
+	h.name = p.String("worker name")
+	h.device = p.String("device name")
+	h.budgetBytes = p.Int64("budget bytes")
+	h.aggregators = takeStrings(p, "aggregator")
+	h.strategies = takeStrings(p, "strategy")
+	return h, p.Done()
+}
+
+// Assignment is what the coordinator hands a joining worker: its slot in the
+// fleet and every run parameter the worker needs to reproduce the in-process
+// fleet's local computation exactly.
+type Assignment struct {
+	// Index is the worker's fleet slot — its shard index and fold position.
+	Index int
+	// Workers is the fleet size (the shard count).
+	Workers int
+	// Rounds, LocalEpochs, BatchSize and Samples mirror fleet.Config and the
+	// dataset size the run was configured with.
+	Rounds      int
+	LocalEpochs int
+	BatchSize   int
+	Samples     int
+	// Seed is the run seed, for deterministic dataset/model construction.
+	Seed uint64
+	// Aggregator is the aggregation mode ("fedavg", "allreduce").
+	Aggregator string
+	// Optimizer and LR configure the worker's local optimiser.
+	Optimizer string
+	LR        float64
+	// State is the worker's recovered durable state when it is rejoining a
+	// slot it held before (optimizer slots, progress counters); nil on a
+	// fresh join.
+	State *ckpt.WorkerState
+}
+
+func encodeWelcome(a Assignment) ckpt.Frame {
+	var b bytes.Buffer
+	wire.PutInt64(&b, int64(a.Index))
+	wire.PutInt64(&b, int64(a.Workers))
+	wire.PutInt64(&b, int64(a.Rounds))
+	wire.PutInt64(&b, int64(a.LocalEpochs))
+	wire.PutInt64(&b, int64(a.BatchSize))
+	wire.PutInt64(&b, int64(a.Samples))
+	wire.PutUint64(&b, a.Seed)
+	wire.PutString(&b, a.Aggregator)
+	wire.PutString(&b, a.Optimizer)
+	wire.PutFloat64(&b, a.LR)
+	if a.State != nil {
+		wire.PutUint32(&b, 1)
+		st := ckpt.EncodeWorkerState(a.State)
+		wire.PutUint32(&b, uint32(len(st)))
+		b.Write(st)
+	} else {
+		wire.PutUint32(&b, 0)
+	}
+	return ckpt.Frame{Type: msgWelcome, Payload: b.Bytes()}
+}
+
+func parseWelcome(payload []byte) (Assignment, error) {
+	p := wire.NewReader(payload)
+	var a Assignment
+	a.Index = int(p.Int64("index"))
+	a.Workers = int(p.Int64("workers"))
+	a.Rounds = int(p.Int64("rounds"))
+	a.LocalEpochs = int(p.Int64("local epochs"))
+	a.BatchSize = int(p.Int64("batch size"))
+	a.Samples = int(p.Int64("samples"))
+	a.Seed = p.Uint64("seed")
+	a.Aggregator = p.String("aggregator")
+	a.Optimizer = p.String("optimizer")
+	a.LR = p.Float64("learning rate")
+	if p.Uint32("state flag") != 0 {
+		n := p.Uint32("state length")
+		st := p.Take(int(n), "worker state")
+		if err := p.Err(); err != nil {
+			return a, err
+		}
+		ws, err := ckpt.DecodeWorkerState(st)
+		if err != nil {
+			return a, fmt.Errorf("coord: welcome worker state: %w", err)
+		}
+		a.State = ws
+	}
+	return a, p.Done()
+}
+
+// roundMsg is one round directive: the round index and the current global
+// parameters (the broadcast half of fleet.Round).
+type roundMsg struct {
+	round  int
+	params []ckpt.NamedTensor
+}
+
+func encodeRound(m roundMsg) (ckpt.Frame, error) {
+	var b bytes.Buffer
+	wire.PutInt64(&b, int64(m.round))
+	wire.PutUint32(&b, uint32(len(m.params)))
+	for _, nt := range m.params {
+		wire.PutString(&b, nt.Name)
+		if err := putTensor(&b, nt.Tensor); err != nil {
+			return ckpt.Frame{}, fmt.Errorf("coord: encoding parameter %q: %w", nt.Name, err)
+		}
+	}
+	return ckpt.Frame{Type: msgRound, Payload: b.Bytes()}, nil
+}
+
+func parseRound(payload []byte) (roundMsg, error) {
+	p := wire.NewReader(payload)
+	var m roundMsg
+	m.round = int(p.Int64("round"))
+	n := p.Uint32("parameter count")
+	if p.Err() == nil && int64(n) > maxMessageBytes/8 {
+		return m, fmt.Errorf("coord: implausible parameter count %d", n)
+	}
+	for i := uint32(0); i < n && p.Err() == nil; i++ {
+		name := p.String("parameter name")
+		t, err := takeTensor(p, "parameter")
+		if err != nil {
+			return m, err
+		}
+		m.params = append(m.params, ckpt.NamedTensor{Name: name, Tensor: t})
+	}
+	return m, p.Done()
+}
+
+// updateMsg is one worker's round result: the fleet.Update payload (minus
+// the worker index, which the coordinator knows from the connection), the
+// strategy its budget selected, the local wall-clock, and its captured
+// durable state for crash recovery.
+type updateMsg struct {
+	round    int
+	samples  int
+	loss     float64
+	duration time.Duration
+	strategy string
+	stats    fleet.Update // execution-stat fields only
+	vecs     []*tensor.Tensor
+	state    ckpt.WorkerState
+}
+
+func encodeUpdate(m updateMsg) (ckpt.Frame, error) {
+	var b bytes.Buffer
+	wire.PutInt64(&b, int64(m.round))
+	wire.PutInt64(&b, int64(m.samples))
+	wire.PutFloat64(&b, m.loss)
+	wire.PutInt64(&b, int64(m.duration))
+	wire.PutString(&b, m.strategy)
+	wire.PutInt64(&b, int64(m.stats.ForwardEvals))
+	wire.PutInt64(&b, int64(m.stats.BackwardEvals))
+	wire.PutInt64(&b, int64(m.stats.PeakStates))
+	wire.PutInt64(&b, m.stats.PeakRAMBytes)
+	wire.PutInt64(&b, m.stats.PeakDiskBytes)
+	wire.PutInt64(&b, int64(m.stats.DiskWrites))
+	wire.PutInt64(&b, int64(m.stats.DiskReads))
+	wire.PutUint32(&b, uint32(len(m.vecs)))
+	for i, v := range m.vecs {
+		if err := putTensor(&b, v); err != nil {
+			return ckpt.Frame{}, fmt.Errorf("coord: encoding update tensor %d: %w", i, err)
+		}
+	}
+	st := ckpt.EncodeWorkerState(&m.state)
+	wire.PutUint32(&b, uint32(len(st)))
+	b.Write(st)
+	return ckpt.Frame{Type: msgUpdate, Payload: b.Bytes()}, nil
+}
+
+func parseUpdate(payload []byte) (updateMsg, error) {
+	p := wire.NewReader(payload)
+	var m updateMsg
+	m.round = int(p.Int64("round"))
+	m.samples = int(p.Int64("samples"))
+	m.loss = p.Float64("loss")
+	m.duration = time.Duration(p.Int64("duration"))
+	m.strategy = p.String("strategy")
+	m.stats.ForwardEvals = int(p.Int64("forward evals"))
+	m.stats.BackwardEvals = int(p.Int64("backward evals"))
+	m.stats.PeakStates = int(p.Int64("peak states"))
+	m.stats.PeakRAMBytes = p.Int64("peak RAM bytes")
+	m.stats.PeakDiskBytes = p.Int64("peak disk bytes")
+	m.stats.DiskWrites = int(p.Int64("disk writes"))
+	m.stats.DiskReads = int(p.Int64("disk reads"))
+	n := p.Uint32("tensor count")
+	if p.Err() == nil && int64(n) > maxMessageBytes/8 {
+		return m, fmt.Errorf("coord: implausible tensor count %d", n)
+	}
+	for i := uint32(0); i < n && p.Err() == nil; i++ {
+		t, err := takeTensor(p, "update tensor")
+		if err != nil {
+			return m, err
+		}
+		m.vecs = append(m.vecs, t)
+	}
+	sn := p.Uint32("state length")
+	st := p.Take(int(sn), "worker state")
+	if err := p.Err(); err != nil {
+		return m, err
+	}
+	ws, err := ckpt.DecodeWorkerState(st)
+	if err != nil {
+		return m, fmt.Errorf("coord: update worker state: %w", err)
+	}
+	m.state = *ws
+	return m, p.Done()
+}
+
+type ackMsg struct {
+	round  int
+	status string
+}
+
+func encodeAck(a ackMsg) ckpt.Frame {
+	var b bytes.Buffer
+	wire.PutInt64(&b, int64(a.round))
+	wire.PutString(&b, a.status)
+	return ckpt.Frame{Type: msgAck, Payload: b.Bytes()}
+}
+
+func parseAck(payload []byte) (ackMsg, error) {
+	p := wire.NewReader(payload)
+	var a ackMsg
+	a.round = int(p.Int64("round"))
+	a.status = p.String("status")
+	return a, p.Done()
+}
+
+func encodeError(msg string) ckpt.Frame {
+	var b bytes.Buffer
+	wire.PutString(&b, msg)
+	return ckpt.Frame{Type: msgError, Payload: b.Bytes()}
+}
+
+func parseError(payload []byte) (string, error) {
+	p := wire.NewReader(payload)
+	msg := p.String("error message")
+	return msg, p.Done()
+}
+
+// putTensor appends one tensor as a length-prefixed nn.WriteTensor chunk —
+// the fp64-exact codec checkpoints use, so parameters and gradients cross
+// the wire bit-identical.
+func putTensor(b *bytes.Buffer, t *tensor.Tensor) error {
+	if t == nil {
+		return fmt.Errorf("nil tensor")
+	}
+	wire.PutUint32(b, uint32(nn.EncodedTensorBytes(t)))
+	return nn.WriteTensor(b, t)
+}
+
+// takeTensor consumes one length-prefixed tensor chunk.
+func takeTensor(p *wire.Reader, what string) (*tensor.Tensor, error) {
+	n := p.Uint32(what + " length")
+	chunk := p.Take(int(n), what)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	t, err := nn.ReadTensor(bytes.NewReader(chunk))
+	if err != nil {
+		return nil, fmt.Errorf("coord: decoding %s: %w", what, err)
+	}
+	if nn.EncodedTensorBytes(t) != int64(len(chunk)) {
+		return nil, fmt.Errorf("coord: %s chunk has %d leftover bytes", what, int64(len(chunk))-nn.EncodedTensorBytes(t))
+	}
+	return t, nil
+}
+
+func putStrings(b *bytes.Buffer, ss []string) {
+	wire.PutUint32(b, uint32(len(ss)))
+	for _, s := range ss {
+		wire.PutString(b, s)
+	}
+}
+
+func takeStrings(p *wire.Reader, what string) []string {
+	n := p.Uint32(what + " count")
+	if p.Err() != nil || n > 1<<16 {
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := uint32(0); i < n && p.Err() == nil; i++ {
+		ss = append(ss, p.String(what))
+	}
+	return ss
+}

@@ -1,0 +1,299 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+// WorkerOptions configures one edge worker process.
+type WorkerOptions struct {
+	// Spec identifies the worker: its name (the rejoin identity — a worker
+	// reconnecting under the same name recovers its slot and optimizer
+	// state), device profile, RAM budget and spill directory.
+	Spec fleet.WorkerSpec
+	// Model builds the worker's model replica once the assignment is known.
+	// It must be the same deterministic factory the coordinator uses.
+	Model func(a Assignment) (*chain.Chain, error)
+	// Dataset builds the worker's local copy of the full dataset; the worker
+	// trains on shard a.Index of a.Workers (trainer.Shard), exactly as the
+	// in-process fleet would.
+	Dataset func(a Assignment) (trainer.Dataset, error)
+	// Optimizer overrides the local optimiser; nil constructs
+	// trainer.NewOptimizer(a.Optimizer, a.LR) from the assignment.
+	Optimizer func(a Assignment) (trainer.Optimizer, error)
+	// Heartbeat is the liveness interval while training (default 1s).
+	Heartbeat time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+
+	// beforeUpdate, when non-nil, runs after local training and before the
+	// update upload; an error abandons the connection — the test hook that
+	// simulates a worker crashing mid-round.
+	beforeUpdate func(round int) error
+}
+
+// WorkerResult summarises one worker process's run.
+type WorkerResult struct {
+	// Assignment is the slot and run configuration the coordinator granted.
+	Assignment Assignment
+	// Rounds is how many of this worker's updates were accepted for folding.
+	Rounds int
+	// Restored reports whether the worker rejoined and recovered durable
+	// state from the coordinator.
+	Restored bool
+	// WireSent and WireReceived are the framed bytes moved on the wire.
+	WireSent     int64
+	WireReceived int64
+}
+
+// RunWorker joins the coordinator at addr, trains rounds until the
+// coordinator signals completion, and returns the worker's summary. It is
+// the whole lifecycle of one edge worker process: capability handshake,
+// shard assignment, per-round pull → local train → update push, with
+// heartbeats during training and durable-state capture with every update.
+func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, error) {
+	if opts.Spec.Name == "" {
+		return nil, fmt.Errorf("coord: worker needs a name (the rejoin identity)")
+	}
+	if opts.Model == nil || opts.Dataset == nil {
+		return nil, fmt.Errorf("coord: worker needs Model and Dataset builders")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	heartbeat := opts.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+
+	conn, err := t.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	budget := opts.Spec.BudgetBytes
+	if budget <= 0 {
+		budget = opts.Spec.Device.MemoryBytes
+	}
+	err = conn.Send(encodeHello(hello{
+		version:     ProtocolVersion,
+		name:        opts.Spec.Name,
+		device:      opts.Spec.Device.Name,
+		budgetBytes: budget,
+		aggregators: []string{"fedavg", "allreduce"},
+		strategies:  []string{"storeall", "revolve", "twolevel"},
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("coord: sending hello: %w", err)
+	}
+	f, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("coord: waiting for welcome: %w", err)
+	}
+	a, err := expectWelcome(f)
+	if err != nil {
+		return nil, err
+	}
+	logf("worker %s: assigned slot %d of %d (%s, optimizer %s lr %g)",
+		opts.Spec.Name, a.Index, a.Workers, a.Aggregator, a.Optimizer, a.LR)
+
+	ds, err := opts.Dataset(a)
+	if err != nil {
+		return nil, fmt.Errorf("coord: building dataset: %w", err)
+	}
+	var opt trainer.Optimizer
+	if opts.Optimizer != nil {
+		opt, err = opts.Optimizer(a)
+	} else {
+		opt, err = trainer.NewOptimizer(a.Optimizer, a.LR)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w, err := fleet.NewWorker(opts.Spec, a.Index, a.Workers,
+		func() (*chain.Chain, error) { return opts.Model(a) },
+		ds, a.BatchSize, a.LocalEpochs, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	agg, err := fleet.NewAggregator(a.Aggregator, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &WorkerResult{Assignment: a}
+	if a.State != nil {
+		if err := w.RestoreState(*a.State); err != nil {
+			return nil, err
+		}
+		res.Restored = true
+		logf("worker %s: recovered optimizer state (%d rounds, %d samples done)",
+			opts.Spec.Name, a.State.Rounds, a.State.Samples)
+	}
+
+	for {
+		if err := conn.Send(ckpt.Frame{Type: msgPull}); err != nil {
+			return res, fmt.Errorf("coord: sending pull: %w", err)
+		}
+		f, err := conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("coord: waiting for round: %w", err)
+		}
+		switch f.Type {
+		case msgDone:
+			res.WireSent, res.WireReceived = conn.Stats()
+			logf("worker %s: run complete (%d rounds contributed)", opts.Spec.Name, res.Rounds)
+			return res, nil
+		case msgError:
+			msg, _ := parseError(f.Payload)
+			return res, fmt.Errorf("coord: coordinator rejected worker: %s", msg)
+		case msgRound:
+			// Handled below.
+		default:
+			return res, fmt.Errorf("coord: expected round directive, got message type %d", f.Type)
+		}
+		m, err := parseRound(f.Payload)
+		if err != nil {
+			return res, err
+		}
+		if err := applyBroadcast(w, m.params); err != nil {
+			return res, err
+		}
+
+		// Local computation with heartbeats flowing; the coordinator-side
+		// handler is guaranteed to be reading during this window.
+		stop := startHeartbeat(conn, heartbeat)
+		tstart := time.Now()
+		u, lerr := agg.Local(w, m.round)
+		stop()
+		if lerr != nil {
+			return res, fmt.Errorf("coord: round %d local computation: %w", m.round, lerr)
+		}
+		if opts.beforeUpdate != nil {
+			if err := opts.beforeUpdate(m.round); err != nil {
+				return res, err
+			}
+		}
+		ws, err := w.CaptureState()
+		if err != nil {
+			return res, err
+		}
+		// The captured state is the rejoin recovery point: account this
+		// round's contribution as if folded, matching what an in-process
+		// fleet checkpoint taken after the round would hold.
+		ws.Rounds++
+		ws.Samples += int64(u.Samples)
+		frame, err := encodeUpdate(updateMsg{
+			round:    m.round,
+			samples:  u.Samples,
+			loss:     u.Loss,
+			duration: time.Since(tstart),
+			strategy: w.Choice.Strategy,
+			stats:    u,
+			vecs:     u.Vecs,
+			state:    ws,
+		})
+		if err != nil {
+			return res, err
+		}
+		if err := conn.Send(frame); err != nil {
+			return res, fmt.Errorf("coord: uploading round %d update: %w", m.round, err)
+		}
+		f, err = conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("coord: waiting for round %d ack: %w", m.round, err)
+		}
+		if f.Type != msgAck {
+			if f.Type == msgError {
+				msg, _ := parseError(f.Payload)
+				return res, fmt.Errorf("coord: round %d: %s", m.round, msg)
+			}
+			return res, fmt.Errorf("coord: expected ack, got message type %d", f.Type)
+		}
+		ack, err := parseAck(f.Payload)
+		if err != nil {
+			return res, err
+		}
+		switch ack.status {
+		case AckOK:
+			w.AddProgress(1, int64(u.Samples))
+			res.Rounds++
+			logf("worker %s: round %d folded (loss %.4f, %d samples)", opts.Spec.Name, m.round, u.Loss, u.Samples)
+		case AckLate:
+			logf("worker %s: round %d update arrived past the deadline, discarded", opts.Spec.Name, m.round)
+		case AckRejected:
+			return res, fmt.Errorf("coord: round %d update rejected by coordinator", m.round)
+		default:
+			return res, fmt.Errorf("coord: unknown ack status %q", ack.status)
+		}
+	}
+}
+
+func expectWelcome(f ckpt.Frame) (Assignment, error) {
+	switch f.Type {
+	case msgWelcome:
+		return parseWelcome(f.Payload)
+	case msgError:
+		msg, _ := parseError(f.Payload)
+		return Assignment{}, fmt.Errorf("coord: coordinator rejected worker: %s", msg)
+	default:
+		return Assignment{}, fmt.Errorf("coord: expected welcome, got message type %d", f.Type)
+	}
+}
+
+// applyBroadcast loads the round's global parameters into the worker's
+// replica — the download half of fleet.Round's broadcast.
+func applyBroadcast(w *fleet.Worker, params []ckpt.NamedTensor) error {
+	ps := w.Chain.Params()
+	if len(params) != len(ps) {
+		return fmt.Errorf("coord: broadcast has %d parameters, model has %d", len(params), len(ps))
+	}
+	for k, p := range ps {
+		nt := params[k]
+		if nt.Name != p.Name {
+			return fmt.Errorf("coord: broadcast parameter %d is %q, model has %q", k, nt.Name, p.Name)
+		}
+		if !nt.Tensor.SameShape(p.Value) {
+			return fmt.Errorf("coord: broadcast parameter %q shape %v, model has %v", nt.Name, nt.Tensor.Shape(), p.Value.Shape())
+		}
+		copy(p.Value.Data(), nt.Tensor.Data())
+	}
+	return nil
+}
+
+// startHeartbeat streams liveness frames until stopped. The stop function
+// waits the sender out, so no heartbeat can interleave with the update
+// upload that follows.
+func startHeartbeat(conn Conn, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if conn.Send(ckpt.Frame{Type: msgHeartbeat}) != nil {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

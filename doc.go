@@ -43,6 +43,18 @@
 //     federated averaging or synchronous gradient all-reduce (bit-identical
 //     to single-node training on the union of the shards), with straggler,
 //     dropout and partial-participation scenario knobs.
+//   - coord — distributed fleet training over a real transport: a
+//     long-running coordinator process owns the global model, round state and
+//     aggregator; edge worker processes register with a capability handshake
+//     (device profile, RAM budget, supported aggregation modes), pull shard
+//     and round assignments, train locally with the chain/plan machinery,
+//     and push updates back over a length-prefixed binary protocol that
+//     reuses the ckpt tensor codec (CRC32 frames, raw or DEFLATE). The
+//     fleet is elastic — dead workers are dropped from the fold, stragglers
+//     past the round deadline are discarded, and a rejoining worker recovers
+//     its optimizer state — and a distributed run produces global weights
+//     byte-identical to the in-process fleet, over TCP or the in-process
+//     loopback transport alike.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
 //     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
 //     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge
@@ -51,7 +63,7 @@
 //
 // The cmd/ directory holds the command-line tools that regenerate every table
 // and figure (memtable, figure1, revolveplan, edgetrainer, fleettrainer,
-// aotsim), the
+// aotsim) plus the distributed pair (edgecoord, edgeworker), the
 // examples/ directory holds runnable walkthroughs, and bench_test.go in this
 // directory contains one benchmark per experiment of the paper's evaluation.
 //

@@ -8,6 +8,7 @@ package edgetrain
 
 import (
 	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/coord"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
@@ -100,6 +101,33 @@ var (
 	NewGradAllReduce = fleet.NewGradAllReduce
 	// NewAggregator resolves an aggregation mode by name.
 	NewAggregator = fleet.NewAggregator
+)
+
+// Re-exported distributed-coordination types; see package coord.
+type (
+	// Coordinator drives fleet training rounds over a real transport.
+	Coordinator = coord.Coordinator
+	// CoordinatorConfig controls a coordinated distributed run.
+	CoordinatorConfig = coord.Config
+	// CoordTransport abstracts the wire (TCP or in-process loopback).
+	CoordTransport = coord.Transport
+	// WorkerAssignment is the slot and run configuration a worker receives.
+	WorkerAssignment = coord.Assignment
+	// EdgeWorkerOptions configures one distributed edge worker process.
+	EdgeWorkerOptions = coord.WorkerOptions
+	// EdgeWorkerResult summarises one worker process's run.
+	EdgeWorkerResult = coord.WorkerResult
+)
+
+// Distributed-coordination entry points; see package coord.
+var (
+	// NewCoordinator builds a coordinator around a model factory.
+	NewCoordinator = coord.New
+	// RunEdgeWorker joins a coordinator and trains until the run completes.
+	RunEdgeWorker = coord.RunWorker
+	// NewLoopbackTransport returns the in-process transport used by the
+	// TCP-equivalence tests.
+	NewLoopbackTransport = coord.NewLoopback
 )
 
 // Tier identifies the storage medium a checkpoint slot is written to.

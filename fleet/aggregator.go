@@ -116,12 +116,13 @@ func (a *FedAvg) Local(w *Worker, round int) (Update, error) {
 	return u, nil
 }
 
-// Fold implements Aggregator: sample-weighted parameter averaging.
+// Fold implements Aggregator: sample-weighted parameter averaging. Every
+// update is validated (shapes, finiteness) before any global state changes.
 func (a *FedAvg) Fold(global []*nn.Param, updates []Update) error {
 	var total float64
 	for _, u := range updates {
-		if len(u.Vecs) != len(global) {
-			return fmt.Errorf("fleet: worker %d update has %d tensors for %d parameters", u.Worker, len(u.Vecs), len(global))
+		if err := ValidateUpdate(global, u); err != nil {
+			return err
 		}
 		total += float64(u.Samples)
 	}
@@ -207,13 +208,14 @@ func (a *GradAllReduce) Local(w *Worker, round int) (Update, error) {
 }
 
 // Fold implements Aggregator: average the gradients into the global Grad
-// buffers and apply one global optimiser step.
+// buffers and apply one global optimiser step. Every update is validated
+// (shapes, finiteness) before any global state changes.
 func (a *GradAllReduce) Fold(global []*nn.Param, updates []Update) error {
 	var total float64
 	equal := true
 	for _, u := range updates {
-		if len(u.Vecs) != len(global) {
-			return fmt.Errorf("fleet: worker %d update has %d tensors for %d parameters", u.Worker, len(u.Vecs), len(global))
+		if err := ValidateUpdate(global, u); err != nil {
+			return err
 		}
 		total += float64(u.Samples)
 		if u.Samples != updates[0].Samples {

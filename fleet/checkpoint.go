@@ -53,19 +53,42 @@ func (f *Fleet) CaptureSession(nextRound int) (*ckpt.Session, error) {
 		s.Opt = opt
 	}
 	for _, w := range f.workers {
-		opt, err := trainer.CaptureOptimizerState(w.opt, w.Chain.Params())
+		ws, err := w.CaptureState()
 		if err != nil {
-			return nil, fmt.Errorf("fleet: capturing %s optimizer state: %w", w.Spec.Name, err)
+			return nil, err
 		}
-		s.Workers = append(s.Workers, ckpt.WorkerState{
-			Index:   w.Index,
-			Name:    w.Spec.Name,
-			Rounds:  w.roundsDone,
-			Samples: w.samplesDone,
-			Opt:     opt,
-		})
+		s.Workers = append(s.Workers, ws)
 	}
 	return s, nil
+}
+
+// CaptureState captures the worker's durable per-round state — progress
+// counters and local optimizer state — as the checkpoint worker record.
+// Tensors are cloned; the worker may keep training. This is the unit both
+// fleet checkpoints and the coord protocol's rejoin recovery exchange.
+func (w *Worker) CaptureState() (ckpt.WorkerState, error) {
+	opt, err := trainer.CaptureOptimizerState(w.opt, w.Chain.Params())
+	if err != nil {
+		return ckpt.WorkerState{}, fmt.Errorf("fleet: capturing %s optimizer state: %w", w.Spec.Name, err)
+	}
+	return ckpt.WorkerState{
+		Index:   w.Index,
+		Name:    w.Spec.Name,
+		Rounds:  w.roundsDone,
+		Samples: w.samplesDone,
+		Opt:     opt,
+	}, nil
+}
+
+// RestoreState applies a previously captured worker record: local optimizer
+// state (the optimizer kind must match) and progress counters.
+func (w *Worker) RestoreState(ws ckpt.WorkerState) error {
+	if err := trainer.RestoreOptimizerState(w.opt, w.Chain.Params(), ws.Opt); err != nil {
+		return fmt.Errorf("fleet: restoring %s optimizer state: %w", w.Spec.Name, err)
+	}
+	w.roundsDone = ws.Rounds
+	w.samplesDone = ws.Samples
+	return nil
 }
 
 // SaveCheckpoint durably writes the fleet state into the directory and
@@ -151,11 +174,9 @@ func (f *Fleet) RestoreSession(s *ckpt.Session) (int, error) {
 		if !ok {
 			continue // a worker that joined after the checkpoint starts fresh
 		}
-		if err := trainer.RestoreOptimizerState(w.opt, w.Chain.Params(), ws.Opt); err != nil {
-			return 0, fmt.Errorf("fleet: restoring %s optimizer state: %w", w.Spec.Name, err)
+		if err := w.RestoreState(*ws); err != nil {
+			return 0, err
 		}
-		w.roundsDone = ws.Rounds
-		w.samplesDone = ws.Samples
 	}
 	return s.Round, nil
 }
@@ -175,7 +196,7 @@ func (f *Fleet) RunFrom(startRound int, d *ckpt.Dir, everyRounds int, opts ...ck
 		if err != nil {
 			return nil, err
 		}
-		rep.add(rs)
+		rep.Add(rs)
 		if d != nil && everyRounds > 0 && (r+1)%everyRounds == 0 && r+1 < f.cfg.Rounds {
 			if _, err := f.SaveCheckpoint(d, r+1, opts...); err != nil {
 				return nil, fmt.Errorf("fleet: checkpointing after round %d: %w", r, err)

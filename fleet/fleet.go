@@ -219,37 +219,15 @@ func New(cfg Config, model func() (*chain.Chain, error), ds trainer.Dataset) (*F
 
 	n := len(cfg.Workers)
 	for i, spec := range cfg.Workers {
-		if spec.Name == "" {
-			name := spec.Device.Name
-			if name == "" {
-				name = "node"
-			}
-			spec.Name = fmt.Sprintf("w%d-%s", i, name)
-		}
-		if spec.BudgetBytes <= 0 {
-			spec.BudgetBytes = spec.Device.MemoryBytes
-		}
-		replica, err := model()
+		w, err := NewWorker(spec, i, n, model, ds, cfg.BatchSize, cfg.LocalEpochs, cfg.Optimizer())
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("fleet: building %s replica: %w", spec.Name, err)
-		}
-		if err := sameParams(f.globalPs, replica.Params()); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("fleet: model factory is not deterministic (%s): %w", spec.Name, err)
-		}
-		w := &Worker{
-			Index:       i,
-			Spec:        spec,
-			Chain:       replica,
-			Shard:       trainer.Shard(ds, n, i),
-			opt:         cfg.Optimizer(),
-			batch:       cfg.BatchSize,
-			localEpochs: cfg.LocalEpochs,
-		}
-		if err := w.configurePlanning(); err != nil {
-			f.Close()
 			return nil, err
+		}
+		if err := sameParams(f.globalPs, w.Chain.Params()); err != nil {
+			w.Close()
+			f.Close()
+			return nil, fmt.Errorf("fleet: model factory is not deterministic (%s): %w", w.Spec.Name, err)
 		}
 		f.workers = append(f.workers, w)
 		if w.Shard.Len() > 0 {
@@ -257,6 +235,81 @@ func New(cfg Config, model func() (*chain.Chain, error), ds trainer.Dataset) (*F
 		}
 	}
 	return f, nil
+}
+
+// NewWorker builds one standalone fleet member: worker index of total, model
+// replica from the factory, shard index of the dataset (trainer.Shard), the
+// given local batch size, per-round epoch count and optimiser, and the
+// budget-aware checkpoint planning the spec's budget selects. This is the
+// per-worker half of New, exported so a remote worker process (package coord)
+// runs exactly the code path an in-process fleet member does — the root of
+// the distributed-equals-local bit-identity guarantee. Callers own the
+// returned worker and must Close it.
+func NewWorker(spec WorkerSpec, index, total int, model func() (*chain.Chain, error), ds trainer.Dataset, batchSize, localEpochs int, opt trainer.Optimizer) (*Worker, error) {
+	if index < 0 || index >= total {
+		return nil, fmt.Errorf("fleet: worker index %d outside fleet of %d", index, total)
+	}
+	if model == nil || ds == nil || opt == nil {
+		return nil, fmt.Errorf("fleet: nil model factory, dataset or optimizer")
+	}
+	if localEpochs <= 0 {
+		localEpochs = 1
+	}
+	if spec.Name == "" {
+		name := spec.Device.Name
+		if name == "" {
+			name = "node"
+		}
+		spec.Name = fmt.Sprintf("w%d-%s", index, name)
+	}
+	if spec.BudgetBytes <= 0 {
+		spec.BudgetBytes = spec.Device.MemoryBytes
+	}
+	replica, err := model()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building %s replica: %w", spec.Name, err)
+	}
+	if replica == nil || replica.Len() == 0 {
+		return nil, fmt.Errorf("fleet: model factory produced an empty chain for %s", spec.Name)
+	}
+	w := &Worker{
+		Index:       index,
+		Spec:        spec,
+		Chain:       replica,
+		Shard:       trainer.Shard(ds, total, index),
+		opt:         opt,
+		batch:       batchSize,
+		localEpochs: localEpochs,
+	}
+	if err := w.configurePlanning(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Close releases the worker's spill store. Workers owned by a Fleet are
+// closed by Fleet.Close; standalone workers (NewWorker) must be closed by
+// their creator.
+func (w *Worker) Close() error {
+	if w.spill == nil {
+		return nil
+	}
+	err := w.spill.Close()
+	w.spill = nil
+	return err
+}
+
+// Progress reports the worker's durable progress counters: rounds whose fold
+// included this worker, and the samples behind those updates.
+func (w *Worker) Progress() (rounds, samples int64) {
+	return w.roundsDone, w.samplesDone
+}
+
+// AddProgress advances the worker's durable progress counters after its
+// update was folded into the global model.
+func (w *Worker) AddProgress(rounds, samples int64) {
+	w.roundsDone += rounds
+	w.samplesDone += samples
 }
 
 // configurePlanning sizes the worker's budget-aware checkpoint policy from
@@ -347,11 +400,8 @@ func (f *Fleet) ModelBytes() int64 { return f.modelBytes }
 func (f *Fleet) Close() error {
 	var first error
 	for _, w := range f.workers {
-		if w.spill != nil {
-			if err := w.spill.Close(); err != nil && first == nil {
-				first = err
-			}
-			w.spill = nil
+		if err := w.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	return first
@@ -374,6 +424,7 @@ func (f *Fleet) roundRNG(round int) *tensor.RNG {
 // fixed, so the updated global parameters are bit-identical regardless of
 // how the goroutines are scheduled.
 func (f *Fleet) Round(round int) (RoundStats, error) {
+	roundStart := time.Now()
 	n := len(f.workers)
 	rs := RoundStats{Round: round, Workers: make([]WorkerRoundStats, n)}
 	for i := range rs.Workers {
@@ -469,7 +520,8 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 			return rs, fmt.Errorf("fleet: round %d: %s fold: %w", round, f.agg.Name(), err)
 		}
 	}
-	rs.Loss = weightedLoss(folded)
+	rs.Loss = WeightedLoss(folded)
+	rs.WallClock = time.Since(roundStart)
 	return rs, nil
 }
 
@@ -493,8 +545,9 @@ func (f *Fleet) selectParticipants(rng *tensor.RNG) []int {
 	return sel
 }
 
-// weightedLoss is the sample-weighted mean loss of the folded updates.
-func weightedLoss(updates []Update) float64 {
+// WeightedLoss is the sample-weighted mean loss of the folded updates — the
+// round loss both the in-process engine and the coord coordinator report.
+func WeightedLoss(updates []Update) float64 {
 	var total, sum float64
 	for _, u := range updates {
 		if u.Samples <= 0 {

@@ -30,6 +30,11 @@ type WorkerRoundStats struct {
 	// Modeled traffic of the round for this worker.
 	UploadBytes   int64
 	DownloadBytes int64
+
+	// WireBytes is the worker's measured bytes on the wire for the round —
+	// framed protocol bytes actually moved by a coord transport, both
+	// directions. Zero for in-process fleet runs, which move no bytes.
+	WireBytes int64
 }
 
 // RoundStats reports one aggregation round.
@@ -40,7 +45,9 @@ type RoundStats struct {
 	Loss          float64
 	UplinkBytes   int64
 	DownlinkBytes int64
-	Workers       []WorkerRoundStats // index-aligned with the fleet's workers
+	// WallClock is the round's wall-clock time, broadcast through fold.
+	WallClock time.Duration
+	Workers   []WorkerRoundStats // index-aligned with the fleet's workers
 }
 
 // WorkerSummary aggregates one worker over a whole run.
@@ -64,6 +71,9 @@ type WorkerSummary struct {
 	DiskReads     int
 	UploadBytes   int64
 	DownloadBytes int64
+	// WireBytes is the worker's total measured bytes on the wire (zero for
+	// in-process runs).
+	WireBytes int64
 }
 
 // Report is the measured outcome of a fleet run.
@@ -76,7 +86,10 @@ type Report struct {
 
 	TotalUplinkBytes   int64
 	TotalDownlinkBytes int64
-	FinalLoss          float64
+	// TotalWireBytes is the run's total measured bytes on the wire (zero for
+	// in-process runs).
+	TotalWireBytes int64
+	FinalLoss      float64
 }
 
 // newReport pre-fills the per-worker summaries from the fleet configuration.
@@ -104,8 +117,10 @@ func (f *Fleet) newReport() *Report {
 	return rep
 }
 
-// add folds one round into the report.
-func (rep *Report) add(rs RoundStats) {
+// Add folds one round into the report, accumulating the per-worker
+// summaries and run totals. Exported so the coord coordinator assembles its
+// report with the same accounting an in-process run uses.
+func (rep *Report) Add(rs RoundStats) {
 	rep.Rounds = append(rep.Rounds, rs)
 	rep.TotalUplinkBytes += rs.UplinkBytes
 	rep.TotalDownlinkBytes += rs.DownlinkBytes
@@ -127,6 +142,8 @@ func (rep *Report) add(rs RoundStats) {
 		sum.DiskReads += ws.DiskReads
 		sum.UploadBytes += ws.UploadBytes
 		sum.DownloadBytes += ws.DownloadBytes
+		sum.WireBytes += ws.WireBytes
+		rep.TotalWireBytes += ws.WireBytes
 	}
 }
 
@@ -137,20 +154,21 @@ func (rep *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet training report: %s, %d workers, %d rounds, %.2f MB model updates\n",
 		rep.Aggregator, len(rep.Workers), len(rep.Rounds), mb(rep.ModelBytes))
-	fmt.Fprintf(&b, "%-22s%-20s%12s%8s%12s%15s%12s%9s%8s\n",
-		"worker", "device", "budget (MB)", "shard", "strategy", "peak RAM (MB)", "flash (MB)", "writes", "reads")
+	fmt.Fprintf(&b, "%-22s%-20s%12s%8s%12s%15s%12s%9s%8s%12s\n",
+		"worker", "device", "budget (MB)", "shard", "strategy", "peak RAM (MB)", "flash (MB)", "writes", "reads", "wire (MB)")
 	for _, w := range rep.Workers {
-		fmt.Fprintf(&b, "%-22s%-20s%12.2f%8d%12s%15.3f%12.3f%9d%8d\n",
+		fmt.Fprintf(&b, "%-22s%-20s%12.2f%8d%12s%15.3f%12.3f%9d%8d%12.2f\n",
 			w.Name, w.Device, mb(w.BudgetBytes), w.ShardSamples, w.Strategy,
-			mb(w.PeakRAMBytes), mb(w.PeakDiskBytes), w.DiskWrites, w.DiskReads)
+			mb(w.PeakRAMBytes), mb(w.PeakDiskBytes), w.DiskWrites, w.DiskReads, mb(w.WireBytes))
 	}
-	fmt.Fprintf(&b, "%-10s%14s%12s%10s%14s%16s\n",
-		"round", "participants", "dropouts", "loss", "uplink (MB)", "downlink (MB)")
+	fmt.Fprintf(&b, "%-10s%14s%12s%10s%14s%16s%12s\n",
+		"round", "participants", "dropouts", "loss", "uplink (MB)", "downlink (MB)", "wall (ms)")
 	for _, rs := range rep.Rounds {
-		fmt.Fprintf(&b, "%-10d%14d%12d%10.4f%14.2f%16.2f\n",
-			rs.Round, rs.Participants, rs.Dropouts, rs.Loss, mb(rs.UplinkBytes), mb(rs.DownlinkBytes))
+		fmt.Fprintf(&b, "%-10d%14d%12d%10.4f%14.2f%16.2f%12.1f\n",
+			rs.Round, rs.Participants, rs.Dropouts, rs.Loss, mb(rs.UplinkBytes), mb(rs.DownlinkBytes),
+			float64(rs.WallClock)/float64(time.Millisecond))
 	}
-	fmt.Fprintf(&b, "totals: uplink %.2f MB, downlink %.2f MB, final loss %.4f\n",
-		mb(rep.TotalUplinkBytes), mb(rep.TotalDownlinkBytes), rep.FinalLoss)
+	fmt.Fprintf(&b, "totals: uplink %.2f MB, downlink %.2f MB, wire %.2f MB, final loss %.4f\n",
+		mb(rep.TotalUplinkBytes), mb(rep.TotalDownlinkBytes), mb(rep.TotalWireBytes), rep.FinalLoss)
 	return b.String()
 }

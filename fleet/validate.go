@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/edgeml/edgetrain/internal/nn"
+)
+
+// ErrBadUpdate is the typed error wrapping every update-validation failure:
+// a payload that does not match the global model's parameters or carries
+// non-finite values. Folding such an update would poison the global model
+// (one NaN contaminates every weight it is averaged into), so aggregators
+// reject the update before touching any global state. Callers distinguish a
+// misbehaving worker from an engine failure with errors.Is(err, ErrBadUpdate).
+var ErrBadUpdate = errors.New("fleet: invalid update")
+
+// ValidateUpdate checks one worker's update against the global parameters:
+// positive sample count, one payload tensor per parameter, matching shapes,
+// and every value finite. A nil error means the update is structurally safe
+// to fold. Both shipped aggregators call this on every update before
+// mutating anything, so a malformed or poisoned remote update can never
+// corrupt the global model mid-fold.
+func ValidateUpdate(global []*nn.Param, u Update) error {
+	if u.Samples <= 0 {
+		return fmt.Errorf("%w: worker %d: non-positive sample count %d", ErrBadUpdate, u.Worker, u.Samples)
+	}
+	if len(u.Vecs) != len(global) {
+		return fmt.Errorf("%w: worker %d: %d payload tensors for %d parameters", ErrBadUpdate, u.Worker, len(u.Vecs), len(global))
+	}
+	for k, v := range u.Vecs {
+		if v == nil {
+			return fmt.Errorf("%w: worker %d: nil payload tensor for parameter %q", ErrBadUpdate, u.Worker, global[k].Name)
+		}
+		if !v.SameShape(global[k].Value) {
+			return fmt.Errorf("%w: worker %d: parameter %q payload shape %v, want %v",
+				ErrBadUpdate, u.Worker, global[k].Name, v.Shape(), global[k].Value.Shape())
+		}
+		for _, x := range v.Data() {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return fmt.Errorf("%w: worker %d: non-finite value %v in parameter %q", ErrBadUpdate, u.Worker, x, global[k].Name)
+			}
+		}
+	}
+	return nil
+}

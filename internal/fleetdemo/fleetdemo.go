@@ -1,0 +1,52 @@
+// Package fleetdemo builds the demonstration model and dataset shared by the
+// fleet command-line tools (fleettrainer, edgecoord, edgeworker). The
+// coordinator never ships code, only configuration — a distributed run is
+// byte-identical to the in-process one precisely because every process
+// reconstructs the same model and dataset from the same (seed, nodes,
+// samples) triple, so these builders live in one place.
+package fleetdemo
+
+import (
+	"github.com/edgeml/edgetrain/internal/chain"
+	"github.com/edgeml/edgetrain/internal/resnet"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/internal/vision"
+)
+
+// Model returns the deterministic demo model factory: the small ResNet over
+// the synthetic viewpoint data, seeded so every process that calls it with
+// the same seed materialises bit-identical initial weights.
+func Model(seed uint64) func() (*chain.Chain, error) {
+	return func() (*chain.Chain, error) {
+		cfg := resnet.DefaultSmallConfig()
+		cfg.NumClasses = vision.NumClasses
+		cfg.Seed = seed
+		net, err := resnet.BuildSmall(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return chain.FromSequential(net), nil
+	}
+}
+
+// Dataset builds the non-IID demo dataset: each worker's contiguous shard
+// carries its own viewpoint skew, spread across the fleet. The total is
+// distributed with the same split rule trainer.Shard applies, so the
+// generated blocks are exactly the shards the workers will see.
+func Dataset(nodes, samples int, seed uint64) *trainer.SliceDataset {
+	rng := tensor.NewRNG(seed + 1)
+	var ds []trainer.Batch
+	for i := 0; i < nodes; i++ {
+		vp := 0.2
+		if nodes > 1 {
+			vp += 0.7 * float64(i) / float64(nodes-1)
+		}
+		lo, hi := trainer.ShardRange(samples, nodes, i)
+		for j := 0; j < hi-lo; j++ {
+			c := vision.Class(j % vision.NumClasses)
+			ds = append(ds, trainer.Batch{Images: vision.Sample(rng, c, vp, 16), Labels: []int{int(c)}})
+		}
+	}
+	return trainer.NewSliceDataset(ds)
+}

@@ -1,0 +1,143 @@
+// Package wire holds the little-endian byte-cursor helpers shared by the
+// durable checkpoint format (package ckpt) and the fleet coordination
+// protocol (package coord): buffer writers for payload construction and a
+// bounds-checked reader for payload parsing. Keeping them in one place pins
+// the two consumers to one encoding discipline — every multi-byte integer in
+// the repository's serialized formats is little-endian, every string is a
+// uint32 length prefix followed by raw bytes, and every float64 travels as
+// its IEEE-754 bit pattern.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PutUint32 appends v little-endian.
+func PutUint32(b *bytes.Buffer, v uint32) {
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], v)
+	b.Write(s[:])
+}
+
+// PutUint64 appends v little-endian.
+func PutUint64(b *bytes.Buffer, v uint64) {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], v)
+	b.Write(s[:])
+}
+
+// PutInt64 appends v little-endian (two's complement).
+func PutInt64(b *bytes.Buffer, v int64) { PutUint64(b, uint64(v)) }
+
+// PutFloat64 appends v as its IEEE-754 bit pattern, little-endian.
+func PutFloat64(b *bytes.Buffer, v float64) { PutUint64(b, math.Float64bits(v)) }
+
+// PutString appends a uint32 length prefix followed by the raw bytes.
+func PutString(b *bytes.Buffer, s string) {
+	PutUint32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+// Reader is a bounds-checked little-endian cursor over one payload. Every
+// failed read records the first error and poisons all subsequent reads, so a
+// parser can read an entire payload unconditionally and check Err (or Done)
+// once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a cursor over the payload bytes.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+func (p *Reader) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("truncated payload reading %s at offset %d", what, p.off)
+	}
+}
+
+// Take consumes n bytes, naming what they are for the error message. The
+// returned slice aliases the payload; callers that retain it must copy.
+func (p *Reader) Take(n int, what string) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || p.off+n > len(p.b) || p.off+n < p.off {
+		p.fail(what)
+		return nil
+	}
+	b := p.b[p.off : p.off+n]
+	p.off += n
+	return b
+}
+
+// Uint32 consumes a little-endian uint32.
+func (p *Reader) Uint32(what string) uint32 {
+	b := p.Take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 consumes a little-endian uint64.
+func (p *Reader) Uint64(what string) uint64 {
+	b := p.Take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 consumes a little-endian int64.
+func (p *Reader) Int64(what string) int64 { return int64(p.Uint64(what)) }
+
+// Float64 consumes an IEEE-754 bit pattern.
+func (p *Reader) Float64(what string) float64 { return math.Float64frombits(p.Uint64(what)) }
+
+// String consumes a uint32 length prefix and that many bytes.
+func (p *Reader) String(what string) string {
+	n := p.Uint32(what + " length")
+	if p.err != nil {
+		return ""
+	}
+	if n > uint32(len(p.b)) {
+		p.fail(what)
+		return ""
+	}
+	b := p.Take(int(n), what)
+	return string(b)
+}
+
+// Rest consumes and returns everything from the cursor to the end of the
+// payload (possibly empty). The slice aliases the payload.
+func (p *Reader) Rest() []byte {
+	if p.err != nil {
+		return nil
+	}
+	b := p.b[p.off:]
+	p.off = len(p.b)
+	return b
+}
+
+// Len reports how many unread bytes remain.
+func (p *Reader) Len() int { return len(p.b) - p.off }
+
+// Err returns the first read error, or nil.
+func (p *Reader) Err() error { return p.err }
+
+// Done returns the first read error, or an error if unread bytes remain — a
+// fixed-layout payload must be consumed exactly.
+func (p *Reader) Done() error {
+	if p.err != nil {
+		return p.err
+	}
+	if p.off != len(p.b) {
+		return fmt.Errorf("%d leftover bytes in payload", len(p.b)-p.off)
+	}
+	return nil
+}
