@@ -9,6 +9,7 @@
 //	edgecoord -workers 3 -rounds 4                  # wait for 3 workers
 //	edgecoord -listen 0.0.0.0:7600 -agg allreduce   # fixed port, all-reduce
 //	edgecoord -compress -round-deadline 30s         # DEFLATE frames, straggler cap
+//	edgecoord -state-dir /var/lib/edgecoord         # durable: restart resumes the run
 package main
 
 import (
@@ -39,6 +40,8 @@ func main() {
 	joinTimeout := flag.Duration("join-timeout", 30*time.Second, "how long to wait for the fleet to assemble")
 	updateTimeout := flag.Duration("update-timeout", 0, "per-worker liveness bound during a round (0 disables)")
 	roundDeadline := flag.Duration("round-deadline", 0, "hard cap on one round's collection phase (0 disables)")
+	stateDir := flag.String("state-dir", "", "durable state directory: checkpoint every round, resume on restart")
+	roundRetries := flag.Int("round-retries", 0, "re-runs of a round that misses quorum (0 = default, negative disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-event progress lines")
 	flag.Parse()
 
@@ -62,6 +65,8 @@ func main() {
 		JoinTimeout:   *joinTimeout,
 		UpdateTimeout: *updateTimeout,
 		RoundDeadline: *roundDeadline,
+		StateDir:      *stateDir,
+		RoundRetries:  *roundRetries,
 		Logf:          logf,
 	}, fleetdemo.Model(*seed))
 	if err != nil {
@@ -75,6 +80,9 @@ func main() {
 	}
 	// The smoke tests (and shell scripts) scrape this line for the bound port.
 	fmt.Printf("listening on %s\n", addr)
+	if r := c.StartRound(); r > 0 {
+		fmt.Printf("resuming at round %d from %s\n", r, *stateDir)
+	}
 	fmt.Printf("coordinator: %d worker slots, %s aggregation, %d rounds, %d samples, %s lr %g\n",
 		*workers, *agg, *rounds, *samples, *opt, *lr)
 	fmt.Printf("parallelism: %d workers (EDGETRAIN_WORKERS overrides)\n", parallel.Workers())

@@ -9,6 +9,7 @@
 //
 //	edgeworker -addr 127.0.0.1:7600 -name w0
 //	edgeworker -addr 127.0.0.1:7600 -name w1 -device rpi -budget 210KB
+//	edgeworker -addr 127.0.0.1:7600 -name w2 -retry 100 -backoff-max 2s
 package main
 
 import (
@@ -34,6 +35,8 @@ func main() {
 	budget := flag.String("budget", "device", "RAM budget: 'device' (the node's memory) or a size like 210KB")
 	compress := flag.Bool("compress", false, "DEFLATE-compress wire frames (must match the coordinator)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness interval while training")
+	retry := flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = default 5, negative disables)")
+	backoffMax := flag.Duration("backoff-max", 0, "cap on the reconnect backoff (0 = default 5s)")
 	spill := flag.String("spill-dir", "", "directory for tiered checkpoint spill (default in-memory)")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
 	flag.Parse()
@@ -69,8 +72,10 @@ func main() {
 		Dataset: func(a coord.Assignment) (trainer.Dataset, error) {
 			return fleetdemo.Dataset(a.Workers, a.Samples, a.Seed), nil
 		},
-		Heartbeat: *heartbeat,
-		Logf:      logf,
+		Heartbeat:  *heartbeat,
+		Retries:    *retry,
+		BackoffMax: *backoffMax,
+		Logf:       logf,
 	})
 	if err != nil {
 		log.Fatal(err)

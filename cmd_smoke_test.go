@@ -8,6 +8,7 @@ package edgetrain
 import (
 	"bufio"
 	"bytes"
+	"net"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -160,6 +161,120 @@ func TestDistributedFleetSmoke(t *testing.T) {
 	for i := range outs {
 		if !strings.Contains(outs[i].String(), "2 rounds contributed") {
 			t.Fatalf("worker %d did not contribute 2 rounds:\n%s", i, outs[i].String())
+		}
+	}
+}
+
+// TestCoordinatorRestartSmoke is the process-level fault-tolerance drill: a
+// coordinator started with -state-dir is SIGKILLed after it has durably saved
+// a round, then restarted on the same port and state directory while two
+// edgeworkers launched with -retry/-backoff-max ride out the outage on their
+// reconnect loops. The run must finish with a full fleet report and both
+// workers reporting a clean completion.
+func TestCoordinatorRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+	stateDir := filepath.Join(t.TempDir(), "coord-state")
+
+	// A fixed port so the restarted coordinator is reachable at the same
+	// address the workers keep redialing. Bind-and-release to find a free one.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	coordArgs := []string{
+		"-listen", addr, "-workers", "2", "-rounds", "4", "-samples", "8",
+		"-state-dir", stateDir,
+	}
+
+	// First life: run until the round-1 checkpoint is durably on disk (the
+	// state saver logs after writing), then SIGKILL — no graceful shutdown.
+	c1 := exec.Command(filepath.Join(bin, "edgecoord"), coordArgs...)
+	stderr, err := c1.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1Log bytes.Buffer
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Process.Kill()
+
+	saved := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			c1Log.WriteString(line + "\n")
+			if strings.Contains(line, "state saved to") && strings.Contains(line, "(next round 2)") {
+				close(saved)
+				return
+			}
+		}
+	}()
+
+	workers := make(chan error, 2)
+	outs := make([]bytes.Buffer, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			w := exec.Command(filepath.Join(bin, "edgeworker"),
+				"-addr", addr, "-name", []string{"w0", "w1"}[i],
+				"-retry", "100", "-backoff-max", "500ms", "-quiet")
+			w.Stdout = &outs[i]
+			w.Stderr = &outs[i]
+			workers <- w.Run()
+		}(i)
+	}
+
+	select {
+	case <-saved:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("coordinator never saved round-1 state:\n%s", c1Log.String())
+	}
+	c1.Process.Kill()
+	c1.Wait()
+
+	// Second life: same port, same state dir. It must announce the resume,
+	// re-admit the redialing workers and finish the remaining rounds.
+	c2 := exec.Command(filepath.Join(bin, "edgecoord"), coordArgs...)
+	var c2Out bytes.Buffer
+	c2.Stdout = &c2Out
+	c2.Stderr = &c2Out
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Process.Kill()
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workers:
+			if err != nil {
+				t.Fatalf("worker failed: %v\nw0: %s\nw1: %s\ncoordinator:\n%s",
+					err, outs[0].String(), outs[1].String(), c2Out.String())
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("workers did not finish after restart\ncoordinator:\n%s", c2Out.String())
+		}
+	}
+	if err := c2.Wait(); err != nil {
+		t.Fatalf("restarted coordinator exited with %v:\n%s", err, c2Out.String())
+	}
+
+	out := c2Out.String()
+	if !strings.Contains(out, "resuming at round ") {
+		t.Fatalf("restarted coordinator did not announce the resume:\n%s", out)
+	}
+	if !strings.Contains(out, "fleet training report: fedavg, 2 workers") {
+		t.Fatalf("no fleet report after restart:\n%s", out)
+	}
+	for i := range outs {
+		if !strings.Contains(outs[i].String(), "rounds contributed") {
+			t.Fatalf("worker %d did not report completion:\n%s", i, outs[i].String())
 		}
 	}
 }

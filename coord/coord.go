@@ -81,8 +81,35 @@ type Config struct {
 	// (they stay joined; a late update is acknowledged and discarded) and
 	// the fold proceeds with the updates in hand. Zero disables.
 	RoundDeadline time.Duration
+	// RoundRetries bounds how many times one round is re-broadcast when its
+	// collection ends below the MinWorkers quorum (workers died or straggled
+	// past the deadline). Between attempts the coordinator waits for the
+	// fleet to recover — a rejoining worker restores its optimizer state and
+	// retrains the round from the identical basis, so a retried round folds
+	// the exact updates an undisturbed round would. Default 3; negative
+	// disables the quorum entirely (fold whatever arrived, the pre-quorum
+	// behaviour).
+	RoundRetries int
+	// HandshakeTimeout bounds how long an accepted connection may sit silent
+	// before its hello arrives, so a dialer that never speaks cannot pin an
+	// accept goroutine forever (default 10s).
+	HandshakeTimeout time.Duration
+	// StateDir, when non-empty, makes the coordinator durable: the run loop
+	// snapshots the global model, global optimizer, round cursor and fleet
+	// membership at every round boundary and writes them crash-safe via
+	// ckpt.Dir off the fold path. A coordinator restarted on the same
+	// StateDir resumes from the last completed round; reconnecting workers
+	// recover their optimizer state from the welcome, so the finished run is
+	// byte-identical to one that was never interrupted. One coordinator
+	// process owns a StateDir at a time.
+	StateDir string
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// afterRound, when non-nil, runs on the run loop after round r's fold
+	// and checkpoint enqueue — the test hook chaos tests use to kill the
+	// coordinator at a chosen round boundary.
+	afterRound func(round int)
 }
 
 // Coordinator owns the global model and drives the round loop over a
@@ -102,6 +129,13 @@ type Coordinator struct {
 	done     chan struct{}
 	closing  sync.Once
 	started  atomic.Bool
+
+	// Durable-state machinery (nil / zero without Config.StateDir): the
+	// checkpoint directory, the round the run loop starts at (non-zero after
+	// a resume) and the membership restored from the checkpoint.
+	stateDir   *ckpt.Dir
+	startRound int
+	resumed    []ckpt.WorkerState
 
 	mu     sync.Mutex
 	report *fleet.Report
@@ -137,6 +171,12 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 	if cfg.JoinTimeout <= 0 {
 		cfg.JoinTimeout = 30 * time.Second
 	}
+	if cfg.RoundRetries == 0 {
+		cfg.RoundRetries = 3
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -158,7 +198,7 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 	if global == nil || global.Len() == 0 {
 		return nil, fmt.Errorf("coord: model factory produced an empty chain")
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:        cfg,
 		agg:        agg,
 		global:     global,
@@ -167,8 +207,18 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 		events:     make(chan event, 64),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
-	}, nil
+	}
+	if cfg.StateDir != "" {
+		if err := c.openState(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
+
+// StartRound is the round the run loop begins at: zero for a fresh run, the
+// last durably completed round's successor after a StateDir resume.
+func (c *Coordinator) StartRound() int { return c.startRound }
 
 // Start binds the transport endpoint and launches the accept and round
 // loops, returning the bound address workers should dial.
@@ -309,12 +359,20 @@ func (c *Coordinator) acceptLoop() {
 // is reading, and vice versa.
 func (c *Coordinator) serve(conn Conn) {
 	defer conn.Close()
+	// The handshake read deadline: a dialer that connects and never speaks
+	// must not pin this goroutine. Closing the connection is the one
+	// transport-agnostic way to unblock a pending Recv (net.Pipe and TCP
+	// alike); if the timer won the race the handshake is over either way.
+	timer := time.AfterFunc(c.cfg.HandshakeTimeout, func() { conn.Close() })
 	f, err := conn.Recv()
+	if !timer.Stop() {
+		return
+	}
 	if err != nil {
 		return
 	}
 	if f.Type != msgHello {
-		conn.Send(encodeError(fmt.Sprintf("coord: expected hello, got message type %d", f.Type)))
+		conn.Send(encodeError(fmt.Sprintf("coord: expected hello, got %s message", msgName(f.Type))))
 		return
 	}
 	h, err := parseHello(f.Payload)
@@ -363,7 +421,10 @@ func (c *Coordinator) serve(conn Conn) {
 			select {
 			case d = <-rem.roundCh:
 			case <-c.quit:
-				conn.Send(ckpt.Frame{Type: msgDone})
+				// The coordinator is being torn down mid-run (crash, Close).
+				// Sever the connection WITHOUT a done frame: the run did not
+				// complete, and the worker's reconnect loop must keep dialing
+				// until a restarted coordinator picks the run back up.
 				return
 			}
 			if d.done {
@@ -407,7 +468,7 @@ func (c *Coordinator) serve(conn Conn) {
 				return
 			}
 		default:
-			conn.Send(encodeError(fmt.Sprintf("coord: unexpected message type %d", f.Type)))
+			conn.Send(encodeError(fmt.Sprintf("coord: unexpected %s message", msgName(f.Type))))
 			c.post(event{kind: evDeath, rem: rem})
 			return
 		}
@@ -418,12 +479,25 @@ func (c *Coordinator) serve(conn Conn) {
 // drive the rounds, assemble the report.
 func (c *Coordinator) run() {
 	slots := make([]slot, c.cfg.Workers)
+	// A resumed run re-seats the checkpointed membership: the slot names are
+	// reserved and the durable states staged, so a worker reconnecting under
+	// its old name walks the ordinary rejoin path and recovers its optimizer
+	// state from before the crash.
+	for i := range c.resumed {
+		ws := c.resumed[i]
+		if ws.Index < 0 || ws.Index >= len(slots) {
+			continue
+		}
+		slots[ws.Index].name = ws.Name
+		slots[ws.Index].state = &ws
+	}
+	saver := c.startSaver()
 	var rounds []fleet.RoundStats
 	err := func() error {
 		if err := c.gather(slots); err != nil {
 			return err
 		}
-		for r := 0; r < c.cfg.Rounds; r++ {
+		for r := c.startRound; r < c.cfg.Rounds; r++ {
 			rs, err := c.runRound(r, slots)
 			if err != nil {
 				return err
@@ -431,6 +505,18 @@ func (c *Coordinator) run() {
 			rounds = append(rounds, rs)
 			c.cfg.Logf("coord: round %d: %d participants, %d dropouts, loss %.4f, wall %v",
 				r, rs.Participants, rs.Dropouts, rs.Loss, rs.WallClock.Round(time.Millisecond))
+			if saver != nil {
+				// Snapshot on the round path (cheap clones), write in the
+				// background: the fold never waits on flash.
+				s, err := c.captureSession(r+1, slots)
+				if err != nil {
+					return err
+				}
+				saver.enqueue(s)
+			}
+			if c.cfg.afterRound != nil {
+				c.cfg.afterRound(r)
+			}
 		}
 		return nil
 	}()
@@ -470,6 +556,11 @@ drain:
 		}
 	}
 	c.listener.Close()
+	if saver != nil {
+		if serr := saver.drain(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 
 	c.mu.Lock()
 	c.runErr = err
@@ -646,18 +737,25 @@ func contains(ss []string, want string) bool {
 
 // runRound executes one aggregation round: broadcast the global parameters
 // to every live worker, collect their updates (handling joins, deaths,
-// stragglers and liveness timeouts meanwhile), fold the survivors in
-// ascending slot order, and account the round.
+// stragglers and liveness timeouts meanwhile), and fold the arrivals in
+// ascending slot order — but only when at least MinWorkers contributed. A
+// collection that ends below that quorum folds nothing: the arrived updates
+// are acknowledged "retry" and discarded, the coordinator waits for the
+// fleet to recover, and the same round is re-broadcast (bounded by
+// Config.RoundRetries). Because a retried round re-broadcasts the unchanged
+// global parameters and every worker retrains it from its pre-round
+// optimizer state, the eventual fold is byte-identical to one that was
+// never disturbed.
 func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 	start := time.Now()
-	n := len(slots)
-	rs := fleet.RoundStats{Round: r, Workers: make([]fleet.WorkerRoundStats, n)}
+	rs := fleet.RoundStats{Round: r, Workers: make([]fleet.WorkerRoundStats, len(slots))}
 	for i := range rs.Workers {
 		rs.Workers[i].Worker = i
 	}
 
 	// Broadcast: one encoded frame shared by every directive (payloads are
-	// read-only once built).
+	// read-only once built), and identical across retry attempts — the
+	// global parameters only move when a fold commits.
 	params := make([]ckpt.NamedTensor, len(c.globalPs))
 	for i, p := range c.globalPs {
 		params[i] = ckpt.NamedTensor{Name: p.Name, Tensor: p.Value}
@@ -666,6 +764,61 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 	if err != nil {
 		return rs, err
 	}
+
+	for attempt := 0; ; attempt++ {
+		folded, idle, err := c.attemptRound(r, frame, slots, &rs)
+		if err != nil {
+			return rs, err
+		}
+		if folded {
+			break
+		}
+		if c.cfg.RoundRetries >= 0 && attempt >= c.cfg.RoundRetries {
+			return rs, fmt.Errorf("coord: round %d: quorum of %d workers not met after %d attempts",
+				r, c.cfg.MinWorkers, attempt+1)
+		}
+		c.cfg.Logf("coord: round %d below quorum (%d workers required), retrying (attempt %d)",
+			r, c.cfg.MinWorkers, attempt+2)
+		if err := c.awaitQuorum(r, slots, idle); err != nil {
+			return rs, err
+		}
+	}
+
+	// Measured wire traffic: per-connection byte deltas since the last
+	// round boundary (retry attempts included — those bytes really moved).
+	for i := range slots {
+		rem := slots[i].rem
+		if rem == nil {
+			continue
+		}
+		sent, received := rem.conn.Stats()
+		total := sent + received
+		rs.Workers[i].WireBytes = total - rem.wireMark
+		rem.wireMark = total
+	}
+	rs.WallClock = time.Since(start)
+	return rs, nil
+}
+
+// pendingUpdate is one staged, validated update awaiting the fold decision.
+// Its ack is deliberately withheld: the worker only learns "ok" once its
+// update is irrevocably part of the fold, or "retry" when the attempt was
+// discarded — so no worker ever counts progress for a round that folded
+// nothing, and the committed slot state never diverges from the global model.
+type pendingUpdate struct {
+	rem *remote
+	upd updateMsg
+	ack chan ackReply
+}
+
+// attemptRound runs one broadcast/collect/fold attempt of round r. It
+// returns folded=false when the collection ended below the MinWorkers quorum
+// (the caller retries), and idle=true when no live worker could even receive
+// the broadcast (the caller waits for membership events before retrying).
+// With RoundRetries < 0 the quorum is disabled and every attempt folds
+// whatever arrived.
+func (c *Coordinator) attemptRound(r int, frame ckpt.Frame, slots []slot, rs *fleet.RoundStats) (folded, idle bool, err error) {
+	quorum := c.cfg.RoundRetries >= 0
 	expected := make(map[int]*remote)
 	for i := range slots {
 		rem := slots[i].rem
@@ -676,15 +829,18 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 		case rem.roundCh <- directive{round: r, frame: frame}:
 			expected[i] = rem
 			rs.Workers[i].Participated = true
-			rs.Workers[i].DownloadBytes = c.modelBytes
+			rs.Workers[i].DownloadBytes += c.modelBytes
 			rs.DownlinkBytes += c.modelBytes
 		default:
 			// The previous directive was never consumed — the worker has not
-			// pulled since; leave it out of this round.
+			// pulled since; leave it out of this attempt.
 		}
 	}
 	if len(expected) == 0 {
-		return rs, fmt.Errorf("coord: round %d: no live workers", r)
+		if !quorum {
+			return false, true, fmt.Errorf("coord: round %d: no live workers", r)
+		}
+		return false, true, nil
 	}
 
 	var deadlineC <-chan time.Time
@@ -704,13 +860,16 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 		livenessC = tk.C
 	}
 
-	updates := make(map[int]*fleet.Update)
+	// Collect. Valid updates are STAGED, not committed: their acks are held
+	// until the fold decision, and slot state moves only on commit.
+	staged := make(map[int]pendingUpdate)
+	contributed := 0 // staged updates + empty-shard participants
 collect:
 	for len(expected) > 0 {
 		select {
 		case e := <-c.events:
 			if e.kind != evUpdate {
-				c.handleMembership(e, slots, expected, &rs)
+				c.handleMembership(e, slots, expected, rs)
 				continue
 			}
 			i := e.rem.index
@@ -722,7 +881,9 @@ collect:
 			if e.upd.samples == 0 {
 				// An idle worker (empty shard) has nothing to contribute,
 				// mirroring the in-process engine's skip of empty updates.
+				// Nothing of it enters the fold, so the ack needs no staging.
 				delete(expected, i)
+				contributed++
 				e.ackReply <- ackReply{status: AckOK}
 				continue
 			}
@@ -742,17 +903,9 @@ collect:
 				rs.Dropouts++
 				continue
 			}
-			st := e.upd.state
-			st.Index = i
-			st.Name = e.rem.name
-			slots[i].state = &st
-			slots[i].strategy = e.upd.strategy
-			slots[i].shardSamples = e.upd.samples
-			ws := &rs.Workers[i]
-			ws.Duration = e.upd.duration
-			updates[i] = &u
+			staged[i] = pendingUpdate{rem: e.rem, upd: e.upd, ack: e.ackReply}
+			contributed++
 			delete(expected, i)
-			e.ackReply <- ackReply{status: AckOK}
 		case <-deadlineC:
 			for i := range expected {
 				rs.Workers[i].Dropped = true
@@ -769,53 +922,95 @@ collect:
 				}
 			}
 		case <-c.quit:
-			return rs, ErrClosed
+			// Handlers parked on their ack replies unblock via c.quit.
+			return false, false, ErrClosed
 		}
 	}
 
-	// Fold in ascending slot order — the Aggregator contract's fold order.
-	var folded []fleet.Update
-	for i := 0; i < n; i++ {
-		u := updates[i]
-		if u == nil || u.Samples == 0 {
+	if quorum && contributed < c.cfg.MinWorkers {
+		// Below quorum: fold nothing. The staged updates are discarded and
+		// their workers told to retry — they rewind to their pre-round
+		// optimizer state and retrain the identical round.
+		for _, p := range staged {
+			p.ack <- ackReply{status: AckRetry}
+		}
+		return false, false, nil
+	}
+
+	// Commit: fold in ascending slot order — the Aggregator contract's fold
+	// order — then durably adopt each contributor's state, then release the
+	// held acks. An acked worker's state is therefore always the state the
+	// fold consumed.
+	var updates []fleet.Update
+	for i := 0; i < len(slots); i++ {
+		p, ok := staged[i]
+		if !ok {
 			continue
 		}
+		u := p.upd.stats
+		u.Worker = i
+		u.Samples = p.upd.samples
+		u.Loss = p.upd.loss
+		u.Vecs = p.upd.vecs
+		updates = append(updates, u)
+	}
+	if len(updates) > 0 {
+		if err := c.agg.Fold(c.globalPs, updates); err != nil {
+			return false, false, fmt.Errorf("coord: round %d: %s fold: %w", r, c.agg.Name(), err)
+		}
+	}
+	for i := 0; i < len(slots); i++ {
+		p, ok := staged[i]
+		if !ok {
+			continue
+		}
+		st := p.upd.state
+		st.Index = i
+		st.Name = p.rem.name
+		slots[i].state = &st
+		slots[i].strategy = p.upd.strategy
+		slots[i].shardSamples = p.upd.samples
 		ws := &rs.Workers[i]
-		ws.Samples = u.Samples
-		ws.Loss = u.Loss
-		ws.ForwardEvals = u.ForwardEvals
-		ws.BackwardEvals = u.BackwardEvals
-		ws.PeakStates = u.PeakStates
-		ws.PeakRAMBytes = u.PeakRAMBytes
-		ws.PeakDiskBytes = u.PeakDiskBytes
-		ws.DiskWrites = u.DiskWrites
-		ws.DiskReads = u.DiskReads
+		ws.Duration = p.upd.duration
+		ws.Samples = p.upd.samples
+		ws.Loss = p.upd.loss
+		ws.ForwardEvals = p.upd.stats.ForwardEvals
+		ws.BackwardEvals = p.upd.stats.BackwardEvals
+		ws.PeakStates = p.upd.stats.PeakStates
+		ws.PeakRAMBytes = p.upd.stats.PeakRAMBytes
+		ws.PeakDiskBytes = p.upd.stats.PeakDiskBytes
+		ws.DiskWrites = p.upd.stats.DiskWrites
+		ws.DiskReads = p.upd.stats.DiskReads
 		ws.UploadBytes = c.modelBytes
 		rs.UplinkBytes += c.modelBytes
 		rs.Participants++
-		folded = append(folded, *u)
+		p.ack <- ackReply{status: AckOK}
 	}
-	if len(folded) > 0 {
-		if err := c.agg.Fold(c.globalPs, folded); err != nil {
-			return rs, fmt.Errorf("coord: round %d: %s fold: %w", r, c.agg.Name(), err)
-		}
-	}
-	rs.Loss = fleet.WeightedLoss(folded)
+	rs.Loss = fleet.WeightedLoss(updates)
+	return true, false, nil
+}
 
-	// Measured wire traffic: per-connection byte deltas since the last
-	// round boundary.
-	for i := range slots {
-		rem := slots[i].rem
-		if rem == nil {
-			continue
+// awaitQuorum blocks between round attempts until MinWorkers are live again
+// (processing joins, rejoins and deaths meanwhile), bounded by JoinTimeout.
+// When the failed attempt was idle — not a single worker could receive the
+// broadcast — it first waits for one membership event, so a retry loop can
+// never spin without the fleet changing underneath it.
+func (c *Coordinator) awaitQuorum(r int, slots []slot, needEvent bool) error {
+	deadline := time.NewTimer(c.cfg.JoinTimeout)
+	defer deadline.Stop()
+	for needEvent || liveCount(slots) < c.cfg.MinWorkers {
+		select {
+		case e := <-c.events:
+			c.handleMembership(e, slots, nil, nil)
+			needEvent = false
+		case <-deadline.C:
+			return fmt.Errorf("coord: round %d: %d/%d workers after waiting %v to retry",
+				r, liveCount(slots), c.cfg.MinWorkers, c.cfg.JoinTimeout)
+		case <-c.quit:
+			return ErrClosed
 		}
-		sent, received := rem.conn.Stats()
-		total := sent + received
-		rs.Workers[i].WireBytes = total - rem.wireMark
-		rem.wireMark = total
 	}
-	rs.WallClock = time.Since(start)
-	return rs, nil
+	return nil
 }
 
 func (c *Coordinator) buildReport(slots []slot, rounds []fleet.RoundStats) *fleet.Report {

@@ -218,9 +218,9 @@ func TestCompressedTransportEquivalence(t *testing.T) {
 }
 
 // TestKillAndRejoin drops a worker mid-round — after training, before
-// upload — and asserts the round completes with the survivors, then rejoins
-// the worker and asserts it recovers its optimizer state from the
-// coordinator.
+// upload — and asserts the round is held below quorum, retried once the
+// worker rejoins with its recovered optimizer state, and finally folds with
+// the full fleet, leaving weights byte-identical to an undisturbed run.
 func TestKillAndRejoin(t *testing.T) {
 	tr := NewLoopback()
 	c, err := New(Config{
@@ -323,12 +323,14 @@ func TestKillAndRejoin(t *testing.T) {
 			t.Fatalf("survivor %d: %v", i, werr)
 		}
 	}
-	// Round 1 lost the victim but completed with the two survivors.
+	// Round 1 lost the victim below the quorum of 3, so the fold was held
+	// back and the round retried once the victim rejoined: the final tally
+	// is full participation plus the recorded dropout.
 	r1 := rep.Rounds[1]
-	if r1.Participants != 2 || r1.Dropouts != 1 {
-		t.Fatalf("round 1: %d participants, %d dropouts, want 2 and 1", r1.Participants, r1.Dropouts)
+	if r1.Participants != 3 || r1.Dropouts != 1 {
+		t.Fatalf("round 1: %d participants, %d dropouts, want 3 and 1", r1.Participants, r1.Dropouts)
 	}
-	// Round 0 had the full fleet; the victim's rejoin rejoins later rounds.
+	// Round 0 had the full fleet.
 	if rep.Rounds[0].Participants != 3 {
 		t.Fatalf("round 0: %d participants, want 3", rep.Rounds[0].Participants)
 	}
@@ -340,6 +342,42 @@ func TestKillAndRejoin(t *testing.T) {
 	if got := len(c.WorkerStates()); got != 3 {
 		t.Fatalf("coordinator retained %d worker states, want 3", got)
 	}
+
+	// The quorum-retry contract: the retried round folded the exact updates
+	// an undisturbed round would, so the finished run is byte-identical to
+	// an in-process fleet that never saw the crash.
+	opt := func() trainer.Optimizer {
+		o, err := trainer.NewOptimizer("momentum", 0.05)
+		if err != nil {
+			panic(err)
+		}
+		return o
+	}
+	agg, err := fleet.NewAggregator("fedavg", opt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := make([]fleet.WorkerSpec, 3)
+	specs[0].Name, specs[1].Name, specs[2].Name = "w0", "w1", "victim"
+	ref, err := fleet.New(fleet.Config{
+		Workers: specs, Rounds: 4, Seed: 7,
+		Aggregator: agg, Optimizer: opt,
+	}, testModel(7), testDataset(eqSamples, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	if _, err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var want, got []*tensor.Tensor
+	for _, p := range ref.Global().Params() {
+		want = append(want, p.Value)
+	}
+	for _, p := range c.Global().Params() {
+		got = append(got, p.Value)
+	}
+	assertBitEqual(t, got, want, "crash-and-retry vs undisturbed")
 }
 
 // rawClient is a hand-driven protocol client for adversarial tests.
@@ -411,12 +449,31 @@ func TestCapabilityRejection(t *testing.T) {
 
 // TestPoisonedUpdateDropsWorker sends a NaN-poisoned update from a raw
 // client and asserts the coordinator rejects it, drops the worker, and
-// completes the run with the honest workers.
+// completes the run with the honest workers — the quorum of 2 is still met
+// by the survivors, so rejection never stalls the round.
 func TestPoisonedUpdateDropsWorker(t *testing.T) {
 	tr := NewLoopback()
+	// Counting the join log lines lets the test admit the evil client only
+	// after both honest workers hold their slots, making it deterministically
+	// the third joiner: the run starts at the quorum of 2, and the poison
+	// lands in round 1.
+	honestJoined := make(chan struct{})
+	var joins int
+	var joinMu sync.Mutex
 	c, err := New(Config{
-		Workers: 3, Rounds: 2, Samples: eqSamples, Seed: 5,
+		Workers: 3, MinWorkers: 2, Rounds: 2, Samples: eqSamples, Seed: 5,
 		Aggregator: "fedavg", Optimizer: "sgd", LR: 0.05,
+		Logf: func(format string, args ...any) {
+			if !strings.Contains(format, "as slot") {
+				return
+			}
+			joinMu.Lock()
+			defer joinMu.Unlock()
+			joins++
+			if joins == 2 {
+				close(honestJoined)
+			}
+		},
 	}, testModel(5))
 	if err != nil {
 		t.Fatal(err)
@@ -437,6 +494,11 @@ func TestPoisonedUpdateDropsWorker(t *testing.T) {
 		}(i)
 	}
 
+	select {
+	case <-honestJoined:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("honest workers never joined")
+	}
 	rc := dialRaw(t, tr, addr, "evil", []string{"fedavg"})
 	defer rc.conn.Close()
 	welcome := rc.recv()
@@ -501,9 +563,16 @@ func TestPoisonedUpdateDropsWorker(t *testing.T) {
 			t.Fatalf("honest worker %d: %v", i, werr)
 		}
 	}
-	if rep.Rounds[0].Participants != 2 || rep.Rounds[0].Dropouts != 1 {
-		t.Fatalf("round 0: %d participants, %d dropouts, want 2 and 1",
+	// Round 0 ran with just the honest pair (evil had not joined yet); the
+	// poison landed in round 1 and cost evil its slot without stalling the
+	// fold.
+	if rep.Rounds[0].Participants != 2 || rep.Rounds[0].Dropouts != 0 {
+		t.Fatalf("round 0: %d participants, %d dropouts, want 2 and 0",
 			rep.Rounds[0].Participants, rep.Rounds[0].Dropouts)
+	}
+	if rep.Rounds[1].Participants != 2 || rep.Rounds[1].Dropouts != 1 {
+		t.Fatalf("round 1: %d participants, %d dropouts, want 2 and 1",
+			rep.Rounds[1].Participants, rep.Rounds[1].Dropouts)
 	}
 	if rep.FinalLoss == 0 || math.IsNaN(rep.FinalLoss) {
 		t.Fatalf("final loss %v after poisoned round", rep.FinalLoss)

@@ -41,7 +41,38 @@ const (
 	// AckRejected: the update failed validation; the coordinator drops the
 	// worker.
 	AckRejected = "rejected"
+	// AckRetry: the update arrived, but its round closed below the
+	// MinWorkers quorum and folded nothing. The worker rewinds to its
+	// pre-round optimizer state and retrains the round when it is
+	// re-broadcast.
+	AckRetry = "retry"
 )
+
+// msgName labels a message type in errors and logs.
+func msgName(typ uint32) string {
+	switch typ {
+	case msgHello:
+		return "hello"
+	case msgWelcome:
+		return "welcome"
+	case msgPull:
+		return "pull"
+	case msgRound:
+		return "round"
+	case msgUpdate:
+		return "update"
+	case msgAck:
+		return "ack"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgDone:
+		return "done"
+	case msgError:
+		return "error"
+	default:
+		return fmt.Sprintf("unknown(%d)", typ)
+	}
+}
 
 // hello is the worker's capability handshake.
 type hello struct {
@@ -345,7 +376,11 @@ func putStrings(b *bytes.Buffer, ss []string) {
 
 func takeStrings(p *wire.Reader, what string) []string {
 	n := p.Uint32(what + " count")
-	if p.Err() != nil || n > 1<<16 {
+	if p.Err() != nil {
+		return nil
+	}
+	if n > 1<<16 {
+		p.Fail(what + " count")
 		return nil
 	}
 	ss := make([]string, 0, n)

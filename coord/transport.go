@@ -2,6 +2,7 @@ package coord
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -88,6 +89,28 @@ func (fc *frameConn) Send(f ckpt.Frame) error {
 	fc.wmu.Lock()
 	defer fc.wmu.Unlock()
 	n, err := ckpt.WriteFrame(fc.bw, f, fc.style)
+	if err == nil {
+		err = fc.bw.Flush()
+	}
+	fc.sent.Add(int64(n))
+	return err
+}
+
+// sendMangled encodes the frame exactly as Send would, hands the encoded
+// bytes to mangle for rewriting, and puts the result on the wire. It exists
+// for the Chaos transport: injected corruption must happen below the codec,
+// on the serialized bytes, so the receiving ReadFrame exercises the same
+// CRC/structure checks that guard real link damage.
+func (fc *frameConn) sendMangled(f ckpt.Frame, mangle func([]byte)) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	var buf bytes.Buffer
+	if _, err := ckpt.WriteFrame(&buf, f, fc.style); err != nil {
+		return err
+	}
+	b := buf.Bytes()
+	mangle(b)
+	n, err := fc.bw.Write(b)
 	if err == nil {
 		err = fc.bw.Flush()
 	}

@@ -1,7 +1,11 @@
 package coord
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +33,19 @@ type WorkerOptions struct {
 	Optimizer func(a Assignment) (trainer.Optimizer, error)
 	// Heartbeat is the liveness interval while training (default 1s).
 	Heartbeat time.Duration
+	// Retries is the reconnect budget: how many consecutive failed
+	// connection attempts the worker tolerates before giving up. The budget
+	// refills every time a handshake succeeds, so a long-lived worker on a
+	// flaky link survives any number of isolated blips. 0 means the default
+	// of 5; negative disables reconnecting entirely (single-shot, the
+	// pre-fault-tolerance behavior).
+	Retries int
+	// BackoffMin and BackoffMax bound the exponential backoff between
+	// reconnect attempts (defaults 50ms and 5s). Each wait doubles the
+	// previous one and adds jitter so a restarted coordinator is not hit by
+	// a synchronized thundering herd of rejoining workers.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 
@@ -38,18 +55,38 @@ type WorkerOptions struct {
 	beforeUpdate func(round int) error
 }
 
-// WorkerResult summarises one worker process's run.
+// WorkerResult summarises one worker process's run, accumulated across every
+// connection the reconnect loop established.
 type WorkerResult struct {
-	// Assignment is the slot and run configuration the coordinator granted.
+	// Assignment is the slot and run configuration the coordinator granted
+	// (from the most recent handshake).
 	Assignment Assignment
 	// Rounds is how many of this worker's updates were accepted for folding.
 	Rounds int
 	// Restored reports whether the worker rejoined and recovered durable
-	// state from the coordinator.
+	// state from the coordinator on any connection.
 	Restored bool
-	// WireSent and WireReceived are the framed bytes moved on the wire.
+	// WireSent and WireReceived are the framed bytes moved on the wire,
+	// summed over all connections.
 	WireSent     int64
 	WireReceived int64
+}
+
+// transientError marks a failure worth a reconnect: the network or the
+// coordinator process went away mid-conversation, as opposed to the
+// coordinator deliberately rejecting this worker.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func transientf(format string, args ...any) error {
+	return &transientError{fmt.Errorf(format, args...)}
+}
+
+func isTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
 }
 
 // RunWorker joins the coordinator at addr, trains rounds until the
@@ -57,6 +94,13 @@ type WorkerResult struct {
 // the whole lifecycle of one edge worker process: capability handshake,
 // shard assignment, per-round pull → local train → update push, with
 // heartbeats during training and durable-state capture with every update.
+//
+// Connection failures — a refused dial, a dropped conn mid-round, a
+// coordinator restart — do not kill the worker: it reconnects with
+// exponential backoff under the same name, and the coordinator's rejoin path
+// hands back the last committed optimizer state, so training continues
+// exactly where the last folded round left it. Only a deliberate rejection
+// (capability mismatch, poisoned update) or local failure is fatal.
 func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, error) {
 	if opts.Spec.Name == "" {
 		return nil, fmt.Errorf("coord: worker needs a name (the rejoin identity)")
@@ -68,6 +112,69 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	retries := opts.Retries
+	if retries == 0 {
+		retries = 5
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	backoffMin := opts.BackoffMin
+	if backoffMin <= 0 {
+		backoffMin = 50 * time.Millisecond
+	}
+	backoffMax := opts.BackoffMax
+	if backoffMax < backoffMin {
+		backoffMax = 5 * time.Second
+		if backoffMax < backoffMin {
+			backoffMax = backoffMin
+		}
+	}
+	// Jitter draws from a per-worker source so a fleet of workers restarted
+	// together fans out instead of stampeding in lockstep.
+	h := fnv.New64a()
+	h.Write([]byte(opts.Spec.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	res := &WorkerResult{}
+	budget := retries
+	backoff := backoffMin
+	for {
+		err := runWorkerSession(t, addr, opts, logf, res, func() {
+			// A successful handshake refills the reconnect budget: the
+			// bound is on consecutive failures, not lifetime ones.
+			budget = retries
+			backoff = backoffMin
+		})
+		if err == nil {
+			return res, nil
+		}
+		if !isTransient(err) {
+			return res, err
+		}
+		if budget <= 0 {
+			return res, fmt.Errorf("coord: worker %s giving up after %d reconnect attempts: %w",
+				opts.Spec.Name, retries, err)
+		}
+		budget--
+		wait := backoff + time.Duration(rng.Int63n(int64(backoff)/2+1))
+		logf("worker %s: connection lost (%v); reconnecting in %s (%d attempts left)",
+			opts.Spec.Name, err, wait.Round(time.Millisecond), budget+1)
+		time.Sleep(wait)
+		backoff *= 2
+		if backoff > backoffMax {
+			backoff = backoffMax
+		}
+	}
+}
+
+// runWorkerSession runs one connection's worth of the worker lifecycle:
+// dial, handshake, train rounds until the conn breaks or the run completes.
+// A nil return means the coordinator declared the run complete; a transient
+// error asks the caller to reconnect; any other error is fatal. onWelcome
+// fires once the handshake has been accepted.
+func runWorkerSession(t Transport, addr string, opts WorkerOptions,
+	logf func(string, ...any), res *WorkerResult, onWelcome func()) error {
 	heartbeat := opts.Heartbeat
 	if heartbeat <= 0 {
 		heartbeat = time.Second
@@ -75,9 +182,14 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 
 	conn, err := t.Dial(addr)
 	if err != nil {
-		return nil, err
+		return transientf("dialing coordinator: %w", err)
 	}
 	defer conn.Close()
+	defer func() {
+		sent, recv := conn.Stats()
+		res.WireSent += sent
+		res.WireReceived += recv
+	}()
 
 	budget := opts.Spec.BudgetBytes
 	if budget <= 0 {
@@ -92,22 +204,37 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 		strategies:  []string{"storeall", "revolve", "twolevel"},
 	}))
 	if err != nil {
-		return nil, fmt.Errorf("coord: sending hello: %w", err)
+		return transientf("coord: sending hello: %w", err)
 	}
 	f, err := conn.Recv()
 	if err != nil {
-		return nil, fmt.Errorf("coord: waiting for welcome: %w", err)
+		return transientf("coord: waiting for welcome: %w", err)
 	}
 	a, err := expectWelcome(f)
 	if err != nil {
-		return nil, err
+		if strings.Contains(err.Error(), "already connected") {
+			// The coordinator still holds our previous connection — it has
+			// not yet noticed it died. Liveness sweeping will reap it;
+			// reconnecting shortly reclaims the slot.
+			return &transientError{err}
+		}
+		if strings.Contains(err.Error(), "run complete") {
+			// We reconnected into a finished run (our final ack was lost in
+			// flight): the round we uploaded is folded and done. Exit the
+			// way a worker that saw the done frame would.
+			logf("worker %s: run complete (%d rounds contributed)", opts.Spec.Name, res.Rounds)
+			return nil
+		}
+		return err
 	}
+	onWelcome()
 	logf("worker %s: assigned slot %d of %d (%s, optimizer %s lr %g)",
 		opts.Spec.Name, a.Index, a.Workers, a.Aggregator, a.Optimizer, a.LR)
+	res.Assignment = a
 
 	ds, err := opts.Dataset(a)
 	if err != nil {
-		return nil, fmt.Errorf("coord: building dataset: %w", err)
+		return fmt.Errorf("coord: building dataset: %w", err)
 	}
 	var opt trainer.Optimizer
 	if opts.Optimizer != nil {
@@ -116,24 +243,23 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 		opt, err = trainer.NewOptimizer(a.Optimizer, a.LR)
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	w, err := fleet.NewWorker(opts.Spec, a.Index, a.Workers,
 		func() (*chain.Chain, error) { return opts.Model(a) },
 		ds, a.BatchSize, a.LocalEpochs, opt)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer w.Close()
 	agg, err := fleet.NewAggregator(a.Aggregator, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	res := &WorkerResult{Assignment: a}
 	if a.State != nil {
 		if err := w.RestoreState(*a.State); err != nil {
-			return nil, err
+			return err
 		}
 		res.Restored = true
 		logf("worker %s: recovered optimizer state (%d rounds, %d samples done)",
@@ -142,32 +268,40 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 
 	for {
 		if err := conn.Send(ckpt.Frame{Type: msgPull}); err != nil {
-			return res, fmt.Errorf("coord: sending pull: %w", err)
+			return transientf("coord: sending pull: %w", err)
 		}
 		f, err := conn.Recv()
 		if err != nil {
-			return res, fmt.Errorf("coord: waiting for round: %w", err)
+			return transientf("coord: waiting for round: %w", err)
 		}
 		switch f.Type {
 		case msgDone:
-			res.WireSent, res.WireReceived = conn.Stats()
 			logf("worker %s: run complete (%d rounds contributed)", opts.Spec.Name, res.Rounds)
-			return res, nil
+			return nil
 		case msgError:
 			msg, _ := parseError(f.Payload)
-			return res, fmt.Errorf("coord: coordinator rejected worker: %s", msg)
+			return fmt.Errorf("coord: coordinator rejected worker: %s", msg)
 		case msgRound:
 			// Handled below.
 		default:
-			return res, fmt.Errorf("coord: expected round directive, got message type %d", f.Type)
+			return fmt.Errorf("coord: expected round directive, got %s message", msgName(f.Type))
 		}
 		m, err := parseRound(f.Payload)
 		if err != nil {
-			return res, err
+			return err
 		}
 		if err := applyBroadcast(w, m.params); err != nil {
-			return res, err
+			return err
 		}
+		// Snapshot the pre-round state: if the coordinator closes this round
+		// below quorum and asks for a retry, local training must restart
+		// from exactly here or the retried update diverges from the one a
+		// fault-free round would have folded.
+		preOpt, err := w.CaptureState()
+		if err != nil {
+			return err
+		}
+		preLayers := ckpt.CaptureLayerState(w.Chain.Stages)
 
 		// Local computation with heartbeats flowing; the coordinator-side
 		// handler is guaranteed to be reading during this window.
@@ -176,16 +310,16 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 		u, lerr := agg.Local(w, m.round)
 		stop()
 		if lerr != nil {
-			return res, fmt.Errorf("coord: round %d local computation: %w", m.round, lerr)
+			return fmt.Errorf("coord: round %d local computation: %w", m.round, lerr)
 		}
 		if opts.beforeUpdate != nil {
 			if err := opts.beforeUpdate(m.round); err != nil {
-				return res, err
+				return err
 			}
 		}
 		ws, err := w.CaptureState()
 		if err != nil {
-			return res, err
+			return err
 		}
 		// The captured state is the rejoin recovery point: account this
 		// round's contribution as if folded, matching what an in-process
@@ -203,37 +337,48 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 			state:    ws,
 		})
 		if err != nil {
-			return res, err
+			return err
 		}
 		if err := conn.Send(frame); err != nil {
-			return res, fmt.Errorf("coord: uploading round %d update: %w", m.round, err)
+			return transientf("coord: uploading round %d update: %w", m.round, err)
 		}
 		f, err = conn.Recv()
 		if err != nil {
-			return res, fmt.Errorf("coord: waiting for round %d ack: %w", m.round, err)
+			return transientf("coord: waiting for round %d ack: %w", m.round, err)
 		}
 		if f.Type != msgAck {
 			if f.Type == msgError {
 				msg, _ := parseError(f.Payload)
-				return res, fmt.Errorf("coord: round %d: %s", m.round, msg)
+				return fmt.Errorf("coord: round %d: %s", m.round, msg)
 			}
-			return res, fmt.Errorf("coord: expected ack, got message type %d", f.Type)
+			return fmt.Errorf("coord: expected ack, got %s message", msgName(f.Type))
 		}
 		ack, err := parseAck(f.Payload)
 		if err != nil {
-			return res, err
+			return err
 		}
 		switch ack.status {
 		case AckOK:
 			w.AddProgress(1, int64(u.Samples))
 			res.Rounds++
 			logf("worker %s: round %d folded (loss %.4f, %d samples)", opts.Spec.Name, m.round, u.Loss, u.Samples)
+		case AckRetry:
+			// The round closed below quorum and was discarded: rewind to
+			// the pre-round snapshot and train the re-broadcast round as if
+			// this attempt never happened.
+			if err := w.RestoreState(preOpt); err != nil {
+				return err
+			}
+			if err := (&ckpt.Session{LayerState: preLayers}).ApplyLayerState(w.Chain.Stages); err != nil {
+				return err
+			}
+			logf("worker %s: round %d closed below quorum, rewound for retry", opts.Spec.Name, m.round)
 		case AckLate:
 			logf("worker %s: round %d update arrived past the deadline, discarded", opts.Spec.Name, m.round)
 		case AckRejected:
-			return res, fmt.Errorf("coord: round %d update rejected by coordinator", m.round)
+			return fmt.Errorf("coord: round %d update rejected by coordinator", m.round)
 		default:
-			return res, fmt.Errorf("coord: unknown ack status %q", ack.status)
+			return fmt.Errorf("coord: unknown ack status %q", ack.status)
 		}
 	}
 }
@@ -246,7 +391,7 @@ func expectWelcome(f ckpt.Frame) (Assignment, error) {
 		msg, _ := parseError(f.Payload)
 		return Assignment{}, fmt.Errorf("coord: coordinator rejected worker: %s", msg)
 	default:
-		return Assignment{}, fmt.Errorf("coord: expected welcome, got message type %d", f.Type)
+		return Assignment{}, fmt.Errorf("coord: expected welcome, got %s message", msgName(f.Type))
 	}
 }
 

@@ -50,11 +50,16 @@
 //     and round assignments, train locally with the chain/plan machinery,
 //     and push updates back over a length-prefixed binary protocol that
 //     reuses the ckpt tensor codec (CRC32 frames, raw or DEFLATE). The
-//     fleet is elastic — dead workers are dropped from the fold, stragglers
-//     past the round deadline are discarded, and a rejoining worker recovers
-//     its optimizer state — and a distributed run produces global weights
+//     fleet is elastic and fault-tolerant — dead workers are dropped from
+//     the fold, stragglers past the round deadline are discarded, rounds
+//     that lose quorum are rewound and re-run, workers reconnect with
+//     backoff and recover their optimizer state, and a coordinator started
+//     with a state directory checkpoints every round boundary so a killed
+//     coordinator resumes where it left off. A seeded chaos transport
+//     (refused dials, dropped connections, corrupted frames, partitions)
+//     soaks all of it: a distributed run produces global weights
 //     byte-identical to the in-process fleet, over TCP or the in-process
-//     loopback transport alike.
+//     loopback transport alike, faults or no faults.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
 //     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
 //     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge

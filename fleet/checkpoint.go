@@ -23,9 +23,12 @@ import (
 // is dropped. Bit-identity with an uninterrupted run is guaranteed when the
 // fleet configuration (membership, seed, aggregation) is unchanged.
 
-// globalOptimizerHolder is implemented by aggregators that apply a global
+// GlobalOptimizerHolder is implemented by aggregators that apply a global
 // optimizer whose state must survive checkpoint/resume (GradAllReduce).
-type globalOptimizerHolder interface {
+// Checkpointing callers — the fleet's own session capture and the
+// distributed coordinator's durable state — type-assert the aggregator
+// against it to decide whether a global optimizer must be saved/restored.
+type GlobalOptimizerHolder interface {
 	GlobalOptimizer() trainer.Optimizer
 }
 
@@ -45,7 +48,7 @@ func (f *Fleet) CaptureSession(nextRound int) (*ckpt.Session, error) {
 		Params:         ckpt.CaptureParams(f.globalPs),
 		LayerState:     ckpt.CaptureLayerState(f.global.Stages),
 	}
-	if h, ok := f.agg.(globalOptimizerHolder); ok {
+	if h, ok := f.agg.(GlobalOptimizerHolder); ok {
 		opt, err := trainer.CaptureOptimizerState(h.GlobalOptimizer(), f.globalPs)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: capturing global optimizer state: %w", err)
@@ -136,7 +139,7 @@ func (f *Fleet) RestoreSession(s *ckpt.Session) (int, error) {
 	// Pre-check every optimizer kind BEFORE mutating anything, so a
 	// mismatched resume leaves the fleet untouched (the all-or-nothing
 	// restore contract).
-	h, hasGlobalOpt := f.agg.(globalOptimizerHolder)
+	h, hasGlobalOpt := f.agg.(GlobalOptimizerHolder)
 	if !hasGlobalOpt && (s.Opt.Name != "" || s.Opt.Step != 0 || len(s.Opt.Slots) > 0) {
 		// A checkpoint written by an aggregator with a global optimizer
 		// (all-reduce) cannot be resumed into one without — dropping that

@@ -127,6 +127,15 @@ func (p *Reader) Rest() []byte {
 // Len reports how many unread bytes remain.
 func (p *Reader) Len() int { return len(p.b) - p.off }
 
+// Fail poisons the reader, for callers that validate a decoded value
+// themselves and must reject the payload: a count or size can be well-formed
+// on the wire yet implausible for the message carrying it.
+func (p *Reader) Fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("implausible %s at offset %d", what, p.off)
+	}
+}
+
 // Err returns the first read error, or nil.
 func (p *Reader) Err() error { return p.err }
 
