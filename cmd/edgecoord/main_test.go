@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestCompressFlag(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"none", ""},
+		{"int8", "topk:1+int8+raw"},
+		{"deflate+topk:0.25", "topk:0.25+fp64+deflate"},
+		{"topk:0.05+int8+deflate", "topk:0.05+int8+deflate"},
+	}
+	for _, c := range cases {
+		got, err := compressFlag(c.in)
+		if err != nil {
+			t.Fatalf("compressFlag(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("compressFlag(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"gzip", "topk:0", "raw+raw"} {
+		if _, err := compressFlag(bad); err == nil {
+			t.Fatalf("compressFlag(%q) accepted", bad)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	edgeworker -addr 127.0.0.1:7600 -name w0
 //	edgeworker -addr 127.0.0.1:7600 -name w1 -device rpi -budget 210KB
 //	edgeworker -addr 127.0.0.1:7600 -name w2 -retry 100 -backoff-max 2s
+//	edgeworker -addr 127.0.0.1:7600 -name w3 -compress none   # no codec capability
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/edgeml/edgetrain/compress"
 	"github.com/edgeml/edgetrain/coord"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
@@ -28,12 +31,34 @@ import (
 	"github.com/edgeml/edgetrain/internal/trainer"
 )
 
+// codecsForFlag maps the -compress flag to the advertised codec capability:
+// "all" (or empty) advertises every codec, "none" advertises none, and a
+// codec spec like "topk:0.05+int8" advertises exactly what that spec needs.
+func codecsForFlag(s string) ([]string, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "all":
+		return nil, nil // nil means compress.AllCodecs to RunWorker
+	case "none":
+		return []string{}, nil
+	}
+	spec, err := compress.ParseSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	req := spec.Required()
+	if req == nil {
+		req = []string{}
+	}
+	return req, nil
+}
+
 func main() {
 	addr := flag.String("addr", "", "coordinator address (required)")
 	name := flag.String("name", "", "worker name — the rejoin identity (required)")
 	deviceName := flag.String("device", "waggle", "device profile: waggle, jetson, rpi or cloud")
 	budget := flag.String("budget", "device", "RAM budget: 'device' (the node's memory) or a size like 210KB")
-	compress := flag.Bool("compress", false, "DEFLATE-compress wire frames (must match the coordinator)")
+	codecCap := flag.String("compress", "all", "update codecs to advertise: 'all', 'none', or a spec like topk:0.05+int8+deflate")
+	wireDeflate := flag.Bool("wire-deflate", false, "DEFLATE-compress wire frames (must match the coordinator)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "liveness interval while training")
 	retry := flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = default 5, negative disables)")
 	backoffMax := flag.Duration("backoff-max", 0, "cap on the reconnect backoff (0 = default 5s)")
@@ -57,6 +82,10 @@ func main() {
 		}
 		spec.BudgetBytes = b
 	}
+	codecs, err := codecsForFlag(*codecCap)
+	if err != nil {
+		log.Fatal(err)
+	}
 	logf := func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	}
@@ -64,7 +93,7 @@ func main() {
 		logf = nil
 	}
 
-	res, err := coord.RunWorker(&coord.TCP{Compress: *compress}, *addr, coord.WorkerOptions{
+	res, err := coord.RunWorker(&coord.TCP{Compress: *wireDeflate}, *addr, coord.WorkerOptions{
 		Spec: spec,
 		Model: func(a coord.Assignment) (*chain.Chain, error) {
 			return fleetdemo.Model(a.Seed)()
@@ -72,6 +101,7 @@ func main() {
 		Dataset: func(a coord.Assignment) (trainer.Dataset, error) {
 			return fleetdemo.Dataset(a.Workers, a.Samples, a.Seed), nil
 		},
+		Codecs:     codecs,
 		Heartbeat:  *heartbeat,
 		Retries:    *retry,
 		BackoffMax: *backoffMax,

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCodecsForFlag(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // nil means "advertise everything"
+	}{
+		{"", nil},
+		{"all", nil},
+		{"ALL", nil},
+		{"none", []string{}},
+		{"topk:1+fp64+raw", []string{}}, // lossless needs no negotiated codec
+		{"fp16", []string{"fp16"}},
+		{"topk:0.05+int8+deflate", []string{"topk", "int8", "deflate"}},
+	}
+	for _, c := range cases {
+		got, err := codecsForFlag(c.in)
+		if err != nil {
+			t.Fatalf("codecsForFlag(%q): %v", c.in, err)
+		}
+		if (got == nil) != (c.want == nil) || !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("codecsForFlag(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"lz4", "topk:2", "fp16+fp16", "topk:"} {
+		if _, err := codecsForFlag(bad); err == nil {
+			t.Fatalf("codecsForFlag(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestCompressFlag(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"none", ""},
+		{"fp16+deflate", "topk:1+fp16+deflate"},
+		{"topk:0.05+int8+deflate", "topk:0.05+int8+deflate"},
+	}
+	for _, c := range cases {
+		got, err := compressFlag(c.in)
+		if err != nil {
+			t.Fatalf("compressFlag(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("compressFlag(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"zstd", "topk:1.5", "int8+fp16"} {
+		if _, err := compressFlag(bad); err == nil {
+			t.Fatalf("compressFlag(%q) accepted", bad)
+		}
+	}
+}

@@ -60,6 +60,10 @@ func TestCommandSmoke(t *testing.T) {
 			"-device-mix", "jetson,waggle,rpi", "-budget", "280KB,210KB,201KB",
 			"-participation", "1",
 		}, "twolevel"},
+		{"fleettrainer-compressed", []string{
+			"-nodes", "2", "-rounds", "2", "-samples", "8",
+			"-compress", "topk:0.25+int8+deflate",
+		}, "compression: topk:0.25+int8+deflate"},
 		{"memtable", []string{"-table", "1"}, "ResNet"},
 		{"figure1-fit", []string{"-fit"}, ""},
 		{"aotsim", []string{"-nodes", "3", "-days", "2"}, ""},
@@ -152,6 +156,95 @@ func TestDistributedFleetSmoke(t *testing.T) {
 	for _, want := range []string{
 		"fleet training report: fedavg, 2 workers, 2 rounds",
 		"wire (MB)",
+		"final loss",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("coordinator report lacks %q:\n%s", want, out)
+		}
+	}
+	for i := range outs {
+		if !strings.Contains(outs[i].String(), "2 rounds contributed") {
+			t.Fatalf("worker %d did not contribute 2 rounds:\n%s", i, outs[i].String())
+		}
+	}
+}
+
+// TestCompressedDistributedSmoke repeats the distributed drill with update
+// compression negotiated over the wire: the coordinator assigns a lossy codec
+// spec in the welcome, both edgeworkers (advertising every codec by default)
+// encode their uploads, and the final report carries the compression line and
+// a sub-raw uplink byte count.
+func TestCompressedDistributedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+
+	coord := exec.Command(filepath.Join(bin, "edgecoord"),
+		"-workers", "2", "-rounds", "2", "-samples", "8",
+		"-compress", "topk:0.25+int8+deflate", "-wire-deflate", "-quiet")
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coordOut bytes.Buffer
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		coordOut.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("coordinator never announced its address:\n%s", coordOut.String())
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for sc.Scan() {
+			coordOut.WriteString(sc.Text() + "\n")
+		}
+	}()
+
+	workers := make(chan error, 2)
+	outs := make([]bytes.Buffer, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			w := exec.Command(filepath.Join(bin, "edgeworker"),
+				"-addr", addr, "-name", []string{"w0", "w1"}[i],
+				"-wire-deflate", "-quiet")
+			w.Stdout = &outs[i]
+			w.Stderr = &outs[i]
+			workers <- w.Run()
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workers:
+			if err != nil {
+				t.Fatalf("worker failed: %v\nw0: %s\nw1: %s", err, outs[0].String(), outs[1].String())
+			}
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("workers did not finish\ncoordinator so far:\n%s", coordOut.String())
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator exited with %v:\n%s", err, coordOut.String())
+	}
+	<-drained
+	out := coordOut.String()
+	for _, want := range []string{
+		"update compression: topk:0.25+int8+deflate",
+		"fleet training report: fedavg, 2 workers, 2 rounds",
+		"compression: topk:0.25+int8+deflate",
 		"final loss",
 	} {
 		if !strings.Contains(out, want) {

@@ -1,0 +1,491 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/wire"
+)
+
+const (
+	// frameType tags a compressed-update blob inside its ckpt frame. The
+	// checkpoint file format reserves types 1-6 and the coord protocol uses
+	// 16-24; compressed updates get their own range.
+	frameType = uint32(48)
+	// formatVersion is the blob body version.
+	formatVersion = uint32(1)
+
+	// Decode plausibility bounds: a hostile blob can claim any counts it
+	// likes, so every size is capped before allocation.
+	maxTensors   = 1 << 16
+	maxRank      = 16
+	maxElems     = 1 << 26 // elements per tensor (512 MiB of float64)
+	maxBlobBytes = int64(1) << 32
+)
+
+// EncodedUpdate is one compressed update: the self-describing wire blob and
+// the size the same tensors would occupy uncompressed (the raw-vs-encoded
+// numerator for compression-ratio accounting).
+type EncodedUpdate struct {
+	// Data is the complete blob: a CRC32-protected ckpt frame (raw or
+	// DEFLATE per the Spec) wrapping the encoded tensor body.
+	Data []byte
+	// RawBytes is the uncompressed wire size of the input tensors.
+	RawBytes int64
+}
+
+// Decoded is the result of decoding a blob: the Spec it was encoded with and
+// the reconstructed update tensors (dropped elements are zero).
+type Decoded struct {
+	Spec Spec
+	Vecs []*tensor.Tensor
+}
+
+// Compressor encodes updates under one Spec. It is stateful: with top-k
+// sparsification the per-tensor quantization/sparsification error is kept as
+// a residual and added into the next round's update (error feedback), so
+// dropped mass is re-sent rather than lost. A Compressor belongs to one
+// worker and is not safe for concurrent use.
+type Compressor struct {
+	spec     Spec
+	residual [][]float64
+}
+
+// NewCompressor returns a Compressor for the spec. The zero (disabled) Spec
+// is rejected — callers gate on Spec.Enabled before constructing one.
+func NewCompressor(spec Spec) (*Compressor, error) {
+	if !spec.Enabled() {
+		return nil, fmt.Errorf("compress: cannot build a Compressor for the disabled spec")
+	}
+	return &Compressor{spec: spec}, nil
+}
+
+// Spec returns the codec this Compressor encodes with.
+func (c *Compressor) Spec() Spec { return c.spec }
+
+// Snapshot deep-copies the error-feedback residuals, so a caller that may
+// have its update rejected (the coordinator rewinds rounds that lose quorum)
+// can restore the pre-encode state and re-encode later without double
+// counting the residual.
+func (c *Compressor) Snapshot() [][]float64 {
+	if c.residual == nil {
+		return nil
+	}
+	snap := make([][]float64, len(c.residual))
+	for i, r := range c.residual {
+		if r != nil {
+			snap[i] = append([]float64(nil), r...)
+		}
+	}
+	return snap
+}
+
+// Restore replaces the residuals with a Snapshot (deep copy; the snapshot
+// stays valid for further Restores).
+func (c *Compressor) Restore(snap [][]float64) {
+	if snap == nil {
+		c.residual = nil
+		return
+	}
+	c.residual = make([][]float64, len(snap))
+	for i, r := range snap {
+		if r != nil {
+			c.residual[i] = append([]float64(nil), r...)
+		}
+	}
+}
+
+// Encode compresses one update. The input tensors are not modified; the
+// Compressor's residuals are advanced by the error this encoding introduces
+// (identically zero for a lossless Spec). Encoding is deterministic: equal
+// inputs and equal residual state produce equal bytes.
+func (c *Compressor) Encode(vecs []*tensor.Tensor) (*EncodedUpdate, error) {
+	lossless := c.spec.Lossless()
+	if !lossless {
+		if len(c.residual) != len(vecs) {
+			c.residual = make([][]float64, len(vecs))
+		}
+	}
+
+	var body bytes.Buffer
+	wire.PutUint32(&body, formatVersion)
+	wire.PutString(&body, c.spec.String())
+	wire.PutUvarint(&body, uint64(len(vecs)))
+
+	var rawBytes int64
+	for i, t := range vecs {
+		if t == nil {
+			return nil, fmt.Errorf("compress: nil tensor %d in update", i)
+		}
+		rawBytes += nn.EncodedTensorBytes(t)
+		data := t.Data()
+		n := len(data)
+
+		// Error feedback: compress data + residual, then keep whatever this
+		// encoding failed to transmit as the next round's residual. The
+		// lossless path skips the addition entirely so the shipped bits are
+		// exactly the input bits (x + 0.0 is not a bitwise identity for -0).
+		work := data
+		if !lossless {
+			if len(c.residual[i]) != n {
+				c.residual[i] = make([]float64, n)
+			}
+			w := make([]float64, n)
+			for j, v := range data {
+				w[j] = v + c.residual[i][j]
+			}
+			work = w
+		}
+
+		// Select the transmitted elements: all of them, or the top-k by
+		// error-compensated magnitude (NaN sorts as +Inf so a poisoned value
+		// is transmitted, not silently dropped; ties break on lower index so
+		// selection is deterministic).
+		k := sparseCount(c.spec.TopK, n)
+		sparse := k < n
+		var idx []int
+		if sparse {
+			order := make([]int, n)
+			for j := range order {
+				order[j] = j
+			}
+			key := func(j int) float64 {
+				a := math.Abs(work[j])
+				if math.IsNaN(a) {
+					return math.Inf(1)
+				}
+				return a
+			}
+			sort.Slice(order, func(a, b int) bool {
+				ka, kb := key(order[a]), key(order[b])
+				if ka != kb {
+					return ka > kb
+				}
+				return order[a] < order[b]
+			})
+			idx = order[:k]
+			sort.Ints(idx)
+		}
+
+		// Tensor header: shape, mode, and for sparse tensors the
+		// delta+varint coded ascending index list.
+		wire.PutUvarint(&body, uint64(t.Rank()))
+		for d := 0; d < t.Rank(); d++ {
+			wire.PutUvarint(&body, uint64(t.Dim(d)))
+		}
+		if sparse {
+			body.WriteByte(1)
+			wire.PutUvarint(&body, uint64(k))
+			prev := 0
+			for j, ix := range idx {
+				if j == 0 {
+					wire.PutUvarint(&body, uint64(ix))
+				} else {
+					wire.PutUvarint(&body, uint64(ix-prev-1))
+				}
+				prev = ix
+			}
+		} else {
+			body.WriteByte(0)
+		}
+
+		// Values in index order, then residual bookkeeping.
+		value := func(j int) float64 {
+			if sparse {
+				return work[idx[j]]
+			}
+			return work[j]
+		}
+		deq := make([]float64, k)
+		switch c.spec.Precision {
+		case FP64:
+			for j := 0; j < k; j++ {
+				v := value(j)
+				wire.PutFloat64(&body, v)
+				deq[j] = v
+			}
+		case FP16:
+			for j := 0; j < k; j++ {
+				h := float16FromFloat64(value(j))
+				body.WriteByte(byte(h))
+				body.WriteByte(byte(h >> 8))
+				deq[j] = float16ToFloat64(h)
+			}
+		case Int8:
+			min, scale := int8Params(value, k)
+			wire.PutFloat64(&body, min)
+			wire.PutFloat64(&body, scale)
+			for j := 0; j < k; j++ {
+				q := int8Quantize(value(j), min, scale)
+				body.WriteByte(q)
+				deq[j] = min + scale*float64(q)
+			}
+		}
+		if !lossless {
+			r := c.residual[i]
+			copy(r, work)
+			if sparse {
+				for j, ix := range idx {
+					r[ix] = work[ix] - deq[j]
+				}
+			} else {
+				for j := range r {
+					r[j] = work[j] - deq[j]
+				}
+			}
+		}
+	}
+
+	style := ckpt.StyleRaw
+	if c.spec.Framing == Deflate {
+		style = ckpt.StyleDeflate
+	}
+	var blob bytes.Buffer
+	if _, err := ckpt.WriteFrame(&blob, ckpt.Frame{Type: frameType, Payload: body.Bytes()}, style); err != nil {
+		return nil, fmt.Errorf("compress: framing update: %w", err)
+	}
+	return &EncodedUpdate{Data: blob.Bytes(), RawBytes: rawBytes}, nil
+}
+
+// sparseCount is the number of elements a Spec transmits for an n-element
+// tensor: ceil(TopK*n) clamped to [1, n]. Encoder and decoder compute it
+// identically, which pins a blob's sparse count to its claimed shape — a
+// decoded tensor can never be more than 1/MinTopK times larger than the
+// value bytes backing it.
+func sparseCount(topK float64, n int) int {
+	if topK >= 1 {
+		return n
+	}
+	k := int(math.Ceil(topK * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// int8Params picks the per-tensor affine quantization grid: min plus a scale
+// spanning [min, max] in 255 steps. A constant tensor gets scale 0 (every
+// element decodes to min exactly). Any non-finite value poisons the grid to
+// NaN so the whole tensor decodes to NaN — clamping a NaN or Inf onto the
+// grid would silently launder a poisoned update past validation.
+func int8Params(value func(int) float64, k int) (min, scale float64) {
+	min, max := math.Inf(1), math.Inf(-1)
+	for j := 0; j < k; j++ {
+		v := value(j)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return math.NaN(), math.NaN()
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	scale = (max - min) / 255
+	if scale == 0 || math.IsInf(scale, 0) {
+		// Constant tensor, or a finite range overflowing float64: ship min
+		// and let every element decode to it.
+		scale = 0
+	}
+	return min, scale
+}
+
+// int8Quantize maps v onto the [0, 255] grid, round-to-nearest-even, with
+// NaN and out-of-range values clamped into the grid.
+func int8Quantize(v, min, scale float64) byte {
+	if scale == 0 {
+		return 0
+	}
+	q := math.RoundToEven((v - min) / scale)
+	if !(q >= 0) { // catches NaN too
+		return 0
+	}
+	if q > 255 {
+		return 255
+	}
+	return byte(q)
+}
+
+// Decode reconstructs an update from a blob produced by Encode. It is a pure
+// function of the bytes — deterministic and scheduling-independent — and
+// rejects structurally invalid input (truncation, trailing bytes, hostile
+// counts, non-increasing index lists) with an error. Non-finite *values*
+// decode successfully: screening them is fleet.ValidateUpdate's job, exactly
+// as on the uncompressed path.
+func Decode(data []byte) (*Decoded, error) {
+	f, n, err := ckpt.ReadFrame(bytes.NewReader(data), maxBlobBytes)
+	if err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("compress: %d trailing bytes after update frame", len(data)-n)
+	}
+	if f.Type != frameType {
+		return nil, fmt.Errorf("compress: unexpected frame type %d", f.Type)
+	}
+
+	r := wire.NewReader(f.Payload)
+	if v := r.Uint32("format version"); r.Err() == nil && v != formatVersion {
+		return nil, fmt.Errorf("compress: unsupported format version %d", v)
+	}
+	specStr := r.String("codec spec")
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	spec, err := ParseSpec(specStr)
+	if err != nil {
+		return nil, err
+	}
+	if !spec.Enabled() || spec.String() != specStr {
+		return nil, fmt.Errorf("compress: non-canonical codec spec %q in update", specStr)
+	}
+
+	count := r.Uvarint("tensor count")
+	if r.Err() == nil && count > maxTensors {
+		r.Fail("tensor count")
+	}
+	var vecs []*tensor.Tensor
+	for i := uint64(0); i < count && r.Err() == nil; i++ {
+		t, err := decodeTensor(r, spec)
+		if err != nil {
+			return nil, err
+		}
+		vecs = append(vecs, t)
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+	return &Decoded{Spec: spec, Vecs: vecs}, nil
+}
+
+func decodeTensor(r *wire.Reader, spec Spec) (*tensor.Tensor, error) {
+	rank := r.Uvarint("tensor rank")
+	if r.Err() == nil && (rank < 1 || rank > maxRank) {
+		r.Fail("tensor rank")
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("compress: %w", r.Err())
+	}
+	dims := make([]int, rank)
+	elems := 1
+	for d := range dims {
+		v := r.Uvarint("tensor dim")
+		if r.Err() != nil {
+			return nil, fmt.Errorf("compress: %w", r.Err())
+		}
+		if v < 1 || v > maxElems || elems > maxElems/int(v) {
+			return nil, fmt.Errorf("compress: implausible tensor shape")
+		}
+		dims[d] = int(v)
+		elems *= int(v)
+	}
+
+	mode := r.Take(1, "tensor mode")
+	if r.Err() != nil {
+		return nil, fmt.Errorf("compress: %w", r.Err())
+	}
+	n := elems
+	k := n
+	var idx []int
+	switch mode[0] {
+	case 0: // dense
+	case 1: // sparse: delta+varint coded strictly ascending indices
+		want := sparseCount(spec.TopK, n)
+		if want >= n {
+			return nil, fmt.Errorf("compress: sparse tensor under dense spec %q", spec)
+		}
+		kv := r.Uvarint("sparse count")
+		if r.Err() != nil {
+			return nil, fmt.Errorf("compress: %w", r.Err())
+		}
+		if kv != uint64(want) {
+			return nil, fmt.Errorf("compress: sparse count %d, spec %q requires %d of %d", kv, spec, want, n)
+		}
+		k = int(kv)
+		if r.Len() < k { // every index costs at least one varint byte
+			return nil, fmt.Errorf("compress: truncated sparse index list")
+		}
+		idx = make([]int, k)
+		prev := -1
+		for j := 0; j < k; j++ {
+			g := r.Uvarint("sparse index")
+			if r.Err() != nil {
+				return nil, fmt.Errorf("compress: %w", r.Err())
+			}
+			var ix uint64
+			if j == 0 {
+				ix = g
+			} else {
+				ix = uint64(prev) + g + 1
+			}
+			if ix >= uint64(n) || ix < uint64(prev+1) { // the second leg catches gap overflow
+				return nil, fmt.Errorf("compress: sparse index out of range")
+			}
+			idx[j] = int(ix)
+			prev = int(ix)
+		}
+	default:
+		return nil, fmt.Errorf("compress: unknown tensor mode %d", mode[0])
+	}
+
+	// Never allocate from a claimed count the payload cannot back: the value
+	// section's size is known exactly, so check it before the allocation —
+	// a truncated blob must fail on bytes, not build a half-gigabyte tensor
+	// first.
+	need := 8 * k // FP64
+	switch spec.Precision {
+	case FP16:
+		need = 2 * k
+	case Int8:
+		need = 16 + k
+	}
+	if r.Len() < need {
+		return nil, fmt.Errorf("compress: truncated value section (%d bytes for %d values)", r.Len(), k)
+	}
+	vals := make([]float64, k)
+	switch spec.Precision {
+	case FP64:
+		for j := range vals {
+			vals[j] = r.Float64("value")
+		}
+	case FP16:
+		b := r.Take(2*k, "fp16 values")
+		if r.Err() == nil {
+			for j := range vals {
+				vals[j] = float16ToFloat64(uint16(b[2*j]) | uint16(b[2*j+1])<<8)
+			}
+		}
+	case Int8:
+		min := r.Float64("int8 min")
+		scale := r.Float64("int8 scale")
+		b := r.Take(k, "int8 values")
+		if r.Err() == nil {
+			for j := range vals {
+				vals[j] = min + scale*float64(b[j])
+			}
+		}
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("compress: %w", r.Err())
+	}
+
+	t := tensor.New(dims...)
+	d := t.Data()
+	if idx != nil {
+		for j, ix := range idx {
+			d[ix] = vals[j]
+		}
+	} else {
+		copy(d, vals)
+	}
+	return t, nil
+}

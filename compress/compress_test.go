@@ -1,0 +1,549 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/wire"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+		lossless  bool
+		required  []string
+	}{
+		{"", "none", false, nil},
+		{"none", "none", false, nil},
+		{"topk:1+fp64+raw", "topk:1+fp64+raw", true, nil},
+		{"fp64", "topk:1+fp64+raw", true, nil},
+		{"deflate", "topk:1+fp64+deflate", true, []string{"deflate"}},
+		{"fp16", "topk:1+fp16+raw", false, []string{"fp16"}},
+		{"int8+deflate", "topk:1+int8+deflate", false, []string{"int8", "deflate"}},
+		{"topk:0.05+int8+deflate", "topk:0.05+int8+deflate", false, []string{"topk", "int8", "deflate"}},
+		{"TOPK:0.25+FP16", "topk:0.25+fp16+raw", false, []string{"topk", "fp16"}},
+		{"int8+topk:0.5", "topk:0.5+int8+raw", false, []string{"topk", "int8"}},
+	}
+	for _, tc := range cases {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if spec.String() != tc.canonical {
+			t.Fatalf("ParseSpec(%q).String() = %q, want %q", tc.in, spec.String(), tc.canonical)
+		}
+		if spec.Enabled() == (tc.canonical == "none") {
+			t.Fatalf("ParseSpec(%q).Enabled() = %v", tc.in, spec.Enabled())
+		}
+		if spec.Lossless() != tc.lossless {
+			t.Fatalf("ParseSpec(%q).Lossless() = %v", tc.in, spec.Lossless())
+		}
+		req := spec.Required()
+		if len(req) != len(tc.required) {
+			t.Fatalf("ParseSpec(%q).Required() = %v, want %v", tc.in, req, tc.required)
+		}
+		for i := range req {
+			if req[i] != tc.required[i] {
+				t.Fatalf("ParseSpec(%q).Required() = %v, want %v", tc.in, req, tc.required)
+			}
+		}
+		// Canonical strings re-parse to the same Spec.
+		again, err := ParseSpec(spec.String())
+		if err != nil || again != spec {
+			t.Fatalf("canonical %q did not re-parse: %+v, %v", spec.String(), again, err)
+		}
+	}
+	for _, bad := range []string{
+		"topk:0", "topk:1.5", "topk:-0.1", "topk:abc", "topk:", "topk:0.00001",
+		"fp32", "lz4", "fp16+fp64", "raw+deflate", "topk:0.5+topk:0.5",
+		"int8++deflate", "topk", "gzip",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFloat16Exhaustive(t *testing.T) {
+	// Every binary16 bit pattern must survive expand -> convert unchanged
+	// (NaN payloads collapse to the canonical quiet NaN).
+	for h := 0; h <= 0xffff; h++ {
+		f := float16ToFloat64(uint16(h))
+		got := float16FromFloat64(f)
+		if math.IsNaN(f) {
+			want := uint16(h&0x8000) | 0x7e00
+			if got != want {
+				t.Fatalf("NaN %04x -> %04x, want %04x", h, got, want)
+			}
+			continue
+		}
+		if got != uint16(h) {
+			t.Fatalf("half %04x -> %v -> %04x", h, f, got)
+		}
+	}
+}
+
+func TestFloat16Rounding(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},         // largest finite half
+		{65520, 0x7c00},         // rounds up to +Inf
+		{65519.999, 0x7bff},     // just below the tie stays finite
+		{1e300, 0x7c00},         // overflow
+		{math.Inf(-1), 0xfc00},  // -Inf
+		{0x1p-24, 0x0001},       // smallest subnormal
+		{0x1p-25, 0x0000},       // tie at half the smallest subnormal: to even = 0
+		{0x1.8p-24, 0x0002},     // tie between subnormals 1 and 2: to even = 2
+		{0x1p-14, 0x0400},       // smallest normal
+		{0x1.ffcp-15, 0x0400},   // subnormal rounding carries into the smallest normal
+		{1 + 0x1p-11, 0x3c00},   // tie between 1 and 1+2^-10: to even = 1
+		{1 + 0x1.8p-11, 0x3c01}, // above the tie rounds up
+		{2049, 0x6800},          // tie between 2048 and 2050: to even = 2048
+		{2051, 0x6802},          // tie between 2050 and 2052: to even = 2052
+	}
+	for _, tc := range cases {
+		if got := float16FromFloat64(tc.in); got != tc.want {
+			t.Fatalf("float16(%v) = %04x, want %04x", tc.in, got, tc.want)
+		}
+	}
+}
+
+func specOrDie(t testing.TB, s string) Spec {
+	t.Helper()
+	spec, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func testVecs(seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	shapes := [][]int{{64, 32}, {32}, {32, 16}, {16}}
+	vecs := make([]*tensor.Tensor, len(shapes))
+	for i, s := range shapes {
+		v := tensor.New(s...)
+		d := v.Data()
+		for j := range d {
+			d[j] = rng.Normal(0, 1)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+func encodeOne(t testing.TB, spec string, vecs []*tensor.Tensor) *EncodedUpdate {
+	t.Helper()
+	c, err := NewCompressor(specOrDie(t, spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.Encode(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestLosslessRoundTripBitExact(t *testing.T) {
+	for _, spec := range []string{"topk:1+fp64+raw", "topk:1+fp64+deflate"} {
+		vecs := testVecs(7)
+		// Plant the awkward bit patterns a lossless path must preserve.
+		vecs[0].Data()[0] = math.Copysign(0, -1)
+		vecs[0].Data()[1] = 0x1p-1074 // smallest float64 subnormal
+		enc := encodeOne(t, spec, vecs)
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if dec.Spec.String() != specOrDie(t, spec).String() {
+			t.Fatalf("%s: decoded spec %q", spec, dec.Spec)
+		}
+		if len(dec.Vecs) != len(vecs) {
+			t.Fatalf("%s: %d tensors", spec, len(dec.Vecs))
+		}
+		for i := range vecs {
+			want, got := vecs[i].Data(), dec.Vecs[i].Data()
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("%s: tensor %d elem %d: %v != %v", spec, i, j, got[j], want[j])
+				}
+			}
+		}
+		if enc.RawBytes <= 0 {
+			t.Fatalf("%s: RawBytes = %d", spec, enc.RawBytes)
+		}
+	}
+}
+
+func TestLossyRoundTripBounds(t *testing.T) {
+	for _, spec := range []string{"fp16", "int8", "topk:0.25+fp64", "topk:0.1+int8+deflate"} {
+		vecs := testVecs(11)
+		enc := encodeOne(t, spec, vecs)
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		for i := range vecs {
+			want, got := vecs[i].Data(), dec.Vecs[i].Data()
+			for j := range want {
+				if math.IsNaN(got[j]) || math.IsInf(got[j], 0) {
+					t.Fatalf("%s: non-finite decode of finite input", spec)
+				}
+				// int8 over [min,max] and fp16 over N(0,1) are both within
+				// a coarse absolute bound; sparse elements may be zeroed.
+				if got[j] != 0 && math.Abs(got[j]-want[j]) > 0.05 {
+					t.Fatalf("%s: tensor %d elem %d: %v vs %v", spec, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKSelectionAndErrorFeedback(t *testing.T) {
+	spec := specOrDie(t, "topk:0.25+fp64+raw")
+	c, err := NewCompressor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.New(8)
+	copy(v.Data(), []float64{0.1, -5, 0.2, 3, -0.3, 0.4, -0.5, 1})
+	enc, err := c.Encode([]*tensor.Tensor{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = ceil(0.25*8) = 2: the two largest magnitudes (-5, 3) ship exactly,
+	// everything else is zero.
+	want := []float64{0, -5, 0, 3, 0, 0, 0, 0}
+	got := dec.Vecs[0].Data()
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("elem %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+	// Error feedback: a second encode of zeros must re-send the dropped
+	// mass — the next two magnitudes (1 at index 7, -0.5 at index 6).
+	z := tensor.New(8)
+	enc2, err := c.Encode([]*tensor.Tensor{z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := Decode(enc2.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2 := []float64{0, 0, 0, 0, 0, 0, -0.5, 1}
+	got2 := dec2.Vecs[0].Data()
+	for j := range want2 {
+		if got2[j] != want2[j] {
+			t.Fatalf("round 2 elem %d = %v, want %v", j, got2[j], want2[j])
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	c, err := NewCompressor(specOrDie(t, "topk:0.25+int8+raw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := testVecs(3)
+	if _, err := c.Encode(vecs); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	enc1, err := c.Encode(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the state, then rewind and re-encode: bytes must match the
+	// first post-snapshot encode exactly (the coordinator retry path).
+	if _, err := c.Encode(vecs); err != nil {
+		t.Fatal(err)
+	}
+	c.Restore(snap)
+	enc2, err := c.Encode(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1.Data, enc2.Data) {
+		t.Fatal("restore did not reproduce the post-snapshot encoding")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	for _, spec := range []string{"topk:0.05+int8+deflate", "fp16", "topk:1+fp64+raw"} {
+		a := encodeOne(t, spec, testVecs(5))
+		b := encodeOne(t, spec, testVecs(5))
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("%s: encode not deterministic", spec)
+		}
+	}
+}
+
+func TestNaNPropagatesToValidation(t *testing.T) {
+	// A NaN that is representable only after dequantization must decode to
+	// NaN (for validation to reject), never vanish or panic.
+	for _, spec := range []string{"fp16", "int8", "topk:0.5+int8"} {
+		vecs := testVecs(9)
+		vecs[1].Data()[2] = math.NaN()
+		enc := encodeOne(t, spec, vecs)
+		dec, err := Decode(enc.Data)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		found := false
+		for _, v := range dec.Vecs {
+			for _, x := range v.Data() {
+				if math.IsNaN(x) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: NaN input decoded to a fully-finite update", spec)
+		}
+	}
+}
+
+func TestCompressionShrinksBytes(t *testing.T) {
+	vecs := testVecs(21)
+	raw := encodeOne(t, "topk:1+fp64+raw", vecs)
+	for _, tc := range []struct {
+		spec  string
+		ratio float64
+	}{
+		{"fp16+deflate", 3},
+		{"int8+deflate", 6},
+		{"topk:0.05+int8+deflate", 20},
+	} {
+		enc := encodeOne(t, tc.spec, vecs)
+		got := float64(enc.RawBytes) / float64(len(enc.Data))
+		if got < tc.ratio {
+			t.Fatalf("%s: ratio %.1f < %.1f (raw %d, encoded %d)",
+				tc.spec, got, tc.ratio, enc.RawBytes, len(enc.Data))
+		}
+		if enc.RawBytes != raw.RawBytes {
+			t.Fatalf("%s: RawBytes %d != %d", tc.spec, enc.RawBytes, raw.RawBytes)
+		}
+	}
+}
+
+// hostileBody frames an arbitrary body as a valid blob so decode-side
+// validation (not CRC) is what rejects it.
+func hostileBody(t testing.TB, body []byte) []byte {
+	t.Helper()
+	var blob bytes.Buffer
+	if _, err := ckpt.WriteFrame(&blob, ckpt.Frame{Type: frameType, Payload: body}, ckpt.StyleRaw); err != nil {
+		t.Fatal(err)
+	}
+	return blob.Bytes()
+}
+
+func TestDecodeRejectsHostilePayloads(t *testing.T) {
+	mk := func(build func(b *bytes.Buffer)) []byte {
+		var b bytes.Buffer
+		build(&b)
+		return hostileBody(t, b.Bytes())
+	}
+	header := func(b *bytes.Buffer, spec string) {
+		wire.PutUint32(b, formatVersion)
+		wire.PutString(b, spec)
+	}
+	cases := map[string][]byte{
+		"bad version": mk(func(b *bytes.Buffer) {
+			wire.PutUint32(b, 99)
+			wire.PutString(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 0)
+		}),
+		"non-canonical spec": mk(func(b *bytes.Buffer) {
+			header(b, "fp64") // parses, but not canonical
+			wire.PutUvarint(b, 0)
+		}),
+		"disabled spec": mk(func(b *bytes.Buffer) {
+			header(b, "none")
+			wire.PutUvarint(b, 0)
+		}),
+		"huge tensor count": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1<<40)
+		}),
+		"zero rank": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 0)
+		}),
+		"huge rank": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 64)
+		}),
+		"zero dim": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 2)
+			wire.PutUvarint(b, 4)
+			wire.PutUvarint(b, 0)
+		}),
+		"overflowing shape": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 3)
+			wire.PutUvarint(b, 1<<20)
+			wire.PutUvarint(b, 1<<20)
+			wire.PutUvarint(b, 1<<20)
+		}),
+		"bad mode": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 4)
+			b.WriteByte(7)
+		}),
+		"sparse under dense spec": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 4)
+			b.WriteByte(1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 0)
+			wire.PutFloat64(b, 1)
+		}),
+		"sparse k >= n": mk(func(b *bytes.Buffer) {
+			header(b, "topk:0.5+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 4)
+			b.WriteByte(1)
+			wire.PutUvarint(b, 4)
+		}),
+		"index out of range": mk(func(b *bytes.Buffer) {
+			header(b, "topk:0.5+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 4)
+			b.WriteByte(1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 9)
+			wire.PutFloat64(b, 1)
+		}),
+		"gap overflows index space": mk(func(b *bytes.Buffer) {
+			header(b, "topk:0.25+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 8)
+			b.WriteByte(1)
+			wire.PutUvarint(b, 2) // ceil(0.25*8) — passes the count pin
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, math.MaxUint64) // wraps around uint64
+			wire.PutFloat64(b, 1)
+			wire.PutFloat64(b, 1)
+		}),
+		"sparse count mismatching spec": mk(func(b *bytes.Buffer) {
+			header(b, "topk:0.25+fp64+raw")
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 1)
+			wire.PutUvarint(b, 8)
+			b.WriteByte(1)
+			wire.PutUvarint(b, 5) // spec requires ceil(0.25*8) = 2
+			wire.PutUvarint(b, 0)
+			wire.PutUvarint(b, 0)
+			wire.PutUvarint(b, 0)
+			wire.PutUvarint(b, 0)
+			wire.PutUvarint(b, 0)
+			for i := 0; i < 5; i++ {
+				wire.PutFloat64(b, 1)
+			}
+		}),
+		"trailing bytes in body": mk(func(b *bytes.Buffer) {
+			header(b, "topk:1+fp64+raw")
+			wire.PutUvarint(b, 0)
+			b.WriteByte(0xcc)
+		}),
+	}
+	for name, blob := range cases {
+		if _, err := Decode(blob); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// Hostile *values* decode fine; screening them is validation's job.
+	ok := mk(func(b *bytes.Buffer) {
+		header(b, "topk:1+int8+raw")
+		wire.PutUvarint(b, 1)
+		wire.PutUvarint(b, 1)
+		wire.PutUvarint(b, 2)
+		b.WriteByte(0)
+		wire.PutFloat64(b, math.NaN()) // min
+		wire.PutFloat64(b, 0)          // scale
+		b.WriteByte(0)
+		b.WriteByte(1)
+	})
+	dec, err := Decode(ok)
+	if err != nil {
+		t.Fatalf("NaN-grid payload rejected at decode: %v", err)
+	}
+	if !math.IsNaN(dec.Vecs[0].Data()[0]) {
+		t.Fatal("NaN grid did not materialize NaN values")
+	}
+}
+
+func TestDecodeRejectsTruncationEverywhere(t *testing.T) {
+	for _, spec := range []string{"topk:1+fp64+raw", "topk:0.25+int8+raw", "fp16+deflate"} {
+		enc := encodeOne(t, spec, testVecs(13))
+		for cut := 1; cut <= len(enc.Data); cut++ {
+			if _, err := Decode(enc.Data[:len(enc.Data)-cut]); err == nil {
+				t.Fatalf("%s: accepted truncation by %d", spec, cut)
+			}
+		}
+		with := append(append([]byte(nil), enc.Data...), 0x00)
+		if _, err := Decode(with); err == nil {
+			t.Fatalf("%s: accepted trailing byte", spec)
+		}
+		if _, err := Decode(nil); err == nil {
+			t.Fatal("accepted empty blob")
+		}
+	}
+}
+
+func TestDecodeRejectsFlippedBits(t *testing.T) {
+	// The blob rides inside a CRC32 ckpt frame: any corruption must surface
+	// as ckpt.ErrCorrupt (or a structural error), never a silent wrong
+	// decode. Flip one bit at a sample of offsets.
+	enc := encodeOne(t, "topk:0.25+int8+deflate", testVecs(17))
+	for off := 0; off < len(enc.Data); off += 7 {
+		mut := append([]byte(nil), enc.Data...)
+		mut[off] ^= 0x10
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at offset %d decoded without error", off)
+		}
+	}
+	if !strings.Contains(errOf(t, enc), "corrupt") {
+		t.Fatal("corruption error does not mention corruption")
+	}
+}
+
+func errOf(t *testing.T, enc *EncodedUpdate) string {
+	t.Helper()
+	mut := append([]byte(nil), enc.Data...)
+	mut[len(mut)-1] ^= 0xff // payload corruption: caught by the frame CRC
+	_, err := Decode(mut)
+	if err == nil {
+		t.Fatal("payload corruption accepted")
+	}
+	return err.Error()
+}

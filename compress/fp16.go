@@ -1,0 +1,80 @@
+package compress
+
+import "math"
+
+// IEEE-754 binary16 conversion, implemented directly on the float64 bit
+// pattern so the rounding mode is pinned to round-to-nearest-even regardless
+// of platform. The half layout is 1 sign bit, 5 exponent bits (bias 15), 10
+// mantissa bits; subnormals, infinities and NaN are all representable.
+
+// float16FromFloat64 converts f to the nearest binary16 value,
+// round-to-nearest-even, with overflow to ±Inf and underflow to ±0.
+func float16FromFloat64(f float64) uint16 {
+	b := math.Float64bits(f)
+	sign := uint16((b >> 48) & 0x8000)
+	abs := b &^ (1 << 63)
+	if abs > 0x7ff0000000000000 { // NaN: any payload collapses to a quiet half NaN
+		return sign | 0x7e00
+	}
+	if abs == 0x7ff0000000000000 { // ±Inf
+		return sign | 0x7c00
+	}
+	exp := int(abs >> 52)
+	mant := abs & (1<<52 - 1)
+	e := exp - 1023 // also sends float64 zeros/subnormals (exp 0) far below -25
+	if e < -25 {
+		// Below half the smallest half subnormal: rounds to ±0. (The tie at
+		// exactly 2^-25 rounds to even, which is also 0.)
+		return sign
+	}
+	if e < -14 {
+		// Half subnormal: significand counts units of 2^-24. q may carry
+		// into 1024, which is exactly the smallest-normal encoding.
+		return sign | roundShift(mant|1<<52, uint(28-e))
+	}
+	// Normal: round the 53-bit significand to 11 bits.
+	r := roundShift(mant|1<<52, 42)
+	if r >= 2048 { // rounding carried into the next binade
+		e++
+		r >>= 1
+	}
+	if e > 15 {
+		return sign | 0x7c00 // overflow to ±Inf
+	}
+	return sign | uint16(e+15)<<10 | r&1023
+}
+
+// roundShift shifts m right by s bits, rounding to nearest with ties to even.
+func roundShift(m uint64, s uint) uint16 {
+	q := m >> s
+	rem := m & (1<<s - 1)
+	half := uint64(1) << (s - 1)
+	if rem > half || (rem == half && q&1 == 1) {
+		q++
+	}
+	return uint16(q)
+}
+
+// float16ToFloat64 expands a binary16 bit pattern. The conversion is exact:
+// every half value is representable as a float64.
+func float16ToFloat64(h uint16) float64 {
+	sign := 1.0
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h>>10) & 0x1f
+	mant := int(h & 1023)
+	switch exp {
+	case 0x1f:
+		if mant != 0 {
+			// Quiet NaN with the sign preserved, so a poisoned negative NaN
+			// survives the round trip recognizably.
+			return math.Float64frombits(uint64(h&0x8000)<<48 | 0x7ff8000000000000)
+		}
+		return sign * math.Inf(1)
+	case 0:
+		return sign * float64(mant) * 0x1p-24
+	default:
+		return sign * math.Ldexp(float64(mant+1024), exp-25)
+	}
+}

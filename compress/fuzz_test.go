@@ -1,0 +1,115 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/wire"
+)
+
+// smallVecs keeps fuzz seeds tiny: corpus minimization cost scales with
+// entry size, and small structurally-complete blobs explore the decoder's
+// branch structure just as well.
+func smallVecs(seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	shapes := [][]int{{4, 3}, {3}, {5}}
+	vecs := make([]*tensor.Tensor, len(shapes))
+	for i, s := range shapes {
+		v := tensor.New(s...)
+		d := v.Data()
+		for j := range d {
+			d[j] = rng.Normal(0, 1)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// fuzzSeeds returns valid blobs spanning every codec dimension, so the fuzzer
+// starts from structurally-correct inputs and mutates from there.
+func fuzzSeeds(t testing.TB) [][]byte {
+	specs := []string{
+		"topk:1+fp64+raw",
+		"topk:1+fp64+deflate",
+		"topk:1+fp16+raw",
+		"topk:1+int8+raw",
+		"topk:0.25+fp64+raw",
+		"topk:0.05+int8+deflate",
+		"topk:0.5+fp16+deflate",
+	}
+	seeds := make([][]byte, 0, len(specs)+2)
+	for i, s := range specs {
+		enc := encodeOne(t, s, smallVecs(uint64(i+1)))
+		seeds = append(seeds, enc.Data)
+	}
+	// A hostile-but-decodable grid: NaN min/scale with finite bytes.
+	var b bytes.Buffer
+	wire.PutUint32(&b, formatVersion)
+	wire.PutString(&b, "topk:1+int8+raw")
+	wire.PutUvarint(&b, 1)
+	wire.PutUvarint(&b, 1)
+	wire.PutUvarint(&b, 3)
+	b.WriteByte(0)
+	wire.PutFloat64(&b, math.NaN())
+	wire.PutFloat64(&b, 0)
+	b.Write([]byte{0, 128, 255})
+	seeds = append(seeds, hostileBody(t, b.Bytes()))
+	// Scale = 0 constant tensor.
+	c, err := NewCompressor(specOrDie(t, "int8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := tensor.New(4, 4)
+	flat.Fill(0.5)
+	enc, err := c.Encode([]*tensor.Tensor{flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds = append(seeds, enc.Data)
+	return seeds
+}
+
+// FuzzDecodeUpdate throws arbitrary bytes at the compressed-update decoder:
+// it must never panic, every accepted input must decode deterministically,
+// and accepted tensors must have the shape their header claims.
+func FuzzDecodeUpdate(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+	}
+	// Truncations at every boundary ±1 of one sparse int8 blob, so the
+	// corpus starts with near-miss structural errors too.
+	enc := encodeOne(f, "topk:0.25+int8+raw", smallVecs(99))
+	for _, cut := range []int{1, 2, 27, 28, 29, len(enc.Data) / 2, len(enc.Data) - 1} {
+		if cut > 0 && cut < len(enc.Data) {
+			f.Add(enc.Data[:cut])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted: decode must be deterministic...
+		again, err2 := Decode(data)
+		if err2 != nil {
+			t.Fatalf("accepted then rejected: %v", err2)
+		}
+		if len(again.Vecs) != len(dec.Vecs) || again.Spec != dec.Spec {
+			t.Fatal("decode not deterministic")
+		}
+		for i, v := range dec.Vecs {
+			// ...and structurally sound.
+			if v.Size() == 0 || v.Size() > maxElems {
+				t.Fatalf("tensor %d implausible size %d", i, v.Size())
+			}
+			a, b := v.Data(), again.Vecs[i].Data()
+			for j := range a {
+				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+					t.Fatalf("tensor %d elem %d differs across decodes", i, j)
+				}
+			}
+		}
+	})
+}

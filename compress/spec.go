@@ -1,0 +1,169 @@
+// Package compress implements the update-compression stage between edge
+// workers and the aggregator: top-k sparsification with error feedback,
+// reduced-precision quantization (fp16, int8), and entropy framing (raw or
+// DEFLATE) behind the ckpt frame codec. A codec is selected by a Spec —
+// parsed from strings like "topk:0.05+int8+deflate" — and the lossless
+// configuration (k=1.0, fp64, raw) reproduces the uncompressed byte stream's
+// aggregation results bit-for-bit. Encoding is stateful (the Compressor
+// carries per-tensor residuals so mass dropped by sparsification is re-sent
+// in later rounds); decoding is a pure, deterministic function of the bytes,
+// so the repository's scheduling-independence pins survive compression.
+package compress
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Precision selects the value encoding for transmitted elements.
+type Precision int
+
+const (
+	// FP64 ships full IEEE-754 doubles — exact.
+	FP64 Precision = iota
+	// FP16 ships IEEE-754 half precision, round-to-nearest-even.
+	FP16
+	// Int8 ships per-tensor affine-quantized bytes (min + scale, 256 levels,
+	// round-to-nearest-even).
+	Int8
+)
+
+// Framing selects the entropy stage wrapped around the encoded body.
+type Framing int
+
+const (
+	// Raw stores the body verbatim inside the CRC32 frame.
+	Raw Framing = iota
+	// Deflate stores the body DEFLATE-compressed inside the CRC32 frame.
+	Deflate
+)
+
+// Spec describes one update codec: a sparsification fraction, a value
+// precision and an entropy framing. The zero Spec means "compression
+// disabled"; every parsed Spec is enabled and has TopK in (0, 1].
+type Spec struct {
+	// TopK is the fraction of elements kept per tensor, in [MinTopK, 1].
+	// 1 keeps everything (dense encoding, no index list). 0 marks the zero
+	// Spec.
+	TopK float64
+	// Precision is the value encoding for transmitted elements.
+	Precision Precision
+	// Framing is the entropy stage.
+	Framing Framing
+}
+
+// MinTopK is the smallest accepted sparsification fraction. The floor keeps
+// a decoded tensor's element count proportional to the bytes actually on the
+// wire (the decoder pins the sparse count to ceil(TopK*n)), so a hostile
+// blob cannot claim an enormous shape backed by a few bytes of payload.
+const MinTopK = 1e-4
+
+// AllCodecs lists every negotiable codec feature a fully-capable worker
+// advertises in its handshake. FP64 values and raw framing are the baseline
+// every peer speaks and are not negotiated.
+var AllCodecs = []string{"topk", "fp16", "int8", "deflate"}
+
+// ParseSpec parses a codec spec string: '+'-separated components, at most one
+// per category, in any order. Components: "topk:F" with F in (0, 1]
+// (sparsification fraction), "fp64" | "fp16" | "int8" (precision), "raw" |
+// "deflate" (framing). Omitted categories default to topk:1, fp64, raw. The
+// empty string and "none" parse to the zero (disabled) Spec.
+func ParseSpec(s string) (Spec, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" || s == "none" {
+		return Spec{}, nil
+	}
+	spec := Spec{TopK: 1}
+	var haveK, havePrec, haveFrame bool
+	for _, part := range strings.Split(s, "+") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "topk:"):
+			if haveK {
+				return Spec{}, fmt.Errorf("compress: duplicate topk in spec %q", s)
+			}
+			haveK = true
+			f, err := strconv.ParseFloat(part[len("topk:"):], 64)
+			if err != nil || !(f >= MinTopK && f <= 1) {
+				return Spec{}, fmt.Errorf("compress: topk fraction must be in [%g, 1], got %q", MinTopK, part)
+			}
+			spec.TopK = f
+		case part == "fp64", part == "fp16", part == "int8":
+			if havePrec {
+				return Spec{}, fmt.Errorf("compress: duplicate precision in spec %q", s)
+			}
+			havePrec = true
+			switch part {
+			case "fp16":
+				spec.Precision = FP16
+			case "int8":
+				spec.Precision = Int8
+			}
+		case part == "raw", part == "deflate":
+			if haveFrame {
+				return Spec{}, fmt.Errorf("compress: duplicate framing in spec %q", s)
+			}
+			haveFrame = true
+			if part == "deflate" {
+				spec.Framing = Deflate
+			}
+		default:
+			return Spec{}, fmt.Errorf("compress: unknown spec component %q in %q", part, s)
+		}
+	}
+	return spec, nil
+}
+
+// Enabled reports whether the Spec selects a codec (false for the zero Spec).
+func (s Spec) Enabled() bool { return s.TopK != 0 }
+
+// Lossless reports whether encoding through this Spec is exact: every element
+// ships (k=1) at full precision, so residuals stay identically zero and the
+// decoded update equals the input bit-for-bit. Framing never affects
+// losslessness — DEFLATE is itself lossless.
+func (s Spec) Lossless() bool { return s.TopK == 1 && s.Precision == FP64 }
+
+// String renders the canonical spec: "none" when disabled, otherwise
+// "topk:<frac>+<precision>+<framing>" with every category explicit, so equal
+// Specs render equal strings (the coordinator compares these on the wire).
+func (s Spec) String() string {
+	if !s.Enabled() {
+		return "none"
+	}
+	prec := "fp64"
+	switch s.Precision {
+	case FP16:
+		prec = "fp16"
+	case Int8:
+		prec = "int8"
+	}
+	frame := "raw"
+	if s.Framing == Deflate {
+		frame = "deflate"
+	}
+	return fmt.Sprintf("topk:%s+%s+%s", strconv.FormatFloat(s.TopK, 'g', -1, 64), prec, frame)
+}
+
+// Required lists the codec features a peer must support to decode updates
+// encoded with this Spec — the subset of AllCodecs the Spec exercises. The
+// coordinator rejects a worker whose handshake lacks any of them.
+func (s Spec) Required() []string {
+	if !s.Enabled() {
+		return nil
+	}
+	var req []string
+	if s.TopK < 1 {
+		req = append(req, "topk")
+	}
+	switch s.Precision {
+	case FP16:
+		req = append(req, "fp16")
+	case Int8:
+		req = append(req, "int8")
+	}
+	if s.Framing == Deflate {
+		req = append(req, "deflate")
+	}
+	return req
+}

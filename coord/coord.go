@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/compress"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
@@ -68,6 +69,14 @@ type Config struct {
 	// all-reduce, the coordinator's global optimiser.
 	Optimizer string
 	LR        float64
+	// Compression is the update-codec spec (compress.ParseSpec syntax, e.g.
+	// "topk:0.05+int8+deflate"); empty or "none" ships full fp64 updates.
+	// The spec is handed to workers in the welcome, and the handshake rejects
+	// workers lacking a codec the spec requires.
+	Compression string
+	// UplinkMbps is the modeled uplink rate behind the report's
+	// ModeledUplink figures (default 10, the Waggle-class LTE link).
+	UplinkMbps float64
 	// JoinTimeout bounds the wait for MinWorkers at startup; if it expires
 	// with at least one worker joined, the run starts short-handed (default
 	// 30s).
@@ -119,6 +128,7 @@ type Config struct {
 type Coordinator struct {
 	cfg        Config
 	agg        fleet.Aggregator
+	spec       compress.Spec
 	global     *chain.Chain
 	globalPs   []*nn.Param
 	modelBytes int64
@@ -180,6 +190,16 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	spec, err := compress.ParseSpec(cfg.Compression)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	if cfg.UplinkMbps < 0 {
+		return nil, fmt.Errorf("coord: uplink rate %v Mbps", cfg.UplinkMbps)
+	}
+	if cfg.UplinkMbps == 0 {
+		cfg.UplinkMbps = 10
+	}
 	if model == nil {
 		return nil, fmt.Errorf("coord: nil model factory")
 	}
@@ -201,6 +221,7 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:        cfg,
 		agg:        agg,
+		spec:       spec,
 		global:     global,
 		globalPs:   global.Params(),
 		modelBytes: nn.ParamBytes(global.Stages),
@@ -443,6 +464,25 @@ func (c *Coordinator) serve(conn Conn) {
 				c.post(event{kind: evDeath, rem: rem})
 				return
 			}
+			// Decode a compressed blob here, off the run loop, so slow
+			// decodes of one worker never serialize the round. Decode is a
+			// pure function of the blob; the run loop still checks that the
+			// codec matches the run's configured spec before folding.
+			if m.codec != "" {
+				dec, err := compress.Decode(m.blob)
+				if err != nil {
+					conn.Send(encodeError(fmt.Sprintf("coord: bad update: %v", err)))
+					c.post(event{kind: evDeath, rem: rem})
+					return
+				}
+				if dec.Spec.String() != m.codec {
+					conn.Send(encodeError(fmt.Sprintf("coord: bad update: blob spec %q does not match declared codec %q",
+						dec.Spec.String(), m.codec)))
+					c.post(event{kind: evDeath, rem: rem})
+					return
+				}
+				m.vecs = dec.Vecs
+			}
 			ar := make(chan ackReply, 1)
 			if !c.post(event{kind: evUpdate, rem: rem, upd: m, ackReply: ar}) {
 				return
@@ -650,6 +690,15 @@ func (c *Coordinator) handleHello(e event, slots []slot) {
 		fail("coord: fleet runs %q aggregation, worker %s supports %v", c.agg.Name(), h.name, h.aggregators)
 		return
 	}
+	if c.spec.Enabled() {
+		for _, need := range c.spec.Required() {
+			if !contains(h.codecs, need) {
+				fail("coord: fleet compresses updates with %q, worker %s lacks codec %q (supports %v)",
+					c.spec.String(), h.name, need, h.codecs)
+				return
+			}
+		}
+	}
 	// Slot assignment: a returning name reclaims its slot (recovering its
 	// state), otherwise the lowest never-used slot, otherwise the lowest
 	// dead slot (whose previous holder's state is discarded).
@@ -714,6 +763,9 @@ func (c *Coordinator) handleHello(e event, slots []slot) {
 		Aggregator:  c.agg.Name(),
 		Optimizer:   c.cfg.Optimizer,
 		LR:          c.cfg.LR,
+	}
+	if c.spec.Enabled() {
+		a.Compression = c.spec.String()
 	}
 	if rejoin {
 		a.State = s.state
@@ -796,6 +848,15 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 		rs.Workers[i].WireBytes = total - rem.wireMark
 		rem.wireMark = total
 	}
+	// The round's upload phase on the modeled link is bounded by its largest
+	// upload — the same accounting fleet.Run applies.
+	var maxUpload int64
+	for i := range rs.Workers {
+		if rs.Workers[i].UploadBytes > maxUpload {
+			maxUpload = rs.Workers[i].UploadBytes
+		}
+	}
+	rs.ModeledUplink = fleet.TransferTime(maxUpload, c.cfg.UplinkMbps)
 	rs.WallClock = time.Since(start)
 	return rs, nil
 }
@@ -885,6 +946,23 @@ collect:
 				delete(expected, i)
 				contributed++
 				e.ackReply <- ackReply{status: AckOK}
+				continue
+			}
+			wantCodec := ""
+			if c.spec.Enabled() {
+				wantCodec = c.spec.String()
+			}
+			if e.upd.codec != wantCodec {
+				// A worker shipping the wrong codec (or skipping the run's
+				// compression) is as malformed as a bad tensor shape: the
+				// accounting and the negotiated contract both break.
+				c.cfg.Logf("coord: dropping worker %s: update codec %q, run uses %q",
+					e.rem.name, e.upd.codec, wantCodec)
+				e.ackReply <- ackReply{status: AckRejected, drop: true}
+				slots[i].rem = nil
+				delete(expected, i)
+				rs.Workers[i].Dropped = true
+				rs.Dropouts++
 				continue
 			}
 			u := e.upd.stats
@@ -981,8 +1059,14 @@ collect:
 		ws.PeakDiskBytes = p.upd.stats.PeakDiskBytes
 		ws.DiskWrites = p.upd.stats.DiskWrites
 		ws.DiskReads = p.upd.stats.DiskReads
-		ws.UploadBytes = c.modelBytes
-		rs.UplinkBytes += c.modelBytes
+		upload := c.modelBytes
+		if p.upd.codec != "" {
+			upload = int64(len(p.upd.blob))
+		}
+		ws.UploadBytes = upload
+		ws.RawUploadBytes = c.modelBytes
+		rs.UplinkBytes += upload
+		rs.RawUplinkBytes += c.modelBytes
 		rs.Participants++
 		p.ack <- ackReply{status: AckOK}
 	}
@@ -1017,6 +1101,10 @@ func (c *Coordinator) buildReport(slots []slot, rounds []fleet.RoundStats) *flee
 	rep := &fleet.Report{
 		Aggregator: c.agg.Name(),
 		ModelBytes: c.modelBytes,
+		UplinkMbps: c.cfg.UplinkMbps,
+	}
+	if c.spec.Enabled() {
+		rep.Compression = c.spec.String()
 	}
 	for i := range slots {
 		s := &slots[i]

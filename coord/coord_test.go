@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/compress"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
@@ -73,14 +74,21 @@ func workerOptions(name string, seed uint64, samples int, hook func(round int) e
 // returns the final global parameters and the report.
 func runDistributed(t *testing.T, tr Transport, aggName string) ([]*tensor.Tensor, *fleet.Report) {
 	t.Helper()
+	return runDistributedSpec(t, tr, aggName, "")
+}
+
+// runDistributedSpec is runDistributed with an update-compression spec.
+func runDistributedSpec(t *testing.T, tr Transport, aggName, compression string) ([]*tensor.Tensor, *fleet.Report) {
+	t.Helper()
 	c, err := New(Config{
-		Workers:    eqWorkers,
-		Rounds:     eqRounds,
-		Samples:    eqSamples,
-		Seed:       eqSeed,
-		Aggregator: aggName,
-		Optimizer:  "momentum",
-		LR:         0.05,
+		Workers:     eqWorkers,
+		Rounds:      eqRounds,
+		Samples:     eqSamples,
+		Seed:        eqSeed,
+		Aggregator:  aggName,
+		Optimizer:   "momentum",
+		LR:          0.05,
+		Compression: compression,
 	}, testModel(eqSeed))
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +223,298 @@ func TestCompressedTransportEquivalence(t *testing.T) {
 	raw, _ := runDistributed(t, NewLoopback(), "fedavg")
 	compressed, _ := runDistributed(t, &Loopback{Compress: true}, "fedavg")
 	assertBitEqual(t, compressed, raw, "deflate vs raw")
+}
+
+// TestLosslessCompressionEquivalence extends the equivalence pin to the
+// update-compression pipeline: the lossless codec (k=1, fp64, raw framing)
+// negotiated over the handshake produces byte-identical global weights to an
+// uncompressed distributed run, for both aggregation modes, over loopback
+// and TCP alike.
+func TestLosslessCompressionEquivalence(t *testing.T) {
+	const lossless = "topk:1+fp64+raw"
+	for _, aggName := range []string{"fedavg", "allreduce"} {
+		t.Run(aggName, func(t *testing.T) {
+			want, _ := runDistributed(t, NewLoopback(), aggName)
+			loop, repLoop := runDistributedSpec(t, NewLoopback(), aggName, lossless)
+			assertBitEqual(t, loop, want, "lossless loopback vs uncompressed")
+			tcp, repTCP := runDistributedSpec(t, &TCP{}, aggName, lossless)
+			assertBitEqual(t, tcp, want, "lossless tcp vs uncompressed")
+			for _, rep := range []*fleet.Report{repLoop, repTCP} {
+				if rep.Compression != lossless {
+					t.Fatalf("report compression %q, want %q", rep.Compression, lossless)
+				}
+				if rep.TotalRawUplinkBytes <= 0 || rep.TotalUplinkBytes <= 0 {
+					t.Fatalf("missing uplink accounting: raw %d, encoded %d",
+						rep.TotalRawUplinkBytes, rep.TotalUplinkBytes)
+				}
+				if rep.TotalUplinkBytes == rep.TotalRawUplinkBytes {
+					t.Fatal("encoded uplink equals raw — updates did not cross encoded")
+				}
+			}
+		})
+	}
+}
+
+// TestLossyCompressionOverWire runs a genuinely lossy codec through the full
+// handshake-negotiated TCP path: the run completes, weights stay finite, and
+// the report shows the uplink reduction.
+func TestLossyCompressionOverWire(t *testing.T) {
+	const spec = "topk:0.25+int8+deflate"
+	ps, rep := runDistributedSpec(t, &TCP{}, "fedavg", spec)
+	for _, p := range ps {
+		for _, v := range p.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite global weight after lossy distributed run")
+			}
+		}
+	}
+	if rep.Compression != spec {
+		t.Fatalf("report compression %q", rep.Compression)
+	}
+	if rep.CompressionRatio() < 4 {
+		t.Fatalf("compression ratio %.2f < 4 for %s", rep.CompressionRatio(), spec)
+	}
+	if rep.ModeledUplink <= 0 {
+		t.Fatal("modeled uplink time not accounted")
+	}
+	if !strings.Contains(rep.Render(), "compression: "+spec) {
+		t.Fatal("report render lacks the compression line")
+	}
+}
+
+// TestCodecCapabilityRejection pins the handshake negotiation: a worker not
+// advertising a codec the run's compression spec requires is turned away.
+func TestCodecCapabilityRejection(t *testing.T) {
+	tr := NewLoopback()
+	c, err := New(Config{
+		Workers: 1, Rounds: 1, Aggregator: "fedavg",
+		Compression: "topk:0.1+int8+deflate",
+		JoinTimeout: 200 * time.Millisecond,
+	}, testModel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker speaks int8 and deflate but not topk.
+	rc := dialRaw(t, tr, addr, "no-topk", []string{"fedavg"}, []string{"int8", "deflate"})
+	defer rc.conn.Close()
+	f := rc.recv()
+	if f.Type != msgError {
+		t.Fatalf("got message type %d, want error", f.Type)
+	}
+	msg, err := parseError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "topk") {
+		t.Fatalf("rejection message %q does not name the missing codec", msg)
+	}
+	if _, err := c.Wait(); err == nil {
+		t.Fatal("coordinator gathered a fleet from zero codec-capable workers")
+	}
+}
+
+// TestCompressedPoisonDropsWorker sends a compressed update whose NaN exists
+// only after dequantization (the int8 grid is poisoned, the payload bytes are
+// finite): the coordinator must decode, validate the decoded tensors, reject
+// the update and drop the sender — without stalling the honest fleet.
+func TestCompressedPoisonDropsWorker(t *testing.T) {
+	const spec = "int8+raw"
+	tr := NewLoopback()
+	honestJoined := make(chan struct{})
+	var joins int
+	var joinMu sync.Mutex
+	c, err := New(Config{
+		Workers: 3, MinWorkers: 2, Rounds: 2, Samples: eqSamples, Seed: 5,
+		Aggregator: "fedavg", Optimizer: "sgd", LR: 0.05,
+		Compression: spec,
+		Logf: func(format string, args ...any) {
+			if !strings.Contains(format, "as slot") {
+				return
+			}
+			joinMu.Lock()
+			defer joinMu.Unlock()
+			joins++
+			if joins == 2 {
+				close(honestJoined)
+			}
+		},
+	}, testModel(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	honest := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, honest[i] = RunWorker(tr, addr, workerOptions(fmt.Sprintf("w%d", i), 5, eqSamples, nil))
+		}(i)
+	}
+
+	select {
+	case <-honestJoined:
+	case <-time.After(10 * time.Second):
+		t.Fatal("honest workers never joined")
+	}
+	rc := dialRaw(t, tr, addr, "evil", []string{"fedavg"}, compress.AllCodecs)
+	defer rc.conn.Close()
+	a, err := expectWelcome(rc.recv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Compression != "topk:1+int8+raw" {
+		t.Fatalf("assigned compression %q", a.Compression)
+	}
+	if err := rc.conn.Send(ckpt.Frame{Type: msgPull}); err != nil {
+		t.Fatal(err)
+	}
+	round := rc.recv()
+	if round.Type != msgRound {
+		t.Fatalf("got message type %d, want round", round.Type)
+	}
+	m, err := parseRound(round.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right shapes, poisoned values: the NaN poisons the tensor's int8 grid,
+	// so every wire byte is finite and only dequantization resurrects it.
+	var vecs []*tensor.Tensor
+	for _, nt := range m.params {
+		v := nt.Tensor.Clone()
+		v.Data()[0] = math.NaN()
+		vecs = append(vecs, v)
+	}
+	pspec, err := compress.ParseSpec(a.Compression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := compress.NewCompressor(pspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := comp.Encode(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := encodeUpdate(updateMsg{
+		round:   m.round,
+		samples: eqSamples / a.Workers,
+		loss:    0.1,
+		codec:   a.Compression,
+		blob:    enc.Data,
+		state:   ckpt.WorkerState{Index: a.Index, Name: "evil", Opt: ckpt.OptimizerState{Name: "sgd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.conn.Send(uf); err != nil {
+		t.Fatal(err)
+	}
+	ackF := rc.recv()
+	if ackF.Type != msgAck {
+		t.Fatalf("got message type %d, want ack", ackF.Type)
+	}
+	ack, err := parseAck(ackF.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.status != AckRejected {
+		t.Fatalf("compressed poison acked %q, want %q", ack.status, AckRejected)
+	}
+	if _, err := rc.conn.Recv(); err == nil {
+		t.Fatal("connection still open after rejection")
+	}
+
+	rep, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, werr := range honest {
+		if werr != nil {
+			t.Fatalf("honest worker %d: %v", i, werr)
+		}
+	}
+	for _, p := range c.Global().Params() {
+		for _, v := range p.Value.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("global model poisoned despite rejection")
+			}
+		}
+	}
+	if rep.Rounds[1].Dropouts != 1 {
+		t.Fatalf("round 1: %d dropouts, want 1", rep.Rounds[1].Dropouts)
+	}
+}
+
+// TestCorruptBlobKillsConnection: a syntactically valid update frame whose
+// compressed blob is garbage must fail the coordinator-side decode with the
+// corruption error and cost the sender its connection.
+func TestCorruptBlobKillsConnection(t *testing.T) {
+	tr := NewLoopback()
+	c, err := New(Config{
+		Workers: 1, Rounds: 1, Samples: 8, Seed: 3,
+		Aggregator: "fedavg", Compression: "int8+deflate",
+		JoinTimeout: time.Second, RoundRetries: -1,
+	}, testModel(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, err := c.Start(tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := dialRaw(t, tr, addr, "garbler", []string{"fedavg"}, compress.AllCodecs)
+	defer rc.conn.Close()
+	a, err := expectWelcome(rc.recv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.conn.Send(ckpt.Frame{Type: msgPull}); err != nil {
+		t.Fatal(err)
+	}
+	if f := rc.recv(); f.Type != msgRound {
+		t.Fatalf("got message type %d, want round", f.Type)
+	}
+	uf, err := encodeUpdate(updateMsg{
+		round: 0, samples: 8, loss: 0.5,
+		codec: a.Compression,
+		blob:  []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		state: ckpt.WorkerState{Index: a.Index, Name: "garbler"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.conn.Send(uf); err != nil {
+		t.Fatal(err)
+	}
+	f := rc.recv()
+	if f.Type != msgError {
+		t.Fatalf("got message type %d, want error", f.Type)
+	}
+	msg, err := parseError(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "corrupt") {
+		t.Fatalf("error %q does not report corruption", msg)
+	}
+	if _, err := rc.conn.Recv(); err == nil {
+		t.Fatal("connection still open after corrupt blob")
+	}
 }
 
 // TestKillAndRejoin drops a worker mid-round — after training, before
@@ -386,7 +686,7 @@ type rawClient struct {
 	conn Conn
 }
 
-func dialRaw(t *testing.T, tr Transport, addr, name string, aggs []string) *rawClient {
+func dialRaw(t *testing.T, tr Transport, addr, name string, aggs, codecs []string) *rawClient {
 	t.Helper()
 	conn, err := tr.Dial(addr)
 	if err != nil {
@@ -398,6 +698,7 @@ func dialRaw(t *testing.T, tr Transport, addr, name string, aggs []string) *rawC
 		device:      "rogue",
 		aggregators: aggs,
 		strategies:  []string{"storeall"},
+		codecs:      codecs,
 	})); err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +730,7 @@ func TestCapabilityRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc := dialRaw(t, tr, addr, "fedavg-only", []string{"fedavg"})
+	rc := dialRaw(t, tr, addr, "fedavg-only", []string{"fedavg"}, compress.AllCodecs)
 	defer rc.conn.Close()
 	f := rc.recv()
 	if f.Type != msgError {
@@ -499,7 +800,7 @@ func TestPoisonedUpdateDropsWorker(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatalf("honest workers never joined")
 	}
-	rc := dialRaw(t, tr, addr, "evil", []string{"fedavg"})
+	rc := dialRaw(t, tr, addr, "evil", []string{"fedavg"}, compress.AllCodecs)
 	defer rc.conn.Close()
 	welcome := rc.recv()
 	a, err := expectWelcome(welcome)

@@ -32,6 +32,7 @@ func protoSamples() []protoSample {
 	helloF := encodeHello(hello{
 		version: ProtocolVersion, name: "w0", device: "waggle", budgetBytes: 2_000_000_000,
 		aggregators: []string{"fedavg", "allreduce"}, strategies: []string{"storeall", "revolve"},
+		codecs: []string{"topk", "int8", "deflate"},
 	})
 	welcomeFresh := encodeWelcome(Assignment{
 		Index: 1, Workers: 3, Rounds: 4, LocalEpochs: 1, BatchSize: 2, Samples: 24,
@@ -39,7 +40,8 @@ func protoSamples() []protoSample {
 	})
 	welcomeState := encodeWelcome(Assignment{
 		Index: 2, Workers: 3, Rounds: 4, Seed: 42, Aggregator: "fedavg",
-		Optimizer: "momentum", LR: 0.05, State: state,
+		Optimizer: "momentum", LR: 0.05, Compression: "topk:0.25+int8+deflate",
+		State: state,
 	})
 	roundF, err := encodeRound(roundMsg{
 		round: 3,
@@ -64,6 +66,18 @@ func protoSamples() []protoSample {
 	if err != nil {
 		panic(err)
 	}
+	// A compressed update: the codec tag replaces the tensor section with an
+	// opaque blob (parseUpdate does not decode it — the serve loop does).
+	updateCompressed, err := encodeUpdate(updateMsg{
+		round: 2, samples: 9, loss: 1.5, duration: 31 * time.Millisecond,
+		strategy: "storeall",
+		codec:    "topk:0.25+int8+deflate",
+		blob:     []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42},
+		state:    *state,
+	})
+	if err != nil {
+		panic(err)
+	}
 	return []protoSample{
 		{"hello", msgHello, helloF.Payload,
 			func(b []byte) error { _, err := parseHello(b); return err }},
@@ -74,6 +88,8 @@ func protoSamples() []protoSample {
 		{"round", msgRound, roundF.Payload,
 			func(b []byte) error { _, err := parseRound(b); return err }},
 		{"update", msgUpdate, updateF.Payload,
+			func(b []byte) error { _, err := parseUpdate(b); return err }},
+		{"update-compressed", msgUpdate, updateCompressed.Payload,
 			func(b []byte) error { _, err := parseUpdate(b); return err }},
 		{"ack", msgAck, encodeAck(ackMsg{round: 6, status: AckOK}).Payload,
 			func(b []byte) error { _, err := parseAck(b); return err }},
@@ -144,7 +160,8 @@ func FuzzDecodeMessage(f *testing.F) {
 			if err != nil {
 				t.Fatalf("accepted update does not re-parse: %v", err)
 			}
-			if m2.round != m.round || m2.samples != m.samples || len(m2.vecs) != len(m.vecs) {
+			if m2.round != m.round || m2.samples != m.samples || len(m2.vecs) != len(m.vecs) ||
+				m2.codec != m.codec || !bytes.Equal(m2.blob, m.blob) {
 				t.Fatalf("update round trip changed: %+v vs %+v", m2, m)
 			}
 		case msgAck:

@@ -14,7 +14,10 @@ import (
 
 // ProtocolVersion is the coordination protocol's version, exchanged in the
 // hello handshake; a coordinator rejects workers speaking a different one.
-const ProtocolVersion = 1
+// Version 2 added update compression: the hello advertises codec
+// capabilities, the welcome assigns the run's codec spec, and update frames
+// may carry an encoded blob instead of raw tensors.
+const ProtocolVersion = 2
 
 // Message types. The checkpoint file format owns frame types 1..6; the wire
 // protocol starts at 16 so a protocol message can never be mistaken for a
@@ -85,6 +88,10 @@ type hello struct {
 	// cannot run the fleet's aggregator.
 	aggregators []string
 	strategies  []string
+	// codecs is the worker's supported update-compression codecs (names from
+	// compress.AllCodecs); the coordinator rejects a worker lacking a codec
+	// the run's compression spec requires.
+	codecs []string
 }
 
 func encodeHello(h hello) ckpt.Frame {
@@ -95,6 +102,7 @@ func encodeHello(h hello) ckpt.Frame {
 	wire.PutInt64(&b, h.budgetBytes)
 	putStrings(&b, h.aggregators)
 	putStrings(&b, h.strategies)
+	putStrings(&b, h.codecs)
 	return ckpt.Frame{Type: msgHello, Payload: b.Bytes()}
 }
 
@@ -107,6 +115,7 @@ func parseHello(payload []byte) (hello, error) {
 	h.budgetBytes = p.Int64("budget bytes")
 	h.aggregators = takeStrings(p, "aggregator")
 	h.strategies = takeStrings(p, "strategy")
+	h.codecs = takeStrings(p, "codec")
 	return h, p.Done()
 }
 
@@ -131,6 +140,9 @@ type Assignment struct {
 	// Optimizer and LR configure the worker's local optimiser.
 	Optimizer string
 	LR        float64
+	// Compression is the run's canonical update-codec spec
+	// (compress.Spec.String()); empty means updates cross uncompressed.
+	Compression string
 	// State is the worker's recovered durable state when it is rejoining a
 	// slot it held before (optimizer slots, progress counters); nil on a
 	// fresh join.
@@ -149,6 +161,7 @@ func encodeWelcome(a Assignment) ckpt.Frame {
 	wire.PutString(&b, a.Aggregator)
 	wire.PutString(&b, a.Optimizer)
 	wire.PutFloat64(&b, a.LR)
+	wire.PutString(&b, a.Compression)
 	if a.State != nil {
 		wire.PutUint32(&b, 1)
 		st := ckpt.EncodeWorkerState(a.State)
@@ -173,6 +186,7 @@ func parseWelcome(payload []byte) (Assignment, error) {
 	a.Aggregator = p.String("aggregator")
 	a.Optimizer = p.String("optimizer")
 	a.LR = p.Float64("learning rate")
+	a.Compression = p.String("compression spec")
 	if p.Uint32("state flag") != 0 {
 		n := p.Uint32("state length")
 		st := p.Take(int(n), "worker state")
@@ -238,8 +252,13 @@ type updateMsg struct {
 	duration time.Duration
 	strategy string
 	stats    fleet.Update // execution-stat fields only
-	vecs     []*tensor.Tensor
-	state    ckpt.WorkerState
+	// codec is the canonical compression spec the blob was encoded with;
+	// empty means the update ships as raw tensors in vecs. Exactly one of
+	// blob/vecs is on the wire.
+	codec string
+	blob  []byte
+	vecs  []*tensor.Tensor
+	state ckpt.WorkerState
 }
 
 func encodeUpdate(m updateMsg) (ckpt.Frame, error) {
@@ -256,10 +275,16 @@ func encodeUpdate(m updateMsg) (ckpt.Frame, error) {
 	wire.PutInt64(&b, m.stats.PeakDiskBytes)
 	wire.PutInt64(&b, int64(m.stats.DiskWrites))
 	wire.PutInt64(&b, int64(m.stats.DiskReads))
-	wire.PutUint32(&b, uint32(len(m.vecs)))
-	for i, v := range m.vecs {
-		if err := putTensor(&b, v); err != nil {
-			return ckpt.Frame{}, fmt.Errorf("coord: encoding update tensor %d: %w", i, err)
+	wire.PutString(&b, m.codec)
+	if m.codec != "" {
+		wire.PutUint32(&b, uint32(len(m.blob)))
+		b.Write(m.blob)
+	} else {
+		wire.PutUint32(&b, uint32(len(m.vecs)))
+		for i, v := range m.vecs {
+			if err := putTensor(&b, v); err != nil {
+				return ckpt.Frame{}, fmt.Errorf("coord: encoding update tensor %d: %w", i, err)
+			}
 		}
 	}
 	st := ckpt.EncodeWorkerState(&m.state)
@@ -283,16 +308,22 @@ func parseUpdate(payload []byte) (updateMsg, error) {
 	m.stats.PeakDiskBytes = p.Int64("peak disk bytes")
 	m.stats.DiskWrites = int(p.Int64("disk writes"))
 	m.stats.DiskReads = int(p.Int64("disk reads"))
-	n := p.Uint32("tensor count")
-	if p.Err() == nil && int64(n) > maxMessageBytes/8 {
-		return m, fmt.Errorf("coord: implausible tensor count %d", n)
-	}
-	for i := uint32(0); i < n && p.Err() == nil; i++ {
-		t, err := takeTensor(p, "update tensor")
-		if err != nil {
-			return m, err
+	m.codec = p.String("update codec")
+	if m.codec != "" {
+		bn := p.Uint32("blob length")
+		m.blob = append([]byte(nil), p.Take(int(bn), "compressed update")...)
+	} else {
+		n := p.Uint32("tensor count")
+		if p.Err() == nil && int64(n) > maxMessageBytes/8 {
+			return m, fmt.Errorf("coord: implausible tensor count %d", n)
 		}
-		m.vecs = append(m.vecs, t)
+		for i := uint32(0); i < n && p.Err() == nil; i++ {
+			t, err := takeTensor(p, "update tensor")
+			if err != nil {
+				return m, err
+			}
+			m.vecs = append(m.vecs, t)
+		}
 	}
 	sn := p.Uint32("state length")
 	st := p.Take(int(sn), "worker state")

@@ -19,6 +19,7 @@ func TestHelloRoundTrip(t *testing.T) {
 		budgetBytes: 2_000_000_000,
 		aggregators: []string{"fedavg", "allreduce"},
 		strategies:  []string{"storeall", "revolve", "twolevel"},
+		codecs:      []string{"topk", "fp16", "int8", "deflate"},
 	}
 	f := encodeHello(h)
 	if f.Type != msgHello {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/compress"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/trainer"
@@ -31,6 +32,11 @@ type WorkerOptions struct {
 	// Optimizer overrides the local optimiser; nil constructs
 	// trainer.NewOptimizer(a.Optimizer, a.LR) from the assignment.
 	Optimizer func(a Assignment) (trainer.Optimizer, error)
+	// Codecs is the update-compression capability the worker advertises in
+	// its hello. Nil means every codec (compress.AllCodecs); an empty
+	// non-nil slice advertises none, so a coordinator running a lossy spec
+	// turns this worker away in the handshake.
+	Codecs []string
 	// Heartbeat is the liveness interval while training (default 1s).
 	Heartbeat time.Duration
 	// Retries is the reconnect budget: how many consecutive failed
@@ -195,6 +201,10 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 	if budget <= 0 {
 		budget = opts.Spec.Device.MemoryBytes
 	}
+	codecs := opts.Codecs
+	if codecs == nil {
+		codecs = compress.AllCodecs
+	}
 	err = conn.Send(encodeHello(hello{
 		version:     ProtocolVersion,
 		name:        opts.Spec.Name,
@@ -202,6 +212,7 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 		budgetBytes: budget,
 		aggregators: []string{"fedavg", "allreduce"},
 		strategies:  []string{"storeall", "revolve", "twolevel"},
+		codecs:      codecs,
 	}))
 	if err != nil {
 		return transientf("coord: sending hello: %w", err)
@@ -255,6 +266,22 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 	agg, err := fleet.NewAggregator(a.Aggregator, nil)
 	if err != nil {
 		return err
+	}
+	// The run's update codec, assigned in the welcome. The compressor (and
+	// its error-feedback residual) lives for this connection: a reconnect
+	// starts with a zero residual, losing at most one update's worth of
+	// dropped mass — the same information a lost connection already loses.
+	var comp *compress.Compressor
+	if a.Compression != "" {
+		spec, err := compress.ParseSpec(a.Compression)
+		if err != nil {
+			return fmt.Errorf("coord: assigned compression: %w", err)
+		}
+		comp, err = compress.NewCompressor(spec)
+		if err != nil {
+			return fmt.Errorf("coord: assigned compression: %w", err)
+		}
+		logf("worker %s: compressing updates with %s", opts.Spec.Name, spec)
 	}
 
 	if a.State != nil {
@@ -326,7 +353,7 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 		// fleet checkpoint taken after the round would hold.
 		ws.Rounds++
 		ws.Samples += int64(u.Samples)
-		frame, err := encodeUpdate(updateMsg{
+		msg := updateMsg{
 			round:    m.round,
 			samples:  u.Samples,
 			loss:     u.Loss,
@@ -335,7 +362,23 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 			stats:    u,
 			vecs:     u.Vecs,
 			state:    ws,
-		})
+		}
+		// The residual snapshot taken just before encoding is the rewind
+		// point: a retry discards the attempt's error feedback along with
+		// the optimizer step, so the retrained round re-encodes from the
+		// exact state a fault-free round would have seen.
+		var preResidual [][]float64
+		if comp != nil && u.Samples > 0 {
+			preResidual = comp.Snapshot()
+			enc, err := comp.Encode(u.Vecs)
+			if err != nil {
+				return fmt.Errorf("coord: round %d: encoding update: %w", m.round, err)
+			}
+			msg.codec = comp.Spec().String()
+			msg.blob = enc.Data
+			msg.vecs = nil
+		}
+		frame, err := encodeUpdate(msg)
 		if err != nil {
 			return err
 		}
@@ -371,6 +414,9 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 			}
 			if err := (&ckpt.Session{LayerState: preLayers}).ApplyLayerState(w.Chain.Stages); err != nil {
 				return err
+			}
+			if preResidual != nil {
+				comp.Restore(preResidual)
 			}
 			logf("worker %s: round %d closed below quorum, rewound for retry", opts.Spec.Name, m.round)
 		case AckLate:

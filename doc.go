@@ -60,6 +60,17 @@
 //     soaks all of it: a distributed run produces global weights
 //     byte-identical to the in-process fleet, over TCP or the in-process
 //     loopback transport alike, faults or no faults.
+//   - compress — the update-compression pipeline that attacks the paper's
+//     Section I communication bottleneck: top-k sparsification with
+//     per-worker error-feedback residuals, fp16/int8 quantization with
+//     deterministic round-to-nearest-even, and framed entropy coding
+//     (delta+varint indices, raw or pooled DEFLATE). Specs compose as
+//     strings ("topk:0.05+int8+deflate"); both the in-process fleet and the
+//     coord wire protocol apply them to worker uploads, negotiating codecs
+//     at the handshake, validating decoded tensors before the fold, and
+//     reporting raw-vs-encoded bytes and modeled upload time per round. The
+//     lossless configuration (topk:1+fp64+raw) is byte-identical to an
+//     uncompressed run.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
 //     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
 //     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge

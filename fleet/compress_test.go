@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/edgeml/edgetrain/compress"
+	"github.com/edgeml/edgetrain/internal/device"
+	"github.com/edgeml/edgetrain/internal/edgesim"
+	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/internal/trainer"
+)
+
+func compressCfg(t *testing.T, mode, spec string) Config {
+	t.Helper()
+	agg, err := NewAggregator(mode, trainer.NewSGD(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := mlpFactory(17)
+	return Config{
+		Workers: []WorkerSpec{
+			{Device: device.JetsonNano(), BudgetBytes: budgetFor(t, factory, 4, 16)},
+			{Device: device.Waggle(), BudgetBytes: budgetFor(t, factory, 4, 5.5)},
+			{Device: device.RaspberryPi(), BudgetBytes: budgetFor(t, factory, 4, 3.5)},
+		},
+		Rounds:      3,
+		Seed:        23,
+		Aggregator:  agg,
+		Compression: spec,
+	}
+}
+
+// TestCompressedLosslessBitIdentical pins the tentpole guarantee on the
+// in-process path: the lossless codec (k=1, fp64, raw framing) produces
+// final global weights byte-identical to an uncompressed run, for both
+// aggregation modes.
+func TestCompressedLosslessBitIdentical(t *testing.T) {
+	factory := mlpFactory(17)
+	for _, mode := range []string{"fedavg", "allreduce"} {
+		t.Run(mode, func(t *testing.T) {
+			ds := makeDataset(12, 23)
+			_, plain := runFleet(t, compressCfg(t, mode, ""), factory, ds)
+			rep, compressed := runFleet(t, compressCfg(t, mode, "topk:1+fp64+raw"), factory, ds)
+			assertSameParams(t, plain, compressed, "lossless-compressed vs uncompressed")
+			if rep.Compression != "topk:1+fp64+raw" {
+				t.Fatalf("report compression %q", rep.Compression)
+			}
+			// Lossless raw framing adds only frame/shape overhead: the
+			// encoded uplink stays within a few percent of raw.
+			if r := rep.CompressionRatio(); r < 0.9 || r > 1.1 {
+				t.Fatalf("lossless ratio %v", r)
+			}
+			if rep.TotalUplinkBytes == rep.TotalRawUplinkBytes {
+				t.Fatal("encoded bytes suspiciously equal to raw — compression not applied?")
+			}
+		})
+	}
+}
+
+// TestCompressedLossyRun exercises a genuinely lossy codec end to end: the
+// run converges to a finite loss, the report shows the uplink reduction, and
+// the render gains its compression line.
+func TestCompressedLossyRun(t *testing.T) {
+	factory := mlpFactory(17)
+	ds := makeDataset(12, 23)
+	rep, params := runFleet(t, compressCfg(t, "fedavg", "topk:0.25+int8+deflate"), factory, ds)
+	for _, p := range params {
+		for _, v := range p.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite global weight after lossy run")
+			}
+		}
+	}
+	if rep.CompressionRatio() < 4 {
+		t.Fatalf("ratio %v < 4 for topk:0.25+int8+deflate", rep.CompressionRatio())
+	}
+	if rep.TotalUplinkBytes >= rep.TotalRawUplinkBytes {
+		t.Fatalf("uplink %d not reduced from raw %d", rep.TotalUplinkBytes, rep.TotalRawUplinkBytes)
+	}
+	if rep.ModeledUplink <= 0 {
+		t.Fatal("modeled uplink time not accounted")
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "compression: topk:0.25+int8+deflate") {
+		t.Fatalf("render lacks compression line:\n%s", out)
+	}
+	// Per-worker accounting: raw is the full model, upload is smaller.
+	for _, w := range rep.Workers {
+		if w.Rounds > 0 && (w.UploadBytes <= 0 || w.UploadBytes >= w.RawUploadBytes) {
+			t.Fatalf("worker %s upload %d vs raw %d", w.Name, w.UploadBytes, w.RawUploadBytes)
+		}
+	}
+}
+
+// TestCompressedFederatedModel: with compression on, the analytical model
+// receives the measured update fraction, and its predicted uplink tracks the
+// fleet's measured uplink.
+func TestCompressedFederatedModel(t *testing.T) {
+	factory := mlpFactory(17)
+	ds := makeDataset(12, 23)
+	f, err := New(compressCfg(t, "fedavg", "int8+deflate"), factory, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := f.FederatedModel()
+	if fm.UpdateFraction >= 1 || fm.UpdateFraction <= 0 {
+		t.Fatalf("update fraction %v", fm.UpdateFraction)
+	}
+	fed, _, err := edgesim.SimulateFederated(fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-round int64 truncation of the modeled update size makes the
+	// prediction approximate; it must still land within 1% of measured.
+	got, want := float64(fed.UplinkBytes), float64(rep.TotalUplinkBytes)
+	if math.Abs(got-want) > 0.01*want {
+		t.Fatalf("modeled uplink %v vs measured %v", got, want)
+	}
+}
+
+// TestCompressedPoisoningCaught: a NaN that exists only after dequantization
+// (finite bytes, NaN quantization grid) must be rejected by ValidateUpdate,
+// exactly like a NaN on the raw path.
+func TestCompressedPoisoningCaught(t *testing.T) {
+	factory := mlpFactory(17)
+	c, err := factory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := c.Params()
+	comp, err := compress.NewCompressor(mustSpec(t, "int8"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([]*tensor.Tensor, len(global))
+	for i, p := range global {
+		vecs[i] = p.Value.Clone()
+	}
+	vecs[1].Data()[0] = math.NaN() // poisons tensor 1's quantization grid
+	enc, err := comp.Encode(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := compress.Decode(enc.Data)
+	if err != nil {
+		t.Fatalf("poisoned blob must decode (validation rejects it): %v", err)
+	}
+	u := Update{Worker: 0, Samples: 4, Vecs: dec.Vecs}
+	if err := ValidateUpdate(global, u); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("ValidateUpdate = %v, want ErrBadUpdate", err)
+	}
+}
+
+func mustSpec(t *testing.T, s string) compress.Spec {
+	t.Helper()
+	spec, err := compress.ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestBadCompressionSpecRejected(t *testing.T) {
+	factory := mlpFactory(17)
+	ds := makeDataset(4, 23)
+	for _, bad := range []string{"lz4", "topk:2", "fp16+fp16"} {
+		cfg := Config{Workers: []WorkerSpec{{}}, Compression: bad}
+		if _, err := New(cfg, factory, ds); err == nil {
+			t.Fatalf("Compression %q accepted", bad)
+		}
+	}
+	if _, err := New(Config{Workers: []WorkerSpec{{}}, UplinkMbps: -1}, factory, ds); err == nil {
+		t.Fatal("negative uplink rate accepted")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/edgeml/edgetrain/compress"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/device"
 	"github.com/edgeml/edgetrain/internal/edgesim"
@@ -42,6 +43,10 @@ import (
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/store"
 )
+
+// defaultUplinkMbps is the modeled uplink rate when Config.UplinkMbps is
+// zero: the Waggle edge node's 10 Mbps.
+const defaultUplinkMbps = 10.0
 
 // WorkerSpec describes one edge worker of the fleet.
 type WorkerSpec struct {
@@ -95,6 +100,18 @@ type Config struct {
 	// straggler scenario knob, and the lever the determinism tests use to
 	// shuffle worker completion order.
 	StragglerDelay func(round, worker int) time.Duration
+	// Compression selects the update codec applied to every worker upload
+	// (package compress): a spec string like "topk:0.05+int8+deflate".
+	// Empty or "none" disables. Each worker encodes its update (with
+	// per-worker error-feedback residuals), the fleet decodes it, and the
+	// decoded tensors are what validation sees and the aggregator folds —
+	// exactly the bytes-on-the-wire semantics of a coord run. The lossless
+	// spec "topk:1+fp64+raw" is bit-identical to no compression.
+	Compression string
+	// UplinkMbps is the modeled uplink rate used for RoundStats.
+	// ModeledUplink (the time the round's largest upload would take).
+	// Zero defaults to 10 Mbps, the Waggle node's uplink.
+	UplinkMbps float64
 }
 
 // Worker is one fleet member: a full model replica, a dataset shard, and the
@@ -168,6 +185,12 @@ type Fleet struct {
 	workers    []*Worker
 	active     []int // indices of workers with non-empty shards
 	modelBytes int64
+
+	// Update compression (nil comps when disabled).
+	spec    compress.Spec
+	comps   []*compress.Compressor // one per worker: error-feedback state
+	rawSent int64                  // cumulative raw upload bytes across rounds
+	encSent int64                  // cumulative encoded upload bytes across rounds
 }
 
 // New builds a fleet. The model factory must be deterministic (seeded): it is
@@ -201,6 +224,16 @@ func New(cfg Config, model func() (*chain.Chain, error), ds trainer.Dataset) (*F
 	if model == nil || ds == nil {
 		return nil, fmt.Errorf("fleet: nil model factory or dataset")
 	}
+	spec, err := compress.ParseSpec(cfg.Compression)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	if cfg.UplinkMbps < 0 {
+		return nil, fmt.Errorf("fleet: uplink rate %v Mbps is negative", cfg.UplinkMbps)
+	}
+	if cfg.UplinkMbps == 0 {
+		cfg.UplinkMbps = defaultUplinkMbps
+	}
 
 	global, err := model()
 	if err != nil {
@@ -215,11 +248,22 @@ func New(cfg Config, model func() (*chain.Chain, error), ds trainer.Dataset) (*F
 		global:     global,
 		globalPs:   global.Params(),
 		modelBytes: nn.ParamBytes(global.Stages),
+		spec:       spec,
+	}
+	if spec.Enabled() {
+		f.comps = make([]*compress.Compressor, len(cfg.Workers))
+		for i := range f.comps {
+			c, err := compress.NewCompressor(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: %w", err)
+			}
+			f.comps[i] = c
+		}
 	}
 
 	n := len(cfg.Workers)
-	for i, spec := range cfg.Workers {
-		w, err := NewWorker(spec, i, n, model, ds, cfg.BatchSize, cfg.LocalEpochs, cfg.Optimizer())
+	for i, ws := range cfg.Workers {
+		w, err := NewWorker(ws, i, n, model, ds, cfg.BatchSize, cfg.LocalEpochs, cfg.Optimizer())
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -453,9 +497,11 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 	}
 
 	// Concurrent local computation, one goroutine per surviving participant.
-	// Goroutine i writes only updates[i], errs[i] and rs.Workers[i].
+	// Goroutine i writes only updates[i], errs[i], encBytes[i] and
+	// rs.Workers[i] (and its own compressor's residual state).
 	updates := make([]*Update, n)
 	errs := make([]error, n)
+	encBytes := make([]int64, n)
 	var wg sync.WaitGroup
 	for _, i := range participants {
 		if dropped[i] {
@@ -481,6 +527,25 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 				return
 			}
 			u.Worker = i
+			// Compression: encode the update, then replace its tensors with
+			// the decoded reconstruction — the fold sees exactly what a
+			// network peer would, and ValidateUpdate screens the decoded
+			// values (a NaN surfacing only after dequantization is caught
+			// here, same as on the raw path).
+			if f.comps != nil && u.Samples > 0 {
+				enc, err := f.comps[i].Encode(u.Vecs)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				dec, err := compress.Decode(enc.Data)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				u.Vecs = dec.Vecs
+				encBytes[i] = int64(len(enc.Data))
+			}
 			updates[i] = &u
 		}(i)
 	}
@@ -489,6 +554,7 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 	// Collect in ascending worker order — the deterministic fold order the
 	// Aggregator contract requires — and account the upload traffic.
 	var folded []Update
+	var maxUpload int64
 	for i := 0; i < n; i++ {
 		if errs[i] != nil {
 			return rs, fmt.Errorf("fleet: round %d: worker %s: %w", round, f.workers[i].Spec.Name, errs[i])
@@ -508,8 +574,17 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 		ws.PeakDiskBytes = u.PeakDiskBytes
 		ws.DiskWrites = u.DiskWrites
 		ws.DiskReads = u.DiskReads
-		ws.UploadBytes = f.modelBytes
-		rs.UplinkBytes += f.modelBytes
+		upload := f.modelBytes
+		if f.comps != nil {
+			upload = encBytes[i]
+		}
+		ws.UploadBytes = upload
+		ws.RawUploadBytes = f.modelBytes
+		rs.UplinkBytes += upload
+		rs.RawUplinkBytes += f.modelBytes
+		if upload > maxUpload {
+			maxUpload = upload
+		}
 		rs.Participants++
 		f.workers[i].roundsDone++
 		f.workers[i].samplesDone += int64(u.Samples)
@@ -521,8 +596,21 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 		}
 	}
 	rs.Loss = WeightedLoss(folded)
+	rs.ModeledUplink = TransferTime(maxUpload, f.cfg.UplinkMbps)
+	f.rawSent += rs.RawUplinkBytes
+	f.encSent += rs.UplinkBytes
 	rs.WallClock = time.Since(roundStart)
 	return rs, nil
+}
+
+// TransferTime models how long the given payload takes on a link of the
+// given rate — the uplink-phase bound a synchronous round waits on its
+// largest upload.
+func TransferTime(bytes int64, mbps float64) time.Duration {
+	if bytes <= 0 || mbps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) * 8 / (mbps * 1e6) * float64(time.Second))
 }
 
 // selectParticipants draws the round's participant set from the workers
@@ -580,10 +668,21 @@ func (f *Fleet) FederatedModel() edgesim.FederatedConfig {
 	fc := edgesim.DefaultFleetConfig()
 	fc.Nodes = len(f.active)
 	fc.Node.ModelBytes = f.modelBytes
+	// With compression enabled, hand the analytical model the measured
+	// encoded-to-raw uplink fraction, so its predicted traffic tracks what
+	// the codec actually achieved on this run's updates (call after Run;
+	// before any round the fraction defaults to 1).
+	fraction := 1.0
+	if f.spec.Enabled() && f.rawSent > 0 {
+		fraction = float64(f.encSent) / float64(f.rawSent)
+		if fraction > 1 {
+			fraction = 1
+		}
+	}
 	return edgesim.FederatedConfig{
 		Fleet:          fc,
 		Rounds:         f.cfg.Rounds,
-		UpdateFraction: 1,
+		UpdateFraction: fraction,
 		Participation:  f.cfg.Participation,
 	}
 }

@@ -27,9 +27,13 @@ type WorkerRoundStats struct {
 	DiskWrites    int
 	DiskReads     int
 
-	// Modeled traffic of the round for this worker.
-	UploadBytes   int64
-	DownloadBytes int64
+	// Modeled traffic of the round for this worker. With compression
+	// enabled, UploadBytes is the encoded blob size actually shipped and
+	// RawUploadBytes the full fp64 update it replaced; otherwise the two
+	// are equal.
+	UploadBytes    int64
+	RawUploadBytes int64
+	DownloadBytes  int64
 
 	// WireBytes is the worker's measured bytes on the wire for the round —
 	// framed protocol bytes actually moved by a coord transport, both
@@ -39,12 +43,19 @@ type WorkerRoundStats struct {
 
 // RoundStats reports one aggregation round.
 type RoundStats struct {
-	Round         int
-	Participants  int // workers whose update was folded
-	Dropouts      int // selected workers that failed before uploading
-	Loss          float64
-	UplinkBytes   int64
-	DownlinkBytes int64
+	Round        int
+	Participants int // workers whose update was folded
+	Dropouts     int // selected workers that failed before uploading
+	Loss         float64
+	UplinkBytes  int64
+	// RawUplinkBytes is what the round's uploads would have cost
+	// uncompressed (equal to UplinkBytes when compression is off).
+	RawUplinkBytes int64
+	DownlinkBytes  int64
+	// ModeledUplink is how long the round's largest upload would take at
+	// the configured uplink rate — the upload-phase bound of a synchronous
+	// round on the modeled link.
+	ModeledUplink time.Duration
 	// WallClock is the round's wall-clock time, broadcast through fold.
 	WallClock time.Duration
 	Workers   []WorkerRoundStats // index-aligned with the fleet's workers
@@ -63,14 +74,15 @@ type WorkerSummary struct {
 	// Choice carries the full auto-selection (slots, predicted footprint).
 	Choice plan.AutoChoice
 
-	Rounds        int // rounds whose fold included this worker
-	Dropped       int // rounds lost to dropout
-	PeakRAMBytes  int64
-	PeakDiskBytes int64
-	DiskWrites    int
-	DiskReads     int
-	UploadBytes   int64
-	DownloadBytes int64
+	Rounds         int // rounds whose fold included this worker
+	Dropped        int // rounds lost to dropout
+	PeakRAMBytes   int64
+	PeakDiskBytes  int64
+	DiskWrites     int
+	DiskReads      int
+	UploadBytes    int64
+	RawUploadBytes int64
+	DownloadBytes  int64
 	// WireBytes is the worker's total measured bytes on the wire (zero for
 	// in-process runs).
 	WireBytes int64
@@ -81,15 +93,34 @@ type Report struct {
 	Aggregator    string
 	ModelBytes    int64 // one full-model update on the wire
 	Participation float64
-	Workers       []WorkerSummary
-	Rounds        []RoundStats
+	// Compression is the canonical update-codec spec of the run ("" when
+	// compression is off), and UplinkMbps the modeled uplink rate behind
+	// ModeledUplink.
+	Compression string
+	UplinkMbps  float64
+	Workers     []WorkerSummary
+	Rounds      []RoundStats
 
-	TotalUplinkBytes   int64
-	TotalDownlinkBytes int64
+	TotalUplinkBytes int64
+	// TotalRawUplinkBytes is the run's uplink cost had every update shipped
+	// uncompressed (equal to TotalUplinkBytes when compression is off).
+	TotalRawUplinkBytes int64
+	TotalDownlinkBytes  int64
 	// TotalWireBytes is the run's total measured bytes on the wire (zero for
 	// in-process runs).
 	TotalWireBytes int64
-	FinalLoss      float64
+	// ModeledUplink is the summed per-round modeled upload time.
+	ModeledUplink time.Duration
+	FinalLoss     float64
+}
+
+// CompressionRatio is the run's raw-to-encoded uplink ratio (1 when
+// compression is off or nothing was uploaded).
+func (rep *Report) CompressionRatio() float64 {
+	if rep.TotalUplinkBytes <= 0 || rep.TotalRawUplinkBytes <= 0 {
+		return 1
+	}
+	return float64(rep.TotalRawUplinkBytes) / float64(rep.TotalUplinkBytes)
 }
 
 // newReport pre-fills the per-worker summaries from the fleet configuration.
@@ -98,6 +129,10 @@ func (f *Fleet) newReport() *Report {
 		Aggregator:    f.agg.Name(),
 		ModelBytes:    f.modelBytes,
 		Participation: f.cfg.Participation,
+		UplinkMbps:    f.cfg.UplinkMbps,
+	}
+	if f.spec.Enabled() {
+		rep.Compression = f.spec.String()
 	}
 	for _, w := range f.workers {
 		strategy := w.Choice.Strategy
@@ -123,7 +158,9 @@ func (f *Fleet) newReport() *Report {
 func (rep *Report) Add(rs RoundStats) {
 	rep.Rounds = append(rep.Rounds, rs)
 	rep.TotalUplinkBytes += rs.UplinkBytes
+	rep.TotalRawUplinkBytes += rs.RawUplinkBytes
 	rep.TotalDownlinkBytes += rs.DownlinkBytes
+	rep.ModeledUplink += rs.ModeledUplink
 	if rs.Participants > 0 {
 		rep.FinalLoss = rs.Loss
 	}
@@ -141,6 +178,7 @@ func (rep *Report) Add(rs RoundStats) {
 		sum.DiskWrites += ws.DiskWrites
 		sum.DiskReads += ws.DiskReads
 		sum.UploadBytes += ws.UploadBytes
+		sum.RawUploadBytes += ws.RawUploadBytes
 		sum.DownloadBytes += ws.DownloadBytes
 		sum.WireBytes += ws.WireBytes
 		rep.TotalWireBytes += ws.WireBytes
@@ -170,5 +208,12 @@ func (rep *Report) Render() string {
 	}
 	fmt.Fprintf(&b, "totals: uplink %.2f MB, downlink %.2f MB, wire %.2f MB, final loss %.4f\n",
 		mb(rep.TotalUplinkBytes), mb(rep.TotalDownlinkBytes), mb(rep.TotalWireBytes), rep.FinalLoss)
+	// The compression line appears only on compressed runs, so uncompressed
+	// reports render byte-identically to earlier releases.
+	if rep.Compression != "" && rep.Compression != "none" {
+		fmt.Fprintf(&b, "compression: %s, raw uplink %.2f MB -> %.2f MB (%.1fx), modeled upload %.2f s at %g Mbps\n",
+			rep.Compression, mb(rep.TotalRawUplinkBytes), mb(rep.TotalUplinkBytes),
+			rep.CompressionRatio(), rep.ModeledUplink.Seconds(), rep.UplinkMbps)
+	}
 	return b.String()
 }

@@ -41,6 +41,15 @@ func PutString(b *bytes.Buffer, s string) {
 	b.WriteString(s)
 }
 
+// PutUvarint appends v in unsigned LEB128 (7 bits per byte, little-endian,
+// high bit marks continuation) — the compact integer encoding used for
+// sparse-index delta coding in compressed updates.
+func PutUvarint(b *bytes.Buffer, v uint64) {
+	var s [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(s[:], v)
+	b.Write(s[:n])
+}
+
 // Reader is a bounds-checked little-endian cursor over one payload. Every
 // failed read records the first error and poisons all subsequent reads, so a
 // parser can read an entire payload unconditionally and check Err (or Done)
@@ -111,6 +120,21 @@ func (p *Reader) String(what string) string {
 	}
 	b := p.Take(int(n), what)
 	return string(b)
+}
+
+// Uvarint consumes one unsigned LEB128 varint. Over-long encodings (more
+// than 10 bytes, or a 10th byte carrying overflow) poison the reader.
+func (p *Reader) Uvarint(what string) uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		p.fail(what)
+		return 0
+	}
+	p.off += n
+	return v
 }
 
 // Rest consumes and returns everything from the cursor to the end of the

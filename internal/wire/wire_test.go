@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	PutUint32(&b, 0xdeadbeef)
+	PutUint64(&b, 1<<60+7)
+	PutInt64(&b, -42)
+	PutFloat64(&b, math.Pi)
+	PutString(&b, "hello")
+	PutUvarint(&b, 0)
+	PutUvarint(&b, 127)
+	PutUvarint(&b, 128)
+	PutUvarint(&b, math.MaxUint64)
+
+	r := NewReader(b.Bytes())
+	if v := r.Uint32("u32"); v != 0xdeadbeef {
+		t.Fatalf("u32 = %x", v)
+	}
+	if v := r.Uint64("u64"); v != 1<<60+7 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if v := r.Int64("i64"); v != -42 {
+		t.Fatalf("i64 = %d", v)
+	}
+	if v := r.Float64("f64"); v != math.Pi {
+		t.Fatalf("f64 = %v", v)
+	}
+	if v := r.String("str"); v != "hello" {
+		t.Fatalf("str = %q", v)
+	}
+	for i, want := range []uint64{0, 127, 128, math.MaxUint64} {
+		if v := r.Uvarint("uv"); v != want {
+			t.Fatalf("uvarint %d = %d, want %d", i, v, want)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUvarintLengths(t *testing.T) {
+	// One byte up to 127, two up to 16383 — the property delta coding of
+	// sorted sparse indices relies on for its size win.
+	for _, tc := range []struct {
+		v uint64
+		n int
+	}{{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3}, {math.MaxUint64, 10}} {
+		var b bytes.Buffer
+		PutUvarint(&b, tc.v)
+		if b.Len() != tc.n {
+			t.Fatalf("uvarint(%d) = %d bytes, want %d", tc.v, b.Len(), tc.n)
+		}
+	}
+}
+
+func TestTruncatedReadsPoison(t *testing.T) {
+	cases := []func(r *Reader){
+		func(r *Reader) { r.Uint32("x") },
+		func(r *Reader) { r.Uint64("x") },
+		func(r *Reader) { r.Float64("x") },
+		func(r *Reader) { r.String("x") },
+		func(r *Reader) { r.Uvarint("x") },
+		func(r *Reader) { r.Take(4, "x") },
+	}
+	for i, read := range cases {
+		r := NewReader([]byte{0xff})
+		read(r)
+		if i == 4 {
+			// 0xff alone is an unterminated varint: continuation bit set,
+			// nothing follows.
+			if r.Err() == nil {
+				t.Fatalf("case %d: truncated varint accepted", i)
+			}
+			continue
+		}
+		if r.Err() == nil {
+			t.Fatalf("case %d: truncated read accepted", i)
+		}
+		// Poisoned readers keep failing and return zero values.
+		if v := r.Uint64("y"); v != 0 {
+			t.Fatalf("case %d: poisoned read returned %d", i, v)
+		}
+	}
+}
+
+func TestOverlongUvarintRejected(t *testing.T) {
+	// 11 continuation bytes: binary.Uvarint reports overflow (n < 0).
+	b := bytes.Repeat([]byte{0x80}, 11)
+	r := NewReader(b)
+	r.Uvarint("x")
+	if r.Err() == nil {
+		t.Fatal("overlong varint accepted")
+	}
+}
+
+func TestStringImplausibleLength(t *testing.T) {
+	var b bytes.Buffer
+	PutUint32(&b, 1<<30) // length prefix far beyond the payload
+	r := NewReader(b.Bytes())
+	r.String("s")
+	if r.Err() == nil {
+		t.Fatal("implausible string length accepted")
+	}
+}
+
+func TestDoneLeftover(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.Take(2, "x")
+	if err := r.Done(); err == nil {
+		t.Fatal("leftover bytes not reported")
+	}
+}
