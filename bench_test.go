@@ -22,6 +22,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
+	"github.com/edgeml/edgetrain/obs"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/schedule"
 	"github.com/edgeml/edgetrain/store"
@@ -609,4 +610,34 @@ func BenchmarkFleetRound(b *testing.B) {
 			b.ReportMetric(float64(rs.UplinkBytes+rs.DownlinkBytes)/1e6, "round_MB")
 		})
 	}
+}
+
+// BenchmarkInstrumentedStep measures what the observability layer adds to one
+// Revolve-checkpointed training step: "off" runs against the default no-op
+// registry (the zero-config contract), "on" with a live registry and tracer
+// installed. The relative delta between the two is the pr9 entry in
+// BENCH_baseline.json and must stay under 2%.
+func BenchmarkInstrumentedStep(b *testing.B) {
+	step := func(b *testing.B) {
+		c, x, lossGrad := buildBenchChain(1)
+		sched, err := plan.Build("revolve", plan.ChainSpec{Length: c.Len()}, plan.WithSlots(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.ZeroGrads()
+			if _, err := chain.Execute(c, x, lossGrad, sched, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", step)
+	b.Run("on", func(b *testing.B) {
+		obs.SetDefault(obs.NewRegistry())
+		obs.SetDefaultTracer(obs.NewTracer(obs.DefaultTraceEvents))
+		defer obs.SetDefault(nil)
+		defer obs.SetDefaultTracer(nil)
+		step(b)
+	})
 }

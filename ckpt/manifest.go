@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
+
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // ManifestName is the file inside a checkpoint directory that names the
@@ -160,6 +163,7 @@ func seqOf(name string) (int, bool) {
 // rename is the new checkpoint "the latest"; a crash before that leaves the
 // previous manifest — and the previous checkpoint — in force.
 func (d *Dir) Save(s *Session, opts ...Option) (string, error) {
+	start := time.Now()
 	name := checkpointName(d.seq)
 	if err := d.writeAtomically(name, func(f *os.File) error {
 		return Write(f, s, opts...)
@@ -192,6 +196,11 @@ func (d *Dir) Save(s *Session, opts ...Option) (string, error) {
 	// best-effort cleanup — the durable state is already published.
 	if old.previous != "" && old.previous != next.latest && old.previous != next.previous {
 		os.Remove(filepath.Join(d.path, old.previous))
+	}
+	if reg := obs.Default(); reg != nil {
+		reg.Counter("ckpt_saves_total", "Durable checkpoints published (manifest updated).").Inc()
+		reg.Histogram("ckpt_save_seconds", "Latency of one durable checkpoint save (encode + fsync + rename + manifest).", nil).
+			Observe(time.Since(start).Seconds())
 	}
 	return name, nil
 }
@@ -291,6 +300,16 @@ func (d *Dir) Latest() (string, error) {
 // checkpoint unreadable it returns the latest file's error (wrapping
 // ErrCorrupt for structural damage).
 func (d *Dir) Load() (*Session, string, error) {
+	start := time.Now()
+	reg := obs.Default()
+	loaded := func() {
+		if reg == nil {
+			return
+		}
+		reg.Counter("ckpt_loads_total", "Checkpoints successfully loaded.").Inc()
+		reg.Histogram("ckpt_load_seconds", "Latency of one checkpoint load (read + decode + CRC verify).", nil).
+			Observe(time.Since(start).Seconds())
+	}
 	m, err := d.readManifest()
 	if os.IsNotExist(err) {
 		return nil, "", ErrNoCheckpoint
@@ -300,10 +319,13 @@ func (d *Dir) Load() (*Session, string, error) {
 	}
 	s, err := d.loadFile(m.latest)
 	if err == nil {
+		loaded()
 		return s, m.latest, nil
 	}
 	if m.previous != "" {
 		if s, perr := d.loadFile(m.previous); perr == nil {
+			reg.Counter("ckpt_load_fallbacks_total", "Loads that fell back to the previous checkpoint after an unreadable latest.").Inc()
+			loaded()
 			return s, m.previous, nil
 		}
 	}

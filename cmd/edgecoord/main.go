@@ -24,6 +24,7 @@ import (
 	"github.com/edgeml/edgetrain/coord"
 	"github.com/edgeml/edgetrain/internal/fleetdemo"
 	"github.com/edgeml/edgetrain/internal/parallel"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // compressFlag validates a -compress codec spec and returns its canonical
@@ -59,14 +60,21 @@ func main() {
 	roundDeadline := flag.Duration("round-deadline", 0, "hard cap on one round's collection phase (0 disables)")
 	stateDir := flag.String("state-dir", "", "durable state directory: checkpoint every round, resume on restart")
 	roundRetries := flag.Int("round-retries", 0, "re-runs of a round that misses quorum (0 = default, negative disables)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace and /debug/pprof on this address (empty disables)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server up this long after the report prints")
 	quiet := flag.Bool("quiet", false, "suppress per-event progress lines")
 	flag.Parse()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	// The registry and tracer must be installed before coord.New: the
+	// coordinator resolves its metric handles at construction.
+	if *metricsAddr != "" {
+		obs.SetDefault(obs.NewRegistry())
+		obs.SetDefaultTracer(obs.NewTracer(obs.DefaultTraceEvents))
 	}
-	if *quiet {
-		logf = nil
+
+	var logf func(format string, args ...any)
+	if !*quiet {
+		logf = obs.NewLog(os.Stderr, "coord", "").Printf
 	}
 	cSpec, err := compressFlag(*compressSpec)
 	if err != nil {
@@ -97,6 +105,16 @@ func main() {
 	}
 	defer c.Close()
 
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Endpoints{Health: c.Health})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		// Scraped by the metrics smoke test for the bound port.
+		fmt.Printf("metrics on %s\n", bound)
+	}
+
 	addr, err := c.Start(&coord.TCP{Compress: *wireDeflate}, *listen)
 	if err != nil {
 		log.Fatal(err)
@@ -119,4 +137,10 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(rep.Render())
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		// Give a scraper a window to read the final counter values after
+		// the report: the smoke test cross-checks /metrics against it.
+		fmt.Printf("metrics linger: %s\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 }

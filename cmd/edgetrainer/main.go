@@ -38,6 +38,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/internal/vision"
+	"github.com/edgeml/edgetrain/obs"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/store"
 )
@@ -63,7 +64,19 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 10, "optimisation steps between durable checkpoints")
 	ckptCompress := flag.Bool("checkpoint-compress", false, "DEFLATE-compress checkpoint frames")
 	resume := flag.String("resume", "", "resume from the durable checkpoints in this directory")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace and /debug/pprof on this address (empty disables)")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		obs.SetDefault(obs.NewRegistry())
+		obs.SetDefaultTracer(obs.NewTracer(obs.DefaultTraceEvents))
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Endpoints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("metrics on %s\n", bound)
+	}
 
 	cfg := resnet.DefaultSmallConfig()
 	cfg.NumClasses = vision.NumClasses

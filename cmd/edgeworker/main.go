@@ -29,6 +29,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/fleetdemo"
 	"github.com/edgeml/edgetrain/internal/memmodel"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // codecsForFlag maps the -compress flag to the advertised codec capability:
@@ -86,11 +87,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	logf := func(format string, args ...any) {
-		fmt.Printf(format+"\n", args...)
-	}
-	if *quiet {
-		logf = nil
+	var logf func(format string, args ...any)
+	if !*quiet {
+		logf = obs.NewLog(os.Stdout, "worker", *name).Printf
 	}
 
 	res, err := coord.RunWorker(&coord.TCP{Compress: *wireDeflate}, *addr, coord.WorkerOptions{

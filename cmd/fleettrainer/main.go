@@ -35,6 +35,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/memmodel"
 	"github.com/edgeml/edgetrain/internal/parallel"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // compressFlag validates a -compress codec spec and returns its canonical
@@ -70,10 +71,21 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 1, "rounds between durable checkpoints")
 	ckptCompress := flag.Bool("checkpoint-compress", false, "DEFLATE-compress checkpoint frames")
 	resume := flag.String("resume", "", "resume from the durable checkpoints in this directory (requires the original -seed)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	if *nodes <= 0 {
 		log.Fatal("need at least one node")
+	}
+	if *metricsAddr != "" {
+		obs.SetDefault(obs.NewRegistry())
+		obs.SetDefaultTracer(obs.NewTracer(obs.DefaultTraceEvents))
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Endpoints{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("metrics on %s\n", bound)
 	}
 
 	// Device mix and budgets, cycled across the fleet.

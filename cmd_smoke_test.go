@@ -8,10 +8,16 @@ package edgetrain
 import (
 	"bufio"
 	"bytes"
+	"fmt"
+	"io"
+	"math"
 	"net"
+	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -440,5 +446,210 @@ func TestCheckpointResumeSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// scrapeMetrics GETs a Prometheus text endpoint and returns the samples as a
+// name{labels} -> value map. Comment and blank lines are skipped.
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("GET %s: content type %q is not Prometheus text v0.0.4", url, ct)
+	}
+	m := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metric line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable metric value in %q: %v", line, err)
+		}
+		m[line[:i]] = v
+	}
+	return m
+}
+
+// TestMetricsSmoke runs the coordinator with -metrics-addr and verifies the
+// observability endpoints against the live run: /metrics is scraped mid-run
+// (the committed-round counter must advance past zero), /healthz and /trace
+// and /debug/pprof/ must respond, and the final scrape — taken inside the
+// -metrics-linger window after the report prints — must agree exactly with
+// the report's round count and byte totals.
+func TestMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+
+	coord := exec.Command(filepath.Join(bin, "edgecoord"),
+		"-workers", "2", "-rounds", "3", "-samples", "8", "-quiet",
+		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "1m")
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator announces the metrics address first, then the
+	// coordination port.
+	sc := bufio.NewScanner(stdout)
+	var mu sync.Mutex
+	var coordOut bytes.Buffer
+	var metricsAddr, addr string
+	for sc.Scan() {
+		line := sc.Text()
+		coordOut.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+			metricsAddr = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if metricsAddr == "" || addr == "" {
+		t.Fatalf("coordinator never announced metrics + listen addresses:\n%s", coordOut.String())
+	}
+	base := "http://" + metricsAddr
+
+	// Keep draining stdout; signal once the report's totals line lands.
+	reported := make(chan struct{})
+	go func() {
+		closed := false
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			coordOut.WriteString(line + "\n")
+			mu.Unlock()
+			if !closed && strings.HasPrefix(line, "totals: ") {
+				closed = true
+				close(reported)
+			}
+		}
+	}()
+
+	workers := make(chan error, 2)
+	outs := make([]bytes.Buffer, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			w := exec.Command(filepath.Join(bin, "edgeworker"),
+				"-addr", addr, "-name", []string{"w0", "w1"}[i], "-quiet")
+			w.Stdout = &outs[i]
+			w.Stderr = &outs[i]
+			workers <- w.Run()
+		}(i)
+	}
+
+	// Mid-run: the committed-round counter must advance from its initial
+	// zero while the run is still in flight.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if v := scrapeMetrics(t, base+"/metrics")["coord_rounds_committed_total"]; v >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coord_rounds_committed_total never advanced past zero")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The sibling endpoints must be live while the run is in flight.
+	for _, path := range []string{"/healthz", "/trace", "/debug/pprof/"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		switch path {
+		case "/healthz":
+			if !strings.Contains(string(body), `"rounds":3`) {
+				t.Fatalf("/healthz does not report the configured rounds:\n%s", body)
+			}
+		case "/trace":
+			if !strings.Contains(string(body), `"name":"round"`) {
+				t.Fatalf("/trace holds no round span:\n%s", body)
+			}
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-workers:
+			if err != nil {
+				t.Fatalf("worker failed: %v\nw0: %s\nw1: %s", err, outs[0].String(), outs[1].String())
+			}
+		case <-time.After(2 * time.Minute):
+			mu.Lock()
+			out := coordOut.String()
+			mu.Unlock()
+			t.Fatalf("workers did not finish\ncoordinator so far:\n%s", out)
+		}
+	}
+	select {
+	case <-reported:
+	case <-time.After(time.Minute):
+		mu.Lock()
+		out := coordOut.String()
+		mu.Unlock()
+		t.Fatalf("coordinator never printed its totals line:\n%s", out)
+	}
+
+	// Final scrape inside the linger window: scraped counters must agree
+	// with the end-of-run report exactly.
+	final := scrapeMetrics(t, base+"/metrics")
+	mu.Lock()
+	out := coordOut.String()
+	mu.Unlock()
+	var totals string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "totals: ") {
+			totals = line
+			break
+		}
+	}
+	var upMB, downMB, wireMB, loss float64
+	if _, err := fmt.Sscanf(totals, "totals: uplink %f MB, downlink %f MB, wire %f MB, final loss %f",
+		&upMB, &downMB, &wireMB, &loss); err != nil {
+		t.Fatalf("unparseable totals line %q: %v", totals, err)
+	}
+	if got := final["coord_rounds_committed_total"]; got != 3 {
+		t.Fatalf("coord_rounds_committed_total = %v, want 3 (the report's round count)", got)
+	}
+	for metric, want := range map[string]float64{
+		"coord_uplink_bytes_total":   upMB,
+		"coord_downlink_bytes_total": downMB,
+		"coord_wire_bytes_total":     wireMB,
+	} {
+		// The report prints MB to two decimals; the scrape is exact bytes.
+		if got := final[metric] / 1e6; math.Abs(got-want) > 0.005 {
+			t.Fatalf("%s = %.4f MB, report says %.2f MB:\n%s", metric, got, want, out)
+		}
+	}
+	if !strings.Contains(out, "fleet training report: fedavg, 2 workers, 3 rounds") {
+		t.Fatalf("missing or unexpected report header:\n%s", out)
 	}
 }

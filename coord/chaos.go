@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/edgeml/edgetrain/ckpt"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // crcOffset is where the CRC32 sits in the 28-byte ckpt frame header (after
@@ -89,6 +90,14 @@ func (t *Chaos) countCorrupt() {
 	t.mu.Lock()
 	t.corrupted++
 	t.mu.Unlock()
+}
+
+// chaosInjected publishes one injected fault to the observability layer
+// (injections are rare, so the per-call handle lookup is fine here).
+func chaosInjected(kind string) {
+	obs.Default().CounterWith("coord_chaos_events_total",
+		"Faults the chaos transport injected, by kind.", obs.L("kind", kind)).Inc()
+	obs.DefaultTracer().Event("chaos-injection", -1, -1, kind)
 }
 
 // newConnRNG allocates the next connection's private fault generator.
@@ -194,10 +203,12 @@ func (cc *chaosConn) Send(f ckpt.Frame) error {
 	}
 	if drop {
 		cc.inner.Close()
+		chaosInjected("drop")
 		return fmt.Errorf("coord: chaos: connection dropped (injected)")
 	}
 	if corrupt {
 		cc.t.countCorrupt()
+		chaosInjected("corrupt")
 		return cc.fc.sendMangled(f, func(b []byte) {
 			// Flip one bit at or after the CRC: the receiver's checksum
 			// check must fail, so the damage surfaces as ckpt.ErrCorrupt.

@@ -36,6 +36,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // ErrClosed is returned by Wait when the coordinator was closed before the
@@ -147,6 +148,13 @@ type Coordinator struct {
 	startRound int
 	resumed    []ckpt.WorkerState
 
+	// Observability: co is always non-nil (nil-handle no-ops when no
+	// registry is installed); the health atomics back the /healthz
+	// endpoint without touching the run loop's state.
+	co          *coordObs
+	healthRound atomic.Int64
+	healthLive  atomic.Int64
+
 	mu     sync.Mutex
 	report *fleet.Report
 	states []ckpt.WorkerState
@@ -229,6 +237,7 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	c.co = newCoordObs()
 	if cfg.StateDir != "" {
 		if err := c.openState(); err != nil {
 			return nil, err
@@ -437,6 +446,7 @@ func (c *Coordinator) serve(conn Conn) {
 		switch f.Type {
 		case msgHeartbeat:
 			// One-way liveness; lastSeen is already refreshed.
+			c.co.heartbeats.Inc()
 		case msgPull:
 			var d directive
 			select {
@@ -464,12 +474,15 @@ func (c *Coordinator) serve(conn Conn) {
 				c.post(event{kind: evDeath, rem: rem})
 				return
 			}
+			c.co.stagedBytes.Add(int64(len(f.Payload)))
 			// Decode a compressed blob here, off the run loop, so slow
 			// decodes of one worker never serialize the round. Decode is a
 			// pure function of the blob; the run loop still checks that the
 			// codec matches the run's configured spec before folding.
 			if m.codec != "" {
+				dSpan := obs.DefaultTracer().Span("decode", m.round, rem.index)
 				dec, err := compress.Decode(m.blob)
+				dSpan.End()
 				if err != nil {
 					conn.Send(encodeError(fmt.Sprintf("coord: bad update: %v", err)))
 					c.post(event{kind: evDeath, rem: rem})
@@ -538,11 +551,14 @@ func (c *Coordinator) run() {
 			return err
 		}
 		for r := c.startRound; r < c.cfg.Rounds; r++ {
+			c.healthRound.Store(int64(r))
+			c.co.roundCursor.Set(float64(r))
 			rs, err := c.runRound(r, slots)
 			if err != nil {
 				return err
 			}
 			rounds = append(rounds, rs)
+			c.co.commitRound(&rs)
 			c.cfg.Logf("coord: round %d: %d participants, %d dropouts, loss %.4f, wall %v",
 				r, rs.Participants, rs.Dropouts, rs.Loss, rs.WallClock.Round(time.Millisecond))
 			if saver != nil {
@@ -661,6 +677,8 @@ func (c *Coordinator) handleMembership(e event, slots []slot, expected map[int]*
 		i := e.rem.index
 		if slots[i].rem == e.rem {
 			slots[i].rem = nil
+			c.co.dropped.Inc()
+			c.noteLive(slots)
 			c.cfg.Logf("coord: worker %s (slot %d) left", e.rem.name, i)
 		}
 		if expected != nil && expected[i] == e.rem {
@@ -676,6 +694,7 @@ func (c *Coordinator) handleMembership(e event, slots []slot, expected map[int]*
 func (c *Coordinator) handleHello(e event, slots []slot) {
 	h := e.hello
 	fail := func(format string, args ...any) {
+		c.co.rejected.Inc()
 		e.helloReply <- helloReply{err: fmt.Errorf(format, args...)}
 	}
 	if h.version != ProtocolVersion {
@@ -771,9 +790,15 @@ func (c *Coordinator) handleHello(e event, slots []slot) {
 		a.State = s.state
 	}
 	verb := "joined"
+	if rejoin {
+		c.co.rejoined.Inc()
+	} else {
+		c.co.joined.Inc()
+	}
 	if rejoin && s.state != nil {
 		verb = "rejoined with recovered state"
 	}
+	c.noteLive(slots)
 	c.cfg.Logf("coord: worker %s (%s, %d MB budget) %s as slot %d", h.name, h.device, h.budgetBytes/1e6, verb, idx)
 	e.helloReply <- helloReply{a: a, rem: rem}
 }
@@ -800,6 +825,8 @@ func contains(ss []string, want string) bool {
 // never disturbed.
 func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 	start := time.Now()
+	c.co.roundsStarted.Inc()
+	roundSpan := obs.DefaultTracer().Span("round", r, -1)
 	rs := fleet.RoundStats{Round: r, Workers: make([]fleet.WorkerRoundStats, len(slots))}
 	for i := range rs.Workers {
 		rs.Workers[i].Worker = i
@@ -829,6 +856,8 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 			return rs, fmt.Errorf("coord: round %d: quorum of %d workers not met after %d attempts",
 				r, c.cfg.MinWorkers, attempt+1)
 		}
+		c.co.roundRetries.Inc()
+		obs.DefaultTracer().Event("retry", r, -1, fmt.Sprintf("attempt=%d below quorum", attempt+1))
 		c.cfg.Logf("coord: round %d below quorum (%d workers required), retrying (attempt %d)",
 			r, c.cfg.MinWorkers, attempt+2)
 		if err := c.awaitQuorum(r, slots, idle); err != nil {
@@ -858,6 +887,7 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 	}
 	rs.ModeledUplink = fleet.TransferTime(maxUpload, c.cfg.UplinkMbps)
 	rs.WallClock = time.Since(start)
+	roundSpan.End()
 	return rs, nil
 }
 
@@ -880,6 +910,8 @@ type pendingUpdate struct {
 // whatever arrived.
 func (c *Coordinator) attemptRound(r int, frame ckpt.Frame, slots []slot, rs *fleet.RoundStats) (folded, idle bool, err error) {
 	quorum := c.cfg.RoundRetries >= 0
+	tr := obs.DefaultTracer()
+	bSpan := tr.Span("broadcast", r, -1)
 	expected := make(map[int]*remote)
 	for i := range slots {
 		rem := slots[i].rem
@@ -897,6 +929,7 @@ func (c *Coordinator) attemptRound(r int, frame ckpt.Frame, slots []slot, rs *fl
 			// pulled since; leave it out of this attempt.
 		}
 	}
+	bSpan.EndDetail(fmt.Sprintf("participants=%d", len(expected)))
 	if len(expected) == 0 {
 		if !quorum {
 			return false, true, fmt.Errorf("coord: round %d: no live workers", r)
@@ -960,6 +993,9 @@ collect:
 					e.rem.name, e.upd.codec, wantCodec)
 				e.ackReply <- ackReply{status: AckRejected, drop: true}
 				slots[i].rem = nil
+				c.co.badUpdates.Inc()
+				c.co.dropped.Inc()
+				c.noteLive(slots)
 				delete(expected, i)
 				rs.Workers[i].Dropped = true
 				rs.Dropouts++
@@ -970,12 +1006,18 @@ collect:
 			u.Samples = e.upd.samples
 			u.Loss = e.upd.loss
 			u.Vecs = e.upd.vecs
-			if err := fleet.ValidateUpdate(c.globalPs, u); err != nil {
+			vSpan := tr.Span("validate", r, i)
+			err := fleet.ValidateUpdate(c.globalPs, u)
+			vSpan.End()
+			if err != nil {
 				// A poisoned or malformed update: drop the worker, keep the
 				// round alive with the rest of the fleet.
 				c.cfg.Logf("coord: dropping worker %s: %v", e.rem.name, err)
 				e.ackReply <- ackReply{status: AckRejected, drop: true}
 				slots[i].rem = nil
+				c.co.badUpdates.Inc()
+				c.co.dropped.Inc()
+				c.noteLive(slots)
 				delete(expected, i)
 				rs.Workers[i].Dropped = true
 				rs.Dropouts++
@@ -1033,9 +1075,11 @@ collect:
 		updates = append(updates, u)
 	}
 	if len(updates) > 0 {
+		fSpan := tr.Span("fold", r, -1)
 		if err := c.agg.Fold(c.globalPs, updates); err != nil {
 			return false, false, fmt.Errorf("coord: round %d: %s fold: %w", r, c.agg.Name(), err)
 		}
+		fSpan.End()
 	}
 	for i := 0; i < len(slots); i++ {
 		p, ok := staged[i]

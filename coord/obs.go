@@ -1,0 +1,99 @@
+package coord
+
+import (
+	"github.com/edgeml/edgetrain/fleet"
+	"github.com/edgeml/edgetrain/obs"
+)
+
+// coordObs bundles the coordinator's metric handles. It is always
+// non-nil on a Coordinator; with observability disabled every handle is
+// nil and each recording call is a nil-receiver no-op. Counters on the
+// round path are added from the same RoundStats fields buildReport
+// accumulates, so the final scraped values match the end-of-run report
+// totals exactly.
+type coordObs struct {
+	roundsStarted   *obs.Counter
+	roundsCommitted *obs.Counter
+	roundRetries    *obs.Counter
+
+	joined     *obs.Counter
+	rejoined   *obs.Counter
+	dropped    *obs.Counter
+	rejected   *obs.Counter // handshake failures
+	badUpdates *obs.Counter // updates rejected during collection
+	heartbeats *obs.Counter
+
+	stagedBytes *obs.Counter
+	uplink      *obs.Counter
+	rawUplink   *obs.Counter
+	downlink    *obs.Counter
+	wire        *obs.Counter
+
+	liveWorkers *obs.Gauge
+	roundCursor *obs.Gauge
+	roundSec    *obs.Histogram
+}
+
+func newCoordObs() *coordObs {
+	co := &coordObs{}
+	r := obs.Default()
+	if r == nil {
+		return co
+	}
+	co.roundsStarted = r.Counter("coord_rounds_started_total", "Aggregation rounds the coordinator began driving.")
+	co.roundsCommitted = r.Counter("coord_rounds_committed_total", "Rounds whose fold committed (matches the report's round count).")
+	co.roundRetries = r.Counter("coord_round_retries_total", "Round attempts discarded below quorum and re-broadcast.")
+	co.joined = r.Counter("coord_workers_joined_total", "Workers seated by a successful handshake (first joins).")
+	co.rejoined = r.Counter("coord_workers_rejoined_total", "Workers that reclaimed their slot after a reconnect.")
+	co.dropped = r.Counter("coord_workers_dropped_total", "Workers that left, died or were dropped mid-round.")
+	co.rejected = r.Counter("coord_handshake_failures_total", "Hellos refused (version, codec, name or capacity).")
+	co.badUpdates = r.Counter("coord_updates_rejected_total", "Staged updates rejected (wrong codec or failed validation).")
+	co.heartbeats = r.Counter("coord_heartbeats_total", "Heartbeat frames received from workers.")
+	co.stagedBytes = r.Counter("coord_staged_update_bytes_total", "Update payload bytes received for staging (retries included).")
+	co.uplink = r.Counter("coord_uplink_bytes_total", "Committed update bytes (post-compression), as the report accounts them.")
+	co.rawUplink = r.Counter("coord_raw_uplink_bytes_total", "Committed update bytes at their uncompressed size.")
+	co.downlink = r.Counter("coord_downlink_bytes_total", "Broadcast bytes sent to round participants.")
+	co.wire = r.Counter("coord_wire_bytes_total", "Measured transport bytes (frames both directions, per round deltas).")
+	co.liveWorkers = r.Gauge("coord_live_workers", "Currently connected workers.")
+	co.roundCursor = r.Gauge("coord_round", "Round the run loop is currently driving.")
+	co.roundSec = r.Histogram("coord_round_seconds", "Wall-clock time of one committed round (retry attempts included).", nil)
+	return co
+}
+
+// commitRound publishes one committed round from the same stats the
+// report will accumulate.
+func (co *coordObs) commitRound(rs *fleet.RoundStats) {
+	co.roundsCommitted.Inc()
+	co.uplink.Add(rs.UplinkBytes)
+	co.rawUplink.Add(rs.RawUplinkBytes)
+	co.downlink.Add(rs.DownlinkBytes)
+	for i := range rs.Workers {
+		co.wire.Add(rs.Workers[i].WireBytes)
+	}
+	co.roundSec.Observe(rs.WallClock.Seconds())
+}
+
+// noteLive refreshes the live-worker gauge and the /healthz cursor.
+func (c *Coordinator) noteLive(slots []slot) {
+	n := int64(liveCount(slots))
+	c.healthLive.Store(n)
+	c.co.liveWorkers.Set(float64(n))
+}
+
+// Health reports the run's live position for the /healthz endpoint:
+// the round the run loop is driving, the configured total, and the
+// number of connected workers.
+func (c *Coordinator) Health() obs.Health {
+	status := "running"
+	select {
+	case <-c.done:
+		status = "done"
+	default:
+	}
+	return obs.Health{
+		Status:      status,
+		Round:       int(c.healthRound.Load()),
+		Rounds:      c.cfg.Rounds,
+		LiveWorkers: int(c.healthLive.Load()),
+	}
+}

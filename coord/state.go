@@ -26,6 +26,7 @@ import (
 	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // stateKind labels coordinator checkpoints so they are never resumed into a
@@ -148,7 +149,9 @@ func (c *Coordinator) startSaver() *stateSaver {
 	go func() {
 		defer close(s.done)
 		for sess := range s.ch {
+			sp := obs.DefaultTracer().Span("checkpoint-save", sess.Round-1, -1)
 			name, err := c.stateDir.Save(sess)
+			sp.End()
 			if err != nil {
 				s.mu.Lock()
 				if s.err == nil {

@@ -71,6 +71,15 @@
 //     reporting raw-vs-encoded bytes and modeled upload time per round. The
 //     lossless configuration (topk:1+fp64+raw) is byte-identical to an
 //     uncompressed run.
+//   - obs — the fleet-wide observability layer: a dependency-free metrics
+//     registry (atomic counters, gauges, fixed-bucket histograms; Prometheus
+//     text exposition v0.0.4), a ring-buffered trace recorder for the round
+//     lifecycle (JSONL or Chrome trace_event export), the /metrics, /healthz,
+//     /trace and /debug/pprof HTTP surface behind the binaries' -metrics-addr
+//     flag, and the structured log helper the processes share. No-op by
+//     default — handles off a nil registry record nothing and cost ~nothing —
+//     and instrumentation never perturbs training: weights are byte-identical
+//     with observability on or off.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
 //     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
 //     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge

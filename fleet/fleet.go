@@ -40,6 +40,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/tensor"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 	"github.com/edgeml/edgetrain/plan"
 	"github.com/edgeml/edgetrain/store"
 )
@@ -469,6 +470,9 @@ func (f *Fleet) roundRNG(round int) *tensor.RNG {
 // how the goroutines are scheduled.
 func (f *Fleet) Round(round int) (RoundStats, error) {
 	roundStart := time.Now()
+	fo := fleetObsHandles()
+	tr := obs.DefaultTracer()
+	roundSpan := tr.Span("round", round, -1)
 	n := len(f.workers)
 	rs := RoundStats{Round: round, Workers: make([]WorkerRoundStats, n)}
 	for i := range rs.Workers {
@@ -486,6 +490,7 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 	}
 
 	// Broadcast: every participant downloads the current global model.
+	bSpan := tr.Span("broadcast", round, -1)
 	for _, i := range participants {
 		w := f.workers[i]
 		for k, p := range w.Chain.Params() {
@@ -495,6 +500,7 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 		rs.Workers[i].DownloadBytes = f.modelBytes
 		rs.DownlinkBytes += f.modelBytes
 	}
+	bSpan.End()
 
 	// Concurrent local computation, one goroutine per surviving participant.
 	// Goroutine i writes only updates[i], errs[i], encBytes[i] and
@@ -520,7 +526,9 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 				}
 			}
 			start := time.Now()
+			ltSpan := tr.Span("local-train", round, i)
 			u, err := f.agg.Local(f.workers[i], round)
+			ltSpan.End()
 			ws.Duration = time.Since(start)
 			if err != nil {
 				errs[i] = err
@@ -533,6 +541,7 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 			// values (a NaN surfacing only after dequantization is caught
 			// here, same as on the raw path).
 			if f.comps != nil && u.Samples > 0 {
+				upSpan := tr.Span("upload", round, i)
 				enc, err := f.comps[i].Encode(u.Vecs)
 				if err != nil {
 					errs[i] = err
@@ -545,6 +554,7 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 				}
 				u.Vecs = dec.Vecs
 				encBytes[i] = int64(len(enc.Data))
+				upSpan.EndDetail(fmt.Sprintf("bytes=%d", encBytes[i]))
 			}
 			updates[i] = &u
 		}(i)
@@ -591,15 +601,19 @@ func (f *Fleet) Round(round int) (RoundStats, error) {
 		folded = append(folded, *u)
 	}
 	if len(folded) > 0 {
+		fSpan := tr.Span("fold", round, -1)
 		if err := f.agg.Fold(f.globalPs, folded); err != nil {
 			return rs, fmt.Errorf("fleet: round %d: %s fold: %w", round, f.agg.Name(), err)
 		}
+		fSpan.End()
 	}
 	rs.Loss = WeightedLoss(folded)
 	rs.ModeledUplink = TransferTime(maxUpload, f.cfg.UplinkMbps)
 	f.rawSent += rs.RawUplinkBytes
 	f.encSent += rs.UplinkBytes
 	rs.WallClock = time.Since(roundStart)
+	roundSpan.End()
+	fo.record(f, &rs)
 	return rs, nil
 }
 

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"github.com/edgeml/edgetrain/obs"
+)
+
+// fleetObs bundles the metric handles Round publishes to. Handles are
+// resolved once per round (a handful of read-locked map hits against the
+// default registry); nil when observability is disabled, in which case
+// every recording call below is a nil-receiver no-op.
+type fleetObs struct {
+	rounds     *obs.Counter
+	uplink     *obs.Counter
+	rawUplink  *obs.Counter
+	downlink   *obs.Counter
+	parts      *obs.Counter
+	dropouts   *obs.Counter
+	roundSec   *obs.Histogram
+	localSec   *obs.Histogram
+	compressed *obs.Gauge
+}
+
+func fleetObsHandles() *fleetObs {
+	r := obs.Default()
+	if r == nil {
+		return nil
+	}
+	return &fleetObs{
+		rounds:     r.Counter("fleet_rounds_total", "Aggregation rounds completed by fleet.Run."),
+		uplink:     r.Counter("fleet_uplink_bytes_total", "Update bytes uploaded (post-compression when a codec is active)."),
+		rawUplink:  r.Counter("fleet_raw_uplink_bytes_total", "Update bytes the uploads would cost uncompressed."),
+		downlink:   r.Counter("fleet_downlink_bytes_total", "Broadcast bytes downloaded by participants."),
+		parts:      r.Counter("fleet_participants_total", "Per-round participations that produced an upload."),
+		dropouts:   r.Counter("fleet_dropouts_total", "Selected workers that dropped before uploading."),
+		roundSec:   r.Histogram("fleet_round_seconds", "Wall-clock time of one aggregation round.", nil),
+		localSec:   r.Histogram("fleet_local_train_seconds", "Per-worker local training time within a round.", nil),
+		compressed: r.Gauge("fleet_compression_ratio", "Cumulative raw/encoded uplink ratio (1 with compression off)."),
+	}
+}
+
+// record publishes one completed round. Called only on the success path,
+// with the same RoundStats the Report accumulates, so scraped totals
+// match the end-of-run report exactly.
+func (m *fleetObs) record(f *Fleet, rs *RoundStats) {
+	if m == nil {
+		return
+	}
+	m.rounds.Inc()
+	m.uplink.Add(rs.UplinkBytes)
+	m.rawUplink.Add(rs.RawUplinkBytes)
+	m.downlink.Add(rs.DownlinkBytes)
+	m.parts.Add(int64(rs.Participants))
+	m.dropouts.Add(int64(rs.Dropouts))
+	m.roundSec.Observe(rs.WallClock.Seconds())
+	for i := range rs.Workers {
+		if ws := &rs.Workers[i]; ws.Samples > 0 {
+			m.localSec.Observe(ws.Duration.Seconds())
+		}
+	}
+	if f.encSent > 0 {
+		m.compressed.Set(float64(f.rawSent) / float64(f.encSent))
+	}
+}

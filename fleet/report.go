@@ -2,6 +2,8 @@ package fleet
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -187,6 +189,25 @@ func (rep *Report) Add(rs RoundStats) {
 
 func mb(b int64) float64 { return float64(b) / 1e6 }
 
+// wallClockSummary returns the min/p50/p95/max of the rounds' wall-clock
+// times. Percentiles use the nearest-rank method on the sorted durations;
+// callers must ensure at least one round exists.
+func (rep *Report) wallClockSummary() (mn, p50, p95, mx time.Duration) {
+	ds := make([]time.Duration, 0, len(rep.Rounds))
+	for _, rs := range rep.Rounds {
+		ds = append(ds, rs.WallClock)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	rank := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(ds)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return ds[i]
+	}
+	return ds[0], rank(0.50), rank(0.95), ds[len(ds)-1]
+}
+
 // Render formats the report as the fleet counterpart of edgesim.Render.
 func (rep *Report) Render() string {
 	var b strings.Builder
@@ -205,6 +226,14 @@ func (rep *Report) Render() string {
 		fmt.Fprintf(&b, "%-10d%14d%12d%10.4f%14.2f%16.2f%12.1f\n",
 			rs.Round, rs.Participants, rs.Dropouts, rs.Loss, mb(rs.UplinkBytes), mb(rs.DownlinkBytes),
 			float64(rs.WallClock)/float64(time.Millisecond))
+	}
+	// Round wall-clock spread: straggler impact at a glance, without
+	// reading every row. Omitted for empty reports.
+	if len(rep.Rounds) > 0 {
+		mn, p50, p95, mx := rep.wallClockSummary()
+		fmt.Fprintf(&b, "round wall-clock: min %.1f ms, p50 %.1f ms, p95 %.1f ms, max %.1f ms\n",
+			float64(mn)/float64(time.Millisecond), float64(p50)/float64(time.Millisecond),
+			float64(p95)/float64(time.Millisecond), float64(mx)/float64(time.Millisecond))
 	}
 	fmt.Fprintf(&b, "totals: uplink %.2f MB, downlink %.2f MB, wire %.2f MB, final loss %.4f\n",
 		mb(rep.TotalUplinkBytes), mb(rep.TotalDownlinkBytes), mb(rep.TotalWireBytes), rep.FinalLoss)

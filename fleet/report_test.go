@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -48,6 +49,7 @@ func TestReportRenderGolden(t *testing.T) {
 		"round       participants    dropouts      loss   uplink (MB)   downlink (MB)   wall (ms)\n" +
 		"0                      2           0    2.3026          3.00            3.00      1503.0\n" +
 		"1                      1           1    1.9311          1.50            3.00      1287.4\n" +
+		"round wall-clock: min 1287.4 ms, p50 1287.4 ms, p95 1503.0 ms, max 1503.0 ms\n" +
 		"totals: uplink 4.50 MB, downlink 6.00 MB, wire 10.85 MB, final loss 1.9311\n"
 
 	got := rep.Render()
@@ -60,5 +62,11 @@ func TestReportRenderGolden(t *testing.T) {
 	}
 	if rep.Workers[0].WireBytes != 6_200_000 || rep.Workers[1].WireBytes != 4_650_000 {
 		t.Fatalf("per-worker WireBytes = %d, %d", rep.Workers[0].WireBytes, rep.Workers[1].WireBytes)
+	}
+
+	// A report with no completed rounds omits the wall-clock spread line.
+	empty := &Report{Aggregator: "fedavg"}
+	if out := empty.Render(); strings.Contains(out, "round wall-clock") {
+		t.Fatalf("empty report rendered a wall-clock line:\n%s", out)
 	}
 }

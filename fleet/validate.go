@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/edgeml/edgetrain/internal/nn"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // ErrBadUpdate is the typed error wrapping every update-validation failure:
@@ -23,23 +24,30 @@ var ErrBadUpdate = errors.New("fleet: invalid update")
 // mutating anything, so a malformed or poisoned remote update can never
 // corrupt the global model mid-fold.
 func ValidateUpdate(global []*nn.Param, u Update) error {
+	reg := obs.Default()
+	reg.Counter("fleet_validations_total", "Updates screened by ValidateUpdate before folding.").Inc()
+	reject := func(err error) error {
+		reg.Counter("fleet_validation_rejections_total", "Updates rejected by ValidateUpdate (structural damage or non-finite values).").Inc()
+		obs.DefaultTracer().Event("validate", -1, u.Worker, "rejected: "+err.Error())
+		return err
+	}
 	if u.Samples <= 0 {
-		return fmt.Errorf("%w: worker %d: non-positive sample count %d", ErrBadUpdate, u.Worker, u.Samples)
+		return reject(fmt.Errorf("%w: worker %d: non-positive sample count %d", ErrBadUpdate, u.Worker, u.Samples))
 	}
 	if len(u.Vecs) != len(global) {
-		return fmt.Errorf("%w: worker %d: %d payload tensors for %d parameters", ErrBadUpdate, u.Worker, len(u.Vecs), len(global))
+		return reject(fmt.Errorf("%w: worker %d: %d payload tensors for %d parameters", ErrBadUpdate, u.Worker, len(u.Vecs), len(global)))
 	}
 	for k, v := range u.Vecs {
 		if v == nil {
-			return fmt.Errorf("%w: worker %d: nil payload tensor for parameter %q", ErrBadUpdate, u.Worker, global[k].Name)
+			return reject(fmt.Errorf("%w: worker %d: nil payload tensor for parameter %q", ErrBadUpdate, u.Worker, global[k].Name))
 		}
 		if !v.SameShape(global[k].Value) {
-			return fmt.Errorf("%w: worker %d: parameter %q payload shape %v, want %v",
-				ErrBadUpdate, u.Worker, global[k].Name, v.Shape(), global[k].Value.Shape())
+			return reject(fmt.Errorf("%w: worker %d: parameter %q payload shape %v, want %v",
+				ErrBadUpdate, u.Worker, global[k].Name, v.Shape(), global[k].Value.Shape()))
 		}
 		for _, x := range v.Data() {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return fmt.Errorf("%w: worker %d: non-finite value %v in parameter %q", ErrBadUpdate, u.Worker, x, global[k].Name)
+				return reject(fmt.Errorf("%w: worker %d: non-finite value %v in parameter %q", ErrBadUpdate, u.Worker, x, global[k].Name))
 			}
 		}
 	}

@@ -23,6 +23,7 @@ package chain
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/edgeml/edgetrain/internal/checkpoint"
 	"github.com/edgeml/edgetrain/internal/nn"
@@ -134,6 +135,16 @@ func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched s
 	l := c.Len()
 	res := &Result{}
 
+	// Observability: timestamps are taken only when a registry is
+	// installed, so disabled runs skip every clock read. Timing never
+	// feeds back into execution — weights stay byte-identical either way.
+	om := obsHandles()
+	var stepStart time.Time
+	var fwdDur, bwdDur time.Duration
+	if om.on {
+		stepStart = time.Now()
+	}
+
 	// Working state and checkpoint slots. State index i means x_i (the output
 	// of stage i); index 0 is the chain input. The tensors themselves live in
 	// the store; the executor only tracks which state index occupies a slot.
@@ -188,11 +199,18 @@ func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched s
 	for a := range sched.Actions() {
 		switch a.Kind {
 		case schedule.ActionAdvance:
+			var t0 time.Time
+			if om.on {
+				t0 = time.Now()
+			}
 			for s := 0; s < a.Steps; s++ {
 				current = runForward(currentIdx+1, current)
 				currentIdx++
 				res.ForwardEvals++
 				trackPeak()
+			}
+			if om.on {
+				fwdDur += time.Since(t0)
 			}
 		case schedule.ActionSnapshot:
 			if a.Slot < 0 || a.Slot >= len(slotIdx) {
@@ -242,6 +260,10 @@ func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched s
 			// The adjoint of a stage always re-runs its forward so the layer's
 			// internal cache corresponds to the correct input, then applies
 			// the layer backward.
+			var t0 time.Time
+			if om.on {
+				t0 = time.Now()
+			}
 			out := runForward(pending, current)
 			res.BackwardEvals++
 			if pending == l {
@@ -253,6 +275,9 @@ func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched s
 			}
 			upstream = c.Stages[pending-1].Backward(upstream)
 			pending--
+			if om.on {
+				bwdDur += time.Since(t0)
+			}
 		default:
 			return fail(fmt.Errorf("chain: action %d: unknown kind %d", ai, a.Kind))
 		}
@@ -265,6 +290,7 @@ func ExecuteWithStore(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, sched s
 	stats := st.Stats()
 	res.DiskWrites = stats.DiskWrites - startStats.DiskWrites
 	res.DiskReads = stats.DiskReads - startStats.DiskReads
+	om.record(res, stepStart, fwdDur, bwdDur)
 	return res, nil
 }
 
@@ -277,12 +303,22 @@ func ExecutePlain(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, train bool)
 		return nil, ErrNoLossGrad
 	}
 	res := &Result{}
+	om := obsHandles()
+	var stepStart, t0 time.Time
+	var fwdDur, bwdDur time.Duration
+	if om.on {
+		stepStart = time.Now()
+		t0 = stepStart
+	}
 	states := []*tensor.Tensor{x}
 	current := x
 	for _, s := range c.Stages {
 		current = s.Forward(current, train)
 		states = append(states, current)
 		res.ForwardEvals++
+	}
+	if om.on {
+		fwdDur = time.Since(t0)
 	}
 	res.Output = current
 	var bytes int64
@@ -296,11 +332,18 @@ func ExecutePlain(c *Chain, x *tensor.Tensor, lossGrad LossGradFunc, train bool)
 	if grad == nil {
 		return nil, fmt.Errorf("chain: loss-gradient callback returned nil")
 	}
+	if om.on {
+		t0 = time.Now()
+	}
 	for i := len(c.Stages) - 1; i >= 0; i-- {
 		grad = c.Stages[i].Backward(grad)
 		res.BackwardEvals++
 	}
+	if om.on {
+		bwdDur = time.Since(t0)
+	}
 	res.InputGrad = grad
+	om.record(res, stepStart, fwdDur, bwdDur)
 	return res, nil
 }
 

@@ -2,9 +2,11 @@ package trainer
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // Durable checkpoint/resume for single-node training. A checkpoint captures
@@ -54,6 +56,8 @@ func (cp *CheckpointPlan) options() []ckpt.Option {
 // save writes one checkpoint under the plan (stamping the plan's seed and
 // RNG state).
 func (cp *CheckpointPlan) save(t *Trainer, cur Cursor) error {
+	start := time.Now()
+	sp := obs.DefaultTracer().Span("checkpoint-save", -1, -1)
 	s, err := t.CaptureSession(cur)
 	if err != nil {
 		return err
@@ -63,6 +67,14 @@ func (cp *CheckpointPlan) save(t *Trainer, cur Cursor) error {
 		s.RNG = ckpt.CaptureRNG(cp.RNG)
 	}
 	_, err = cp.Dir.Save(s, cp.options()...)
+	if err == nil {
+		if reg := obs.Default(); reg != nil {
+			reg.Counter("trainer_ckpt_saves_total", "Periodic checkpoints written by TrainFrom.").Inc()
+			reg.Histogram("trainer_ckpt_save_seconds", "Latency of one TrainFrom checkpoint save (capture + encode + fsync).", nil).
+				Observe(time.Since(start).Seconds())
+		}
+		sp.EndDetail(fmt.Sprintf("epoch=%d batch=%d", cur.Epoch, cur.Batch))
+	}
 	return err
 }
 

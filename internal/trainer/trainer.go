@@ -6,6 +6,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/obs"
 	"github.com/edgeml/edgetrain/store"
 )
 
@@ -148,6 +149,10 @@ func (t *Trainer) trainEpoch(ds Dataset, epoch, startBatch int, afterStep func(n
 			pol.Store = ts
 		}
 	}
+	// Metric handles resolve once per epoch; the per-step cost is a pair of
+	// atomic adds (nil no-ops when observability is off).
+	reg := obs.Default()
+	obsSteps := reg.Counter("trainer_steps_total", "Optimisation steps completed across all epochs.")
 	nb := ds.NumBatches(t.Cfg.BatchSize)
 	totalCorrectWeight := 0.0
 	totalSamples := 0
@@ -168,6 +173,7 @@ func (t *Trainer) trainEpoch(ds Dataset, epoch, startBatch int, afterStep func(n
 			return stats, fmt.Errorf("trainer: step %d failed: %w", b, err)
 		}
 		t.Cfg.Optimizer.Step(t.Chain.Params())
+		obsSteps.Inc()
 
 		stats.Loss += loss
 		stats.Steps++

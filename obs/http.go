@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health is the /healthz payload. Processes fill the fields that apply:
+// the coordinator reports its round cursor and live worker count, the
+// trainers report completed steps/rounds.
+type Health struct {
+	Status        string  `json:"status"` // "ok", "running", "done", …
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Round         int     `json:"round"`
+	Rounds        int     `json:"rounds"`
+	LiveWorkers   int     `json:"live_workers"`
+	Detail        string  `json:"detail,omitempty"`
+}
+
+// Endpoints configures the HTTP surface a long-running process exposes.
+// Zero-value fields fall back: a nil Registry/Tracer resolves the
+// process-wide default at request time (so a scrape after SetDefault
+// works even if the server started first), and a nil Health reports
+// plain "ok".
+type Endpoints struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Health   func() Health
+}
+
+// Mux builds the observability mux:
+//
+//	/metrics      Prometheus text exposition (v0.0.4)
+//	/healthz      JSON Health
+//	/trace        ring-buffered trace; ?format=chrome for chrome://tracing
+//	/debug/pprof  net/http/pprof profiles
+func (e Endpoints) Mux() *http.ServeMux {
+	start := time.Now()
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		reg := e.Registry
+		if reg == nil {
+			reg = Default()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Status: "ok"}
+		if e.Health != nil {
+			h = e.Health()
+		}
+		if h.UptimeSeconds == 0 {
+			h.UptimeSeconds = time.Since(start).Seconds()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := e.Tracer
+		if tr == nil {
+			tr = DefaultTracer()
+		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+			tr.WriteChromeTrace(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSONL(w)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// Serve starts the observability server on addr (host:port; port 0 picks
+// a free one) and returns the bound address plus a shutdown function.
+// The server runs until shutdown is called; serve errors after shutdown
+// are discarded.
+func Serve(addr string, e Endpoints) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: e.Mux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEndpointsMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "Up.").Add(3)
+	tr := NewTracer(8)
+	tr.Event("broadcast", 0, -1, "")
+	e := Endpoints{
+		Registry: r,
+		Tracer:   tr,
+		Health: func() Health {
+			return Health{Status: "running", Round: 2, Rounds: 4, LiveWorkers: 3}
+		},
+	}
+	srv := httptest.NewServer(e.Mux())
+	defer srv.Close()
+
+	get := func(path string) (string, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header
+	}
+
+	body, hdr := get("/metrics")
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, "up_total 3\n") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	body, hdr = get("/healthz")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/healthz Content-Type = %q", ct)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "running" || h.Round != 2 || h.Rounds != 4 || h.LiveWorkers != 3 {
+		t.Fatalf("/healthz = %+v", h)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Fatalf("/healthz uptime not filled: %+v", h)
+	}
+
+	body, hdr = get("/trace")
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/trace Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `"name":"broadcast"`) {
+		t.Fatalf("/trace missing event:\n%s", body)
+	}
+
+	body, hdr = get("/trace?format=chrome")
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/trace?format=chrome Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `"traceEvents"`) {
+		t.Fatalf("/trace?format=chrome not a trace document:\n%s", body)
+	}
+
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+// TestEndpointsFallsBackToDefaults checks a zero Endpoints serves the
+// process-wide defaults resolved at request time, and "ok" health.
+func TestEndpointsFallsBackToDefaults(t *testing.T) {
+	srv := httptest.NewServer(Endpoints{}.Mux())
+	defer srv.Close()
+
+	r := NewRegistry()
+	r.Counter("late_total", "Installed after the server started.").Inc()
+	SetDefault(r)
+	defer SetDefault(nil)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "late_total 1\n") {
+		t.Fatalf("late-installed default registry not served:\n%s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" {
+		t.Fatalf("default health status = %q", h.Status)
+	}
+}
+
+func TestServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "Served.").Inc()
+	bound, shutdown, err := Serve("127.0.0.1:0", Endpoints{Registry: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + bound + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "served_total 1\n") {
+		t.Fatalf("served metrics missing counter:\n%s", body)
+	}
+	shutdown()
+	if _, err := http.Get("http://" + bound + "/metrics"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+func TestLogFormat(t *testing.T) {
+	var b strings.Builder
+	mu := NewLog(&b, "worker", "w1")
+	mu.With("round", 2).Printf("update acked")
+	line := b.String()
+	if !strings.HasSuffix(line, " [worker/w1 round=2] update acked\n") {
+		t.Fatalf("log line = %q", line)
+	}
+	// Timestamp prefix: 2006-01-02T15:04:05.000Z is 24 characters.
+	if len(line) < 25 || line[4] != '-' || !strings.Contains(line[:25], "T") {
+		t.Fatalf("log timestamp malformed: %q", line)
+	}
+
+	var nilLog *Log
+	nilLog.Printf("dropped")
+	if nilLog.With("k", "v") != nil {
+		t.Fatal("nil log With returned non-nil")
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Log is the structured-log helper shared by the command-line processes.
+// Every line carries a millisecond UTC timestamp and a bracketed context
+// — process role, instance name, and any fields added with With — so the
+// interleaved output of a coordinator and several workers stays
+// attributable:
+//
+//	2026-08-08T14:03:21.114Z [coord] round 2: 3/3 updates staged
+//	2026-08-08T14:03:21.117Z [worker/w1 round=2] update acked
+//
+// A nil *Log discards everything, and derived loggers share one mutex so
+// concurrent processes writing to the same pipe interleave whole lines.
+type Log struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string // "coord", "worker/w1", …
+	fields string // rendered " k=v" pairs, sorted
+}
+
+// NewLog returns a logger writing to w tagged with a process role
+// ("coord", "worker", "trainer") and an optional instance name.
+func NewLog(w io.Writer, role, name string) *Log {
+	prefix := role
+	if name != "" {
+		prefix = role + "/" + name
+	}
+	return &Log{mu: new(sync.Mutex), w: w, prefix: prefix}
+}
+
+// With returns a derived logger whose lines also carry key=value. Fields
+// render sorted by key so output is stable.
+func (l *Log) With(key string, value any) *Log {
+	if l == nil {
+		return nil
+	}
+	parts := strings.Fields(l.fields)
+	parts = append(parts, fmt.Sprintf("%s=%v", key, value))
+	sort.Strings(parts)
+	d := *l
+	d.fields = " " + strings.Join(parts, " ")
+	return &d
+}
+
+// Printf writes one line (a trailing newline is added if missing).
+func (l *Log) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	ts := time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	l.mu.Lock()
+	fmt.Fprintf(l.w, "%s [%s%s] %s", ts, l.prefix, l.fields, msg)
+	l.mu.Unlock()
+}

@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one dimension attached to a metric series. Series identity is
+// the metric name plus the sorted label set.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DurationBuckets is the default histogram bucket layout for latencies in
+// seconds, spanning 100µs..10s — wide enough for both a single kernel step
+// and a full fleet round.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// no-ops on a nil receiver, so handles obtained from a nil Registry are
+// safe to use unconditionally.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 that can move in either direction. All
+// methods are no-ops on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the current value.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — the idiom for peak-usage
+// gauges (peak RAM, peak spill bytes).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// All methods are no-ops on a nil receiver.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds; implicit +Inf bucket follows
+	counts  []atomic.Int64
+	n       atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (name, labels) pair and its typed handle.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	key    string  // name + canonical label rendering
+	kind   metricKind
+	help   string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds metric series and renders them. The zero value is not
+// usable; call NewRegistry. A nil *Registry is usable everywhere and
+// hands out nil (no-op) handles.
+type Registry struct {
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// labelKey renders sorted labels canonically, e.g. `{phase="fold"}`.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get returns the series for (name, labels), creating it with the given
+// kind on first use. A kind clash with an existing series returns nil,
+// which downstream handles treat as "disabled" — instrumentation must
+// never be able to crash the process it observes.
+func (r *Registry) get(name, help string, kind metricKind, labels []Label, bounds []float64) *series {
+	if r == nil {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	key := name + labelKey(ls)
+
+	r.mu.RLock()
+	s := r.series[key]
+	r.mu.RUnlock()
+	if s == nil {
+		r.mu.Lock()
+		if s = r.series[key]; s == nil {
+			s = &series{name: name, labels: ls, key: key, kind: kind, help: help}
+			switch kind {
+			case kindCounter:
+				s.c = new(Counter)
+			case kindGauge:
+				s.g = new(Gauge)
+			case kindHistogram:
+				if len(bounds) == 0 {
+					bounds = DurationBuckets
+				}
+				s.h = &Histogram{
+					bounds: append([]float64(nil), bounds...),
+					counts: make([]atomic.Int64, len(bounds)+1),
+				}
+			}
+			r.series[key] = s
+		}
+		r.mu.Unlock()
+	}
+	if s.kind != kind {
+		return nil
+	}
+	return s
+}
+
+// Counter returns the counter named name, creating it on first use. On a
+// nil registry (or a kind clash) the returned nil handle is a no-op.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, help)
+}
+
+// CounterWith is Counter with labels.
+func (r *Registry) CounterWith(name, help string, labels ...Label) *Counter {
+	if s := r.get(name, help, kindCounter, labels, nil); s != nil {
+		return s.c
+	}
+	return nil
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeWith(name, help)
+}
+
+// GaugeWith is Gauge with labels.
+func (r *Registry) GaugeWith(name, help string, labels ...Label) *Gauge {
+	if s := r.get(name, help, kindGauge, labels, nil); s != nil {
+		return s.g
+	}
+	return nil
+}
+
+// Histogram returns the histogram named name, creating it on first use
+// with the given upper bounds (DurationBuckets when bounds is nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramWith(name, help, bounds)
+}
+
+// HistogramWith is Histogram with labels.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if s := r.get(name, help, kindHistogram, labels, bounds); s != nil {
+		return s.h
+	}
+	return nil
+}
+
+// Sample is one series in a Snapshot.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Kind   string  // "counter", "gauge" or "histogram"
+	Value  float64 // counter/gauge value; histogram sum
+	Count  int64   // histogram observation count
+	// Buckets holds the cumulative count per upper bound for histograms
+	// (parallel to Bounds), excluding the implicit +Inf bucket whose
+	// cumulative count is Count.
+	Bounds  []float64
+	Buckets []int64
+}
+
+// sortedSeries returns the series sorted by (name, label key) — the
+// stable order both Snapshot and WritePrometheus use.
+func (r *Registry) sortedSeries() []*series {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.RUnlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].key < all[j].key
+	})
+	return all
+}
+
+// Snapshot returns a point-in-time copy of every series, sorted by name
+// then labels. Nil registries return nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	all := r.sortedSeries()
+	out := make([]Sample, 0, len(all))
+	for _, s := range all {
+		smp := Sample{Name: s.name, Labels: append([]Label(nil), s.labels...), Kind: s.kind.String()}
+		switch s.kind {
+		case kindCounter:
+			smp.Value = float64(s.c.Value())
+		case kindGauge:
+			smp.Value = s.g.Value()
+		case kindHistogram:
+			smp.Value = s.h.Sum()
+			smp.Count = s.h.Count()
+			smp.Bounds = append([]float64(nil), s.h.bounds...)
+			cum := int64(0)
+			for i := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				smp.Buckets = append(smp.Buckets, cum)
+			}
+		}
+		out = append(out, smp)
+	}
+	return out
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histLabelKey renders the label set plus an le pair, keeping the base
+// labels canonical and appending le last (Prometheus accepts any order).
+func histLabelKey(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`",`)
+	}
+	b.WriteString(`le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4): series sorted by name then labels, one # HELP
+// and # TYPE pair per metric name, label values escaped. A nil registry
+// writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastName string
+	for _, s := range r.sortedSeries() {
+		if s.name != lastName {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+				s.name, escapeHelp(s.help), s.name, s.kind); err != nil {
+				return err
+			}
+			lastName = s.name
+		}
+		lk := labelKey(s.labels)
+		var err error
+		switch s.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, lk, s.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.name, lk, formatFloat(s.g.Value()))
+		case kindHistogram:
+			// One pass over the bucket array: the +Inf cumulative count
+			// doubles as _count so a single scrape is self-consistent even
+			// while observations land concurrently.
+			cum := int64(0)
+			for i, ub := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					s.name, histLabelKey(s.labels, formatFloat(ub)), cum); err != nil {
+					return err
+				}
+			}
+			cum += s.h.counts[len(s.h.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.name, histLabelKey(s.labels, "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", s.name, lk, formatFloat(s.h.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", s.name, lk, cum)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the text exposition format: sorted series,
+// one HELP/TYPE pair per metric name, label-value escaping, and the full
+// histogram rendering with cumulative buckets, +Inf, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "B counter.").Add(7)
+	r.CounterWith("a_total", "A counter by phase.", L("phase", "fold")).Add(3)
+	r.CounterWith("a_total", "A counter by phase.", L("phase", "broadcast")).Inc()
+	r.Gauge("live", "Live workers.").Set(2)
+	r.CounterWith("weird_total", "Escaping.", L("v", "a\\b\"c\nd")).Inc()
+
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total A counter by phase.
+# TYPE a_total counter
+a_total{phase="broadcast"} 1
+a_total{phase="fold"} 3
+# HELP b_total B counter.
+# TYPE b_total counter
+b_total 7
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 3
+lat_seconds_bucket{le="+Inf"} 4
+lat_seconds_sum 6.05
+lat_seconds_count 4
+# HELP live Live workers.
+# TYPE live gauge
+live 2
+# HELP weird_total Escaping.
+# TYPE weird_total counter
+weird_total{v="a\\b\"c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryHandleIdentity checks that the same (name, labels) pair always
+// resolves to the same handle, regardless of label order.
+func TestRegistryHandleIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.CounterWith("x_total", "X.", L("a", "1"), L("b", "2"))
+	c2 := r.CounterWith("x_total", "X.", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Fatal("label order changed series identity")
+	}
+	c1.Add(5)
+	if c2.Value() != 5 {
+		t.Fatalf("c2.Value() = %d, want 5", c2.Value())
+	}
+}
+
+// TestRegistryKindClash checks a name reused with a different kind returns a
+// no-op handle rather than panicking: instrumentation must never crash the
+// process it observes.
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "As counter.").Inc()
+	g := r.Gauge("m", "As gauge.")
+	if g != nil {
+		t.Fatal("kind clash handed out a live gauge")
+	}
+	g.Set(9) // must not panic
+	if got := r.Counter("m", "As counter.").Value(); got != 1 {
+		t.Fatalf("counter clobbered by clash: %d", got)
+	}
+}
+
+// TestNilRegistryNoOps pins the no-op-by-default contract: a nil *Registry
+// hands out nil handles and every method on them is safe.
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("c", "").Inc()
+	r.Counter("c", "").Add(3)
+	r.Gauge("g", "").Set(1)
+	r.Gauge("g", "").Add(1)
+	r.Gauge("g", "").SetMax(1)
+	r.Histogram("h", "", nil).Observe(1)
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v", s)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", b.String(), err)
+	}
+}
+
+// TestGaugeSetMax checks the peak-usage idiom only moves the gauge upward.
+func TestGaugeSetMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("peak", "Peak.")
+	g.SetMax(10)
+	g.SetMax(4)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax lowered the gauge: %g", g.Value())
+	}
+	g.SetMax(12)
+	if g.Value() != 12 {
+		t.Fatalf("SetMax failed to raise the gauge: %g", g.Value())
+	}
+}
+
+// TestConcurrentScrape hammers counters, gauges and histograms from many
+// goroutines while scraping concurrently; run under -race this is the data
+// race check, and every scrape must stay internally consistent (+Inf bucket
+// equals _count within one rendering).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 500
+	var writerWG, scraperWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	writerWG.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Counter("c_total", "C.").Inc()
+				r.CounterWith("cl_total", "CL.", L("w", string(rune('a'+w)))).Inc()
+				r.Gauge("g", "G.").Set(float64(i))
+				r.Histogram("h_seconds", "H.", nil).Observe(float64(i) / 1000)
+			}
+		}(w)
+	}
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			checkScrapeConsistent(t, b.String())
+			r.Snapshot()
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	if got := r.Counter("c_total", "C.").Value(); got != writers*perWriter {
+		t.Fatalf("c_total = %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("h_seconds", "H.", nil).Count(); got != writers*perWriter {
+		t.Fatalf("h_seconds count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// checkScrapeConsistent asserts the +Inf bucket value of every histogram in
+// one rendered exposition equals its _count line.
+func checkScrapeConsistent(t *testing.T, text string) {
+	t.Helper()
+	var inf string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "h_seconds_bucket{le=\"+Inf\"}") {
+			inf = strings.Fields(line)[1]
+		}
+		if strings.HasPrefix(line, "h_seconds_count") {
+			if cnt := strings.Fields(line)[1]; inf != cnt {
+				t.Errorf("scrape inconsistent: +Inf bucket %s != _count %s", inf, cnt)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 7; i++ {
+		tr.Event("e", i, -1, "")
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len(Events) = %d, want 4", len(ev))
+	}
+	// Oldest-first: rounds 3, 4, 5, 6 survive.
+	for i, e := range ev {
+		if e.Round != i+3 {
+			t.Fatalf("Events[%d].Round = %d, want %d", i, e.Round, i+3)
+		}
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", tr.Dropped())
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Span("fold", 2, -1)
+	time.Sleep(time.Millisecond)
+	sp.EndDetail("participants=3")
+	ev := tr.Events()
+	if len(ev) != 1 {
+		t.Fatalf("len(Events) = %d, want 1", len(ev))
+	}
+	e := ev[0]
+	if e.Name != "fold" || e.Round != 2 || e.Worker != -1 || e.Detail != "participants=3" {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Dur <= 0 {
+		t.Fatalf("span duration not recorded: %v", e.Dur)
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	tr.Event("e", 0, 0, "")
+	tr.Record(Event{})
+	sp := tr.Span("s", 0, 0)
+	sp.End()
+	sp.EndDetail("x")
+	if tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer retained state")
+	}
+	if tr.String() != "tracer(disabled)" {
+		t.Fatalf("String = %q", tr.String())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Event("retry", 1, -1, "attempt=2 below quorum")
+	sp := tr.Span("upload", 1, 0)
+	sp.EndDetail("bytes=512")
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), b.String())
+	}
+	var first struct {
+		Name    string `json:"name"`
+		Round   int    `json:"round"`
+		Worker  int    `json:"worker"`
+		StartNS int64  `json:"start_ns"`
+		DurNS   int64  `json:"dur_ns"`
+		Detail  string `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != "retry" || first.Round != 1 || first.Worker != -1 ||
+		first.StartNS == 0 || first.Detail != "attempt=2 below quorum" {
+		t.Fatalf("first line = %+v", first)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Span("local-train", 0, 2)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Event("chaos-injection", -1, -1, "drop")
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	span, inst := doc.TraceEvents[0], doc.TraceEvents[1]
+	if span.Phase != "X" || span.Dur <= 0 || span.TID != 3 || span.PID != 1 {
+		t.Fatalf("span event = %+v", span)
+	}
+	if inst.Phase != "i" || inst.TID != 0 || inst.Args["detail"] != "drop" {
+		t.Fatalf("instant event = %+v", inst)
+	}
+}
+
+func TestDefaultRegistrySwap(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default registry not nil at start")
+	}
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	if Default() != r {
+		t.Fatal("SetDefault did not install the registry")
+	}
+	tr := NewTracer(4)
+	SetDefaultTracer(tr)
+	defer SetDefaultTracer(nil)
+	if DefaultTracer() != tr {
+		t.Fatal("SetDefaultTracer did not install the tracer")
+	}
+	// The chained no-op idiom with the defaults cleared again.
+	SetDefault(nil)
+	SetDefaultTracer(nil)
+	Default().Counter("x", "").Inc()
+	DefaultTracer().Span("s", 0, 0).End()
+}
