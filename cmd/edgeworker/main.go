@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/edgeml/edgetrain/compress"
@@ -64,12 +65,37 @@ func main() {
 	retry := flag.Int("retry", 0, "reconnect attempts after a lost connection (0 = default 5, negative disables)")
 	backoffMax := flag.Duration("backoff-max", 0, "cap on the reconnect backoff (0 = default 5s)")
 	spill := flag.String("spill-dir", "", "directory for tiered checkpoint spill (default in-memory)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /healthz, /trace and /debug/pprof on this address (empty disables; also enables telemetry shipping to the coordinator)")
+	metricsLinger := flag.Duration("metrics-linger", 0, "keep the metrics server up this long after the run completes")
 	quiet := flag.Bool("quiet", false, "suppress per-round progress lines")
 	flag.Parse()
 
 	if *addr == "" || *name == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Installing the registry and tracer turns on both the local HTTP
+	// surface and telemetry shipping: RunWorker piggybacks delta snapshots
+	// of these defaults on its heartbeats and updates, so the coordinator's
+	// /metrics carries this worker's series under worker=<name> labels.
+	var done atomic.Bool
+	if *metricsAddr != "" {
+		obs.SetDefault(obs.NewRegistry())
+		obs.SetDefaultTracer(obs.NewTracer(obs.DefaultTraceEvents))
+		bound, shutdown, err := obs.Serve(*metricsAddr, obs.Endpoints{Health: func() obs.Health {
+			h := obs.Health{Status: "training"}
+			if done.Load() {
+				h.Status = "done"
+			}
+			return h
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		// Scraped by the telemetry smoke test for the bound port.
+		fmt.Printf("metrics on %s\n", bound)
 	}
 	dev, err := device.ByName(*deviceName)
 	if err != nil {
@@ -109,10 +135,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	done.Store(true)
 	fmt.Printf("worker %s done: slot %d, %d rounds contributed, %.2f MB sent, %.2f MB received\n",
 		*name, res.Assignment.Index, res.Rounds,
 		float64(res.WireSent)/1e6, float64(res.WireReceived)/1e6)
 	if res.Restored {
 		fmt.Println("recovered optimizer state from the coordinator on rejoin")
+	}
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		fmt.Printf("metrics linger: %s\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
 	}
 }

@@ -8,11 +8,13 @@ package edgetrain
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
@@ -446,6 +448,254 @@ func TestCheckpointResumeSmoke(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestTelemetrySmoke drives the fleet-wide telemetry pipeline end to end
+// over TCP: a coordinator and two edgeworkers all run with -metrics-addr,
+// so the workers serve their own /metrics and /healthz AND ship delta
+// telemetry to the coordinator. The coordinator's scrape must then carry
+// worker=-labeled series whose wire-byte totals match the printed report,
+// and its /trace?format=chrome must be one stitched document with both
+// workers' local-train spans nested inside the coordinator's round span.
+// When EDGETRAIN_TRACE_OUT is set the stitched trace is written there (the
+// CI workflow uploads it as an artifact).
+func TestTelemetrySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke tests in -short mode")
+	}
+	bin := buildCmds(t)
+
+	coord := exec.Command(filepath.Join(bin, "edgecoord"),
+		"-workers", "2", "-rounds", "3", "-samples", "8", "-quiet",
+		"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "1m")
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	var mu sync.Mutex
+	var coordOut bytes.Buffer
+	var metricsAddr, addr string
+	for sc.Scan() {
+		line := sc.Text()
+		coordOut.WriteString(line + "\n")
+		if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+			metricsAddr = rest
+		}
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if metricsAddr == "" || addr == "" {
+		t.Fatalf("coordinator never announced metrics + listen addresses:\n%s", coordOut.String())
+	}
+	base := "http://" + metricsAddr
+	reported := make(chan struct{})
+	go func() {
+		closed := false
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			coordOut.WriteString(line + "\n")
+			mu.Unlock()
+			if !closed && strings.HasPrefix(line, "totals: ") {
+				closed = true
+				close(reported)
+			}
+		}
+	}()
+
+	// Workers with their own metrics servers; -metrics-linger keeps them
+	// alive for a post-run scrape, so each is killed explicitly at the end.
+	names := []string{"w0", "w1"}
+	workerMetrics := make([]string, 2)
+	outs := make([]bytes.Buffer, 2)
+	for i := 0; i < 2; i++ {
+		w := exec.Command(filepath.Join(bin, "edgeworker"),
+			"-addr", addr, "-name", names[i], "-quiet",
+			"-metrics-addr", "127.0.0.1:0", "-metrics-linger", "1m")
+		wout, err := w.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Stderr = &outs[i]
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer w.Process.Kill()
+		wsc := bufio.NewScanner(wout)
+		for wsc.Scan() {
+			line := wsc.Text()
+			outs[i].WriteString(line + "\n")
+			if rest, ok := strings.CutPrefix(line, "metrics on "); ok {
+				workerMetrics[i] = rest
+				break
+			}
+		}
+		if workerMetrics[i] == "" {
+			t.Fatalf("worker %s never announced its metrics address:\n%s", names[i], outs[i].String())
+		}
+		go func(i int) {
+			for wsc.Scan() {
+				mu.Lock()
+				outs[i].WriteString(wsc.Text() + "\n")
+				mu.Unlock()
+			}
+		}(i)
+	}
+
+	// Satellite check: each worker serves /metrics and /healthz while its
+	// process is up (the training loop and the linger window).
+	for i, wm := range workerMetrics {
+		wbase := "http://" + wm
+		if m := scrapeMetrics(t, wbase+"/metrics"); m == nil {
+			t.Fatalf("worker %s /metrics unscrapable", names[i])
+		}
+		resp, err := http.Get(wbase + "/healthz")
+		if err != nil {
+			t.Fatalf("worker %s /healthz: %v", names[i], err)
+		}
+		var h struct {
+			Status string `json:"status"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil || (h.Status != "training" && h.Status != "done") {
+			t.Fatalf("worker %s /healthz status = %q (err %v)", names[i], h.Status, err)
+		}
+	}
+
+	select {
+	case <-reported:
+	case <-time.After(2 * time.Minute):
+		mu.Lock()
+		out := coordOut.String()
+		mu.Unlock()
+		t.Fatalf("coordinator never printed its totals line:\n%s", out)
+	}
+
+	// (a) The coordinator's scrape is the fleet-wide view: worker-labeled
+	// series exist, and the per-worker committed wire bytes agree with the
+	// report's worker rows.
+	final := scrapeMetrics(t, base+"/metrics")
+	mu.Lock()
+	out := coordOut.String()
+	mu.Unlock()
+	for _, name := range names {
+		tagged := 0
+		for key := range final {
+			if strings.Contains(key, `worker="`+name+`"`) {
+				tagged++
+			}
+		}
+		if tagged == 0 {
+			t.Fatalf("no worker=%q-labeled series in the coordinator scrape:\n%v", name, final)
+		}
+		if got := final[`coord_worker_rounds_total{worker="`+name+`"}`]; got != 3 {
+			t.Fatalf("coord_worker_rounds_total{worker=%q} = %v, want 3", name, got)
+		}
+		var reportWireMB float64
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				fields := strings.Fields(line)
+				if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil {
+					reportWireMB = v
+				}
+			}
+		}
+		if reportWireMB == 0 {
+			t.Fatalf("no wire-MB report row for %s:\n%s", name, out)
+		}
+		got := final[`coord_worker_wire_bytes_total{worker="`+name+`"}`] / 1e6
+		if math.Abs(got-reportWireMB) > 0.005 {
+			t.Fatalf("coord_worker_wire_bytes_total{worker=%q} = %.4f MB, report row says %.2f MB",
+				name, got, reportWireMB)
+		}
+	}
+	if final["coord_telemetry_frames_total"] == 0 {
+		t.Fatal("coordinator ingested no telemetry frames over TCP")
+	}
+
+	// (b) One stitched Chrome trace: both workers' local-train spans nested
+	// inside the coordinator's round span for the same round.
+	resp, err := http.Get(base + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceJSON, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if artifact := os.Getenv("EDGETRAIN_TRACE_OUT"); artifact != "" {
+		if err := os.WriteFile(artifact, traceJSON, 0o644); err != nil {
+			t.Fatalf("writing trace artifact: %v", err)
+		}
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceJSON, &doc); err != nil {
+		t.Fatalf("stitched trace is not valid JSON: %v", err)
+	}
+	lanes := map[int]string{}
+	type spanT struct{ ts, end float64 }
+	rounds := map[int]spanT{}         // round -> coordinator round span
+	trains := map[int]map[int]spanT{} // round -> worker tid -> local-train span
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "M" && e.Name == "thread_name" {
+			lanes[e.TID] = e.Args["name"].(string)
+			continue
+		}
+		r := -1
+		if v, ok := e.Args["round"].(float64); ok {
+			r = int(v)
+		}
+		switch {
+		case e.Name == "round" && e.TID == 0 && e.Phase == "X":
+			rounds[r] = spanT{e.TS, e.TS + e.Dur}
+		case e.Name == "local-train" && e.TID >= 1 && e.Phase == "X":
+			if trains[r] == nil {
+				trains[r] = map[int]spanT{}
+			}
+			trains[r][e.TID] = spanT{e.TS, e.TS + e.Dur}
+		}
+	}
+	if lanes[0] != "coordinator" || lanes[1] != "w0" || lanes[2] != "w1" {
+		t.Fatalf("stitched trace lanes = %v, want coordinator/w0/w1 on tids 0/1/2", lanes)
+	}
+	nested := false
+	for r, rs := range rounds {
+		tw := trains[r]
+		if len(tw) < 2 {
+			continue
+		}
+		for tid, ts := range tw {
+			// Worker clocks run on the same host; allow a millisecond of
+			// skew at the edges of the containment check.
+			if ts.ts < rs.ts-1000 || ts.end > rs.end+1000 {
+				t.Fatalf("round %d: local-train on tid %d [%.0f, %.0f]µs outside round span [%.0f, %.0f]µs",
+					r, tid, ts.ts, ts.end, rs.ts, rs.end)
+			}
+		}
+		nested = true
+	}
+	if !nested {
+		t.Fatalf("no round has both workers' local-train spans (rounds %v, trains %v)", rounds, trains)
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"github.com/edgeml/edgetrain/internal/nn"
 	"github.com/edgeml/edgetrain/internal/trainer"
 	"github.com/edgeml/edgetrain/obs"
+	"github.com/edgeml/edgetrain/obs/health"
 )
 
 // ErrClosed is returned by Wait when the coordinator was closed before the
@@ -150,8 +151,13 @@ type Coordinator struct {
 
 	// Observability: co is always non-nil (nil-handle no-ops when no
 	// registry is installed); the health atomics back the /healthz
-	// endpoint without touching the run loop's state.
+	// endpoint without touching the run loop's state. mon evaluates the
+	// training-health rules at round boundaries (always non-nil; its
+	// alert counter no-ops without a registry), and flaps counts worker
+	// rejoins since the last round boundary (run-loop only).
 	co          *coordObs
+	mon         *health.Monitor
+	flaps       int
 	healthRound atomic.Int64
 	healthLive  atomic.Int64
 
@@ -238,6 +244,7 @@ func New(cfg Config, model func() (*chain.Chain, error)) (*Coordinator, error) {
 		done:       make(chan struct{}),
 	}
 	c.co = newCoordObs()
+	c.mon = health.NewMonitor()
 	if cfg.StateDir != "" {
 		if err := c.openState(); err != nil {
 			return nil, err
@@ -256,6 +263,7 @@ func (c *Coordinator) Start(t Transport, addr string) (string, error) {
 	if c.started.Swap(true) {
 		return "", fmt.Errorf("coord: coordinator already started")
 	}
+	obs.DefaultTracer().NameLane(-1, "coordinator")
 	l, err := t.Listen(addr)
 	if err != nil {
 		return "", err
@@ -445,8 +453,17 @@ func (c *Coordinator) serve(conn Conn) {
 		rem.lastSeen.Store(time.Now().UnixNano())
 		switch f.Type {
 		case msgHeartbeat:
-			// One-way liveness; lastSeen is already refreshed.
+			// One-way liveness; lastSeen is already refreshed. A non-empty
+			// payload is a telemetry shipment, ingested here off the run
+			// loop; a malformed one is as fatal as any other bad message.
 			c.co.heartbeats.Inc()
+			tm, err := parseHeartbeat(f.Payload)
+			if err != nil {
+				conn.Send(encodeError(fmt.Sprintf("coord: bad heartbeat: %v", err)))
+				c.post(event{kind: evDeath, rem: rem})
+				return
+			}
+			c.ingestTelemetry(rem, tm)
 		case msgPull:
 			var d directive
 			select {
@@ -475,6 +492,10 @@ func (c *Coordinator) serve(conn Conn) {
 				return
 			}
 			c.co.stagedBytes.Add(int64(len(f.Payload)))
+			// The update's trailing telemetry shipment (round-closing
+			// spans) lands before the fold decision, so the stitched trace
+			// has the local-train span when the round span closes.
+			c.ingestTelemetry(rem, m.telem)
 			// Decode a compressed blob here, off the run loop, so slow
 			// decodes of one worker never serialize the round. Decode is a
 			// pure function of the blob; the run loop still checks that the
@@ -557,8 +578,17 @@ func (c *Coordinator) run() {
 			if err != nil {
 				return err
 			}
+			// Rejoins since the previous boundary are this round's flap
+			// count; the window resets for the next round.
+			rs.Flaps = c.flaps
+			c.flaps = 0
 			rounds = append(rounds, rs)
-			c.co.commitRound(&rs)
+			c.co.commitRound(&rs, slots)
+			if alerts := c.mon.ObserveRound(rs.HealthStats()); len(alerts) > 0 {
+				for _, a := range alerts {
+					c.cfg.Logf("coord: ALERT %s", a)
+				}
+			}
 			c.cfg.Logf("coord: round %d: %d participants, %d dropouts, loss %.4f, wall %v",
 				r, rs.Participants, rs.Dropouts, rs.Loss, rs.WallClock.Round(time.Millisecond))
 			if saver != nil {
@@ -792,9 +822,11 @@ func (c *Coordinator) handleHello(e event, slots []slot) {
 	verb := "joined"
 	if rejoin {
 		c.co.rejoined.Inc()
+		c.flaps++
 	} else {
 		c.co.joined.Inc()
 	}
+	obs.DefaultTracer().NameLane(idx, h.name)
 	if rejoin && s.state != nil {
 		verb = "rejoined with recovered state"
 	}
@@ -850,6 +882,7 @@ func (c *Coordinator) runRound(r int, slots []slot) (fleet.RoundStats, error) {
 			return rs, err
 		}
 		if folded {
+			rs.Retries = attempt
 			break
 		}
 		if c.cfg.RoundRetries >= 0 && attempt >= c.cfg.RoundRetries {
@@ -999,6 +1032,7 @@ collect:
 				delete(expected, i)
 				rs.Workers[i].Dropped = true
 				rs.Dropouts++
+				rs.Rejected++
 				continue
 			}
 			u := e.upd.stats
@@ -1021,6 +1055,7 @@ collect:
 				delete(expected, i)
 				rs.Workers[i].Dropped = true
 				rs.Dropouts++
+				rs.Rejected++
 				continue
 			}
 			staged[i] = pendingUpdate{rem: e.rem, upd: e.upd, ack: e.ackReply}
@@ -1146,6 +1181,7 @@ func (c *Coordinator) buildReport(slots []slot, rounds []fleet.RoundStats) *flee
 		Aggregator: c.agg.Name(),
 		ModelBytes: c.modelBytes,
 		UplinkMbps: c.cfg.UplinkMbps,
+		Alerts:     c.mon.Alerts(),
 	}
 	if c.spec.Enabled() {
 		rep.Compression = c.spec.String()

@@ -9,6 +9,7 @@ import (
 	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/tensor"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // protoSample is one representative encoded message plus its parser, the
@@ -18,6 +19,32 @@ type protoSample struct {
 	typ     uint32
 	payload []byte
 	parse   func([]byte) error
+	// emptyOK marks messages whose zero-byte truncation is legitimately
+	// valid: a heartbeat with no payload means "alive, no telemetry".
+	emptyOK bool
+}
+
+// sampleTelemetry builds a representative telemetry shipment: counter,
+// gauge and histogram deltas plus span and instant events.
+func sampleTelemetry() telemetry {
+	return telemetry{
+		round: 3,
+		samples: []obs.Sample{
+			{Name: "chain_steps_total", Help: "Optimiser steps.", Kind: "counter", Value: 12},
+			{Name: "trainer_loss", Help: "Latest loss.", Kind: "gauge", Value: 0.731,
+				Labels: []obs.Label{{Key: "device", Value: "waggle"}}},
+			{Name: "chain_step_seconds", Help: "Step latency.", Kind: "histogram",
+				Value: 0.0625, Count: 12,
+				Bounds:  []float64{0.001, 0.01, 0.1},
+				Buckets: []int64{2, 9, 12}},
+		},
+		events: []obs.Event{
+			{Name: "local-train", Round: 3, Worker: 1,
+				Start: time.Unix(0, 1_700_000_000_000_000_000), Dur: 257 * time.Millisecond},
+			{Name: "spill", Round: 3, Worker: 1,
+				Start: time.Unix(0, 1_700_000_000_100_000_000), Detail: "budget=2GB"},
+		},
+	}
 }
 
 func protoSamples() []protoSample {
@@ -78,23 +105,40 @@ func protoSamples() []protoSample {
 	if err != nil {
 		panic(err)
 	}
+	// A v3 update carrying a trailing telemetry shipment.
+	telem := sampleTelemetry()
+	updateTelemetry, err := encodeUpdate(updateMsg{
+		round: 3, samples: 17, loss: 2.0, duration: 200 * time.Millisecond,
+		strategy: "revolve",
+		vecs:     []*tensor.Tensor{randTensor(rng, 4)},
+		state:    *state,
+		telem:    &telem,
+	})
+	if err != nil {
+		panic(err)
+	}
+	parseHB := func(b []byte) error { _, err := parseHeartbeat(b); return err }
 	return []protoSample{
 		{"hello", msgHello, helloF.Payload,
-			func(b []byte) error { _, err := parseHello(b); return err }},
+			func(b []byte) error { _, err := parseHello(b); return err }, false},
 		{"welcome-fresh", msgWelcome, welcomeFresh.Payload,
-			func(b []byte) error { _, err := parseWelcome(b); return err }},
+			func(b []byte) error { _, err := parseWelcome(b); return err }, false},
 		{"welcome-state", msgWelcome, welcomeState.Payload,
-			func(b []byte) error { _, err := parseWelcome(b); return err }},
+			func(b []byte) error { _, err := parseWelcome(b); return err }, false},
 		{"round", msgRound, roundF.Payload,
-			func(b []byte) error { _, err := parseRound(b); return err }},
+			func(b []byte) error { _, err := parseRound(b); return err }, false},
 		{"update", msgUpdate, updateF.Payload,
-			func(b []byte) error { _, err := parseUpdate(b); return err }},
+			func(b []byte) error { _, err := parseUpdate(b); return err }, false},
 		{"update-compressed", msgUpdate, updateCompressed.Payload,
-			func(b []byte) error { _, err := parseUpdate(b); return err }},
+			func(b []byte) error { _, err := parseUpdate(b); return err }, false},
+		{"update-telemetry", msgUpdate, updateTelemetry.Payload,
+			func(b []byte) error { _, err := parseUpdate(b); return err }, false},
+		{"heartbeat-empty", msgHeartbeat, nil, parseHB, true},
+		{"heartbeat-telemetry", msgHeartbeat, encodeTelemetry(sampleTelemetry()), parseHB, true},
 		{"ack", msgAck, encodeAck(ackMsg{round: 6, status: AckOK}).Payload,
-			func(b []byte) error { _, err := parseAck(b); return err }},
+			func(b []byte) error { _, err := parseAck(b); return err }, false},
 		{"error", msgError, encodeError("fleet full").Payload,
-			func(b []byte) error { _, err := parseError(b); return err }},
+			func(b []byte) error { _, err := parseError(b); return err }, false},
 	}
 }
 
@@ -172,6 +216,20 @@ func FuzzDecodeMessage(f *testing.F) {
 			if re := encodeAck(a); !bytes.Equal(re.Payload, payload) {
 				t.Fatalf("accepted ack is not canonical")
 			}
+		case msgHeartbeat:
+			tm, err := parseHeartbeat(payload)
+			if err != nil {
+				return
+			}
+			if tm == nil {
+				if len(payload) != 0 {
+					t.Fatalf("non-empty heartbeat parsed to no telemetry")
+				}
+				return
+			}
+			if re := encodeTelemetry(*tm); !bytes.Equal(re, payload) {
+				t.Fatalf("accepted heartbeat telemetry is not canonical: %x reencodes to %x", payload, re)
+			}
 		case msgError:
 			msg, err := parseError(payload)
 			if err != nil {
@@ -195,6 +253,11 @@ func TestTruncatedAtEveryBoundary(t *testing.T) {
 			t.Fatalf("%s: intact payload rejected: %v", s.name, err)
 		}
 		for cut := 0; cut < len(s.payload); cut++ {
+			if cut == 0 && s.emptyOK {
+				// A zero-byte heartbeat is a legitimate message ("alive,
+				// no telemetry"), not a truncation.
+				continue
+			}
 			if err := s.parse(s.payload[:cut]); err == nil {
 				t.Fatalf("%s: truncation to %d of %d bytes accepted", s.name, cut, len(s.payload))
 			}

@@ -3,6 +3,7 @@ package coord
 import (
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/obs"
+	"github.com/edgeml/edgetrain/obs/health"
 )
 
 // coordObs bundles the coordinator's metric handles. It is always
@@ -12,6 +13,10 @@ import (
 // accumulates, so the final scraped values match the end-of-run report
 // totals exactly.
 type coordObs struct {
+	// reg backs the per-worker labeled series (nil when observability is
+	// disabled — labeled handles resolve to nil no-ops).
+	reg *obs.Registry
+
 	roundsStarted   *obs.Counter
 	roundsCommitted *obs.Counter
 	roundRetries    *obs.Counter
@@ -29,6 +34,10 @@ type coordObs struct {
 	downlink    *obs.Counter
 	wire        *obs.Counter
 
+	telemetryFrames  *obs.Counter
+	telemetrySamples *obs.Counter
+	telemetryEvents  *obs.Counter
+
 	liveWorkers *obs.Gauge
 	roundCursor *obs.Gauge
 	roundSec    *obs.Histogram
@@ -40,6 +49,7 @@ func newCoordObs() *coordObs {
 	if r == nil {
 		return co
 	}
+	co.reg = r
 	co.roundsStarted = r.Counter("coord_rounds_started_total", "Aggregation rounds the coordinator began driving.")
 	co.roundsCommitted = r.Counter("coord_rounds_committed_total", "Rounds whose fold committed (matches the report's round count).")
 	co.roundRetries = r.Counter("coord_round_retries_total", "Round attempts discarded below quorum and re-broadcast.")
@@ -54,6 +64,9 @@ func newCoordObs() *coordObs {
 	co.rawUplink = r.Counter("coord_raw_uplink_bytes_total", "Committed update bytes at their uncompressed size.")
 	co.downlink = r.Counter("coord_downlink_bytes_total", "Broadcast bytes sent to round participants.")
 	co.wire = r.Counter("coord_wire_bytes_total", "Measured transport bytes (frames both directions, per round deltas).")
+	co.telemetryFrames = r.Counter("coord_telemetry_frames_total", "Telemetry shipments ingested from worker heartbeats and updates.")
+	co.telemetrySamples = r.Counter("coord_telemetry_samples_total", "Metric delta samples ingested from worker telemetry.")
+	co.telemetryEvents = r.Counter("coord_telemetry_events_total", "Trace events ingested from worker telemetry.")
 	co.liveWorkers = r.Gauge("coord_live_workers", "Currently connected workers.")
 	co.roundCursor = r.Gauge("coord_round", "Round the run loop is currently driving.")
 	co.roundSec = r.Histogram("coord_round_seconds", "Wall-clock time of one committed round (retry attempts included).", nil)
@@ -61,16 +74,61 @@ func newCoordObs() *coordObs {
 }
 
 // commitRound publishes one committed round from the same stats the
-// report will accumulate.
-func (co *coordObs) commitRound(rs *fleet.RoundStats) {
+// report will accumulate, including per-worker labeled series — the
+// fleet-wide view acceptance test cross-checks these against the final
+// report, so they must add exactly the RoundStats fields Report.Add does.
+func (co *coordObs) commitRound(rs *fleet.RoundStats, slots []slot) {
 	co.roundsCommitted.Inc()
 	co.uplink.Add(rs.UplinkBytes)
 	co.rawUplink.Add(rs.RawUplinkBytes)
 	co.downlink.Add(rs.DownlinkBytes)
 	for i := range rs.Workers {
-		co.wire.Add(rs.Workers[i].WireBytes)
+		ws := &rs.Workers[i]
+		co.wire.Add(ws.WireBytes)
+		if co.reg == nil || slots[i].name == "" {
+			continue
+		}
+		wl := obs.L("worker", slots[i].name)
+		if ws.Samples > 0 {
+			co.reg.CounterWith("coord_worker_rounds_total",
+				"Rounds whose fold included this worker's update.", wl).Inc()
+		}
+		if ws.Dropped {
+			co.reg.CounterWith("coord_worker_dropouts_total",
+				"Rounds this worker was selected for but lost to dropout.", wl).Inc()
+		}
+		co.reg.CounterWith("coord_worker_upload_bytes_total",
+			"Committed update bytes from this worker (post-compression).", wl).Add(ws.UploadBytes)
+		co.reg.CounterWith("coord_worker_download_bytes_total",
+			"Broadcast bytes sent to this worker.", wl).Add(ws.DownloadBytes)
+		co.reg.CounterWith("coord_worker_wire_bytes_total",
+			"Measured transport bytes moved with this worker, both directions.", wl).Add(ws.WireBytes)
 	}
 	co.roundSec.Observe(rs.WallClock.Seconds())
+}
+
+// ingestTelemetry folds one worker shipment into the process registry and
+// tracer: samples land under a worker=<name> label, events are re-tagged
+// with the worker's authoritative slot and marked remote. Runs on the
+// connection's handler goroutine, off the run loop.
+func (c *Coordinator) ingestTelemetry(rem *remote, tm *telemetry) {
+	if tm == nil {
+		return
+	}
+	c.co.telemetryFrames.Inc()
+	c.co.telemetrySamples.Add(int64(len(tm.samples)))
+	c.co.telemetryEvents.Add(int64(len(tm.events)))
+	obs.Default().Ingest(tm.samples, obs.L("worker", rem.name))
+	if tr := obs.DefaultTracer(); tr != nil {
+		for _, e := range tm.events {
+			// The slot the coordinator seated this worker in wins over
+			// whatever the worker tagged locally: lanes in the stitched
+			// trace follow fleet slots.
+			e.Worker = rem.index
+			e.Remote = true
+			tr.Record(e)
+		}
+	}
 }
 
 // noteLive refreshes the live-worker gauge and the /healthz cursor.
@@ -80,9 +138,11 @@ func (c *Coordinator) noteLive(slots []slot) {
 	c.co.liveWorkers.Set(float64(n))
 }
 
-// Health reports the run's live position for the /healthz endpoint:
-// the round the run loop is driving, the configured total, and the
-// number of connected workers.
+// Health reports the run's live position for the /healthz endpoint: the
+// round the run loop is driving, the configured total, and the number of
+// connected workers. When the health monitor's most recent round fired
+// alerts, the payload degrades (HTTP 503) with the reasons, and recovers
+// as soon as a clean round commits.
 func (c *Coordinator) Health() obs.Health {
 	status := "running"
 	select {
@@ -90,10 +150,18 @@ func (c *Coordinator) Health() obs.Health {
 		status = "done"
 	default:
 	}
-	return obs.Health{
+	h := obs.Health{
 		Status:      status,
 		Round:       int(c.healthRound.Load()),
 		Rounds:      c.cfg.Rounds,
 		LiveWorkers: int(c.healthLive.Load()),
 	}
+	if active := c.mon.Active(); len(active) > 0 {
+		h.Degraded = true
+		h.Alerts = health.Reasons(active)
+		if status == "running" {
+			h.Status = "alerting"
+		}
+	}
+	return h
 }

@@ -17,7 +17,11 @@ import (
 // Version 2 added update compression: the hello advertises codec
 // capabilities, the welcome assigns the run's codec spec, and update frames
 // may carry an encoded blob instead of raw tensors.
-const ProtocolVersion = 2
+// Version 3 added telemetry shipping: heartbeat payloads and a trailing
+// update block may carry a delta metric snapshot plus recent trace events
+// (see telemetry.go). A v2 worker is cleanly rejected at the handshake
+// with a versioned error message.
+const ProtocolVersion = 3
 
 // Message types. The checkpoint file format owns frame types 1..6; the wire
 // protocol starts at 16 so a protocol message can never be mistaken for a
@@ -259,6 +263,10 @@ type updateMsg struct {
 	blob  []byte
 	vecs  []*tensor.Tensor
 	state ckpt.WorkerState
+	// telem is the worker's final telemetry shipment for the round (nil
+	// when shipping is disabled); it rides as a trailing block so the
+	// coordinator sees local-train spans the moment the update lands.
+	telem *telemetry
 }
 
 func encodeUpdate(m updateMsg) (ckpt.Frame, error) {
@@ -290,6 +298,14 @@ func encodeUpdate(m updateMsg) (ckpt.Frame, error) {
 	st := ckpt.EncodeWorkerState(&m.state)
 	wire.PutUint32(&b, uint32(len(st)))
 	b.Write(st)
+	if m.telem != nil {
+		tb := encodeTelemetry(*m.telem)
+		wire.PutUint32(&b, 1)
+		wire.PutUint32(&b, uint32(len(tb)))
+		b.Write(tb)
+	} else {
+		wire.PutUint32(&b, 0)
+	}
 	return ckpt.Frame{Type: msgUpdate, Payload: b.Bytes()}, nil
 }
 
@@ -335,6 +351,18 @@ func parseUpdate(payload []byte) (updateMsg, error) {
 		return m, fmt.Errorf("coord: update worker state: %w", err)
 	}
 	m.state = *ws
+	if p.Uint32("telemetry flag") != 0 {
+		tn := p.Uint32("telemetry length")
+		tb := p.Take(int(tn), "telemetry")
+		if err := p.Err(); err != nil {
+			return m, err
+		}
+		tm, err := parseTelemetry(tb)
+		if err != nil {
+			return m, fmt.Errorf("coord: update telemetry: %w", err)
+		}
+		m.telem = &tm
+	}
 	return m, p.Done()
 }
 

@@ -1,0 +1,183 @@
+package coord
+
+// Telemetry shipping (protocol v3). Workers piggyback compact telemetry
+// payloads — a delta metric snapshot plus the trace events recorded since
+// the previous shipment — on the frames they already send: heartbeats
+// carry one as their whole payload (empty payload = telemetry disabled),
+// and updates carry one as a trailing block. The coordinator ingests the
+// samples into its own registry under worker=<name> labels and re-tags
+// the events with the worker's slot, so its /metrics and /trace become
+// the fleet-wide view.
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"github.com/edgeml/edgetrain/internal/wire"
+	"github.com/edgeml/edgetrain/obs"
+)
+
+// unixNano and durationNS are the wire↔time conversions; time.Unix(0, ns)
+// round-trips UnixNano exactly, so re-encoding a parsed payload is
+// byte-identical (the fuzz harness depends on that).
+func unixNano(ns int64) time.Time       { return time.Unix(0, ns) }
+func durationNS(ns int64) time.Duration { return time.Duration(ns) }
+
+// telemetry is one shipment from a worker.
+type telemetry struct {
+	round   int
+	samples []obs.Sample
+	events  []obs.Event
+}
+
+// telemetryKind maps obs.Sample.Kind to its wire enum.
+func telemetryKind(kind string) (uint32, bool) {
+	switch kind {
+	case "counter":
+		return 0, true
+	case "gauge":
+		return 1, true
+	case "histogram":
+		return 2, true
+	}
+	return 0, false
+}
+
+func telemetryKindName(k uint32) (string, bool) {
+	switch k {
+	case 0:
+		return "counter", true
+	case 1:
+		return "gauge", true
+	case 2:
+		return "histogram", true
+	}
+	return "", false
+}
+
+// encodeTelemetry renders t as a raw payload (no frame header); samples
+// whose kind is not a counter/gauge/histogram are skipped.
+func encodeTelemetry(t telemetry) []byte {
+	var b bytes.Buffer
+	wire.PutInt64(&b, int64(t.round))
+	kept := make([]obs.Sample, 0, len(t.samples))
+	for _, s := range t.samples {
+		if _, ok := telemetryKind(s.Kind); ok {
+			kept = append(kept, s)
+		}
+	}
+	wire.PutUint32(&b, uint32(len(kept)))
+	for _, s := range kept {
+		kind, _ := telemetryKind(s.Kind)
+		wire.PutString(&b, s.Name)
+		wire.PutString(&b, s.Help)
+		wire.PutUint32(&b, kind)
+		wire.PutUint32(&b, uint32(len(s.Labels)))
+		for _, l := range s.Labels {
+			wire.PutString(&b, l.Key)
+			wire.PutString(&b, l.Value)
+		}
+		wire.PutFloat64(&b, s.Value)
+		wire.PutInt64(&b, s.Count)
+		wire.PutUint32(&b, uint32(len(s.Bounds)))
+		for _, bound := range s.Bounds {
+			wire.PutFloat64(&b, bound)
+		}
+		wire.PutUint32(&b, uint32(len(s.Buckets)))
+		for _, c := range s.Buckets {
+			wire.PutInt64(&b, c)
+		}
+	}
+	wire.PutUint32(&b, uint32(len(t.events)))
+	for _, e := range t.events {
+		wire.PutString(&b, e.Name)
+		wire.PutInt64(&b, int64(e.Round))
+		wire.PutInt64(&b, int64(e.Worker))
+		wire.PutInt64(&b, e.Start.UnixNano())
+		wire.PutInt64(&b, int64(e.Dur))
+		wire.PutString(&b, e.Detail)
+	}
+	return b.Bytes()
+}
+
+// maxTelemetryItems bounds every count field in a telemetry payload —
+// far above anything a real shipment carries, low enough that a hostile
+// length prefix cannot drive a huge allocation.
+const maxTelemetryItems = 1 << 16
+
+func telemetryCount(p *wire.Reader, what string) uint32 {
+	n := p.Uint32(what)
+	if p.Err() == nil && n > maxTelemetryItems {
+		p.Fail(what)
+		return 0
+	}
+	return n
+}
+
+// parseTelemetry decodes one telemetry payload. Histogram samples whose
+// bucket count does not match their bound count are a wire error: the
+// ingest path depends on the parallel layout.
+func parseTelemetry(payload []byte) (telemetry, error) {
+	p := wire.NewReader(payload)
+	var t telemetry
+	t.round = int(p.Int64("telemetry round"))
+	ns := telemetryCount(p, "telemetry sample count")
+	for i := uint32(0); i < ns && p.Err() == nil; i++ {
+		var s obs.Sample
+		s.Name = p.String("sample name")
+		s.Help = p.String("sample help")
+		kind := p.Uint32("sample kind")
+		if p.Err() == nil {
+			name, ok := telemetryKindName(kind)
+			if !ok {
+				return t, fmt.Errorf("coord: unknown telemetry sample kind %d", kind)
+			}
+			s.Kind = name
+		}
+		nl := telemetryCount(p, "sample label count")
+		for j := uint32(0); j < nl && p.Err() == nil; j++ {
+			s.Labels = append(s.Labels, obs.L(p.String("label key"), p.String("label value")))
+		}
+		s.Value = p.Float64("sample value")
+		s.Count = p.Int64("sample count")
+		nb := telemetryCount(p, "sample bound count")
+		for j := uint32(0); j < nb && p.Err() == nil; j++ {
+			s.Bounds = append(s.Bounds, p.Float64("sample bound"))
+		}
+		nc := telemetryCount(p, "sample bucket count")
+		if p.Err() == nil && nc != nb {
+			return t, fmt.Errorf("coord: telemetry sample %q has %d buckets for %d bounds", s.Name, nc, nb)
+		}
+		for j := uint32(0); j < nc && p.Err() == nil; j++ {
+			s.Buckets = append(s.Buckets, p.Int64("sample bucket"))
+		}
+		t.samples = append(t.samples, s)
+	}
+	ne := telemetryCount(p, "telemetry event count")
+	for i := uint32(0); i < ne && p.Err() == nil; i++ {
+		var e obs.Event
+		e.Name = p.String("event name")
+		e.Round = int(p.Int64("event round"))
+		e.Worker = int(p.Int64("event worker"))
+		e.Start = unixNano(p.Int64("event start"))
+		e.Dur = durationNS(p.Int64("event duration"))
+		e.Detail = p.String("event detail")
+		t.events = append(t.events, e)
+	}
+	return t, p.Done()
+}
+
+// parseHeartbeat decodes a heartbeat payload: empty means "alive, no
+// telemetry" (shipping disabled on the worker), anything else is one
+// telemetry shipment.
+func parseHeartbeat(payload []byte) (*telemetry, error) {
+	if len(payload) == 0 {
+		return nil, nil
+	}
+	t, err := parseTelemetry(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

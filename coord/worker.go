@@ -14,6 +14,7 @@ import (
 	"github.com/edgeml/edgetrain/fleet"
 	"github.com/edgeml/edgetrain/internal/chain"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs"
 )
 
 // WorkerOptions configures one edge worker process.
@@ -142,11 +143,25 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 	h.Write([]byte(opts.Spec.Name))
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 
+	// Telemetry shipping auto-enables with the process observability
+	// defaults: when either is installed, the worker piggybacks delta
+	// snapshots and recent spans on its heartbeats and updates. The
+	// shipper outlives reconnects so a rejoined session continues from
+	// the last shipped position instead of re-counting from zero.
+	// Series already carrying a worker label are foreign (ingested by a
+	// coordinator sharing this process's registry over the loopback
+	// transport) and are never echoed back.
+	var ship *obs.DeltaShipper
+	if obs.Default() != nil || obs.DefaultTracer() != nil {
+		ship = obs.NewDeltaShipper(obs.Default(), obs.DefaultTracer())
+		ship.SkipLabels = []string{"worker"}
+	}
+
 	res := &WorkerResult{}
 	budget := retries
 	backoff := backoffMin
 	for {
-		err := runWorkerSession(t, addr, opts, logf, res, func() {
+		err := runWorkerSession(t, addr, opts, ship, logf, res, func() {
 			// A successful handshake refills the reconnect budget: the
 			// bound is on consecutive failures, not lifetime ones.
 			budget = retries
@@ -179,7 +194,7 @@ func RunWorker(t Transport, addr string, opts WorkerOptions) (*WorkerResult, err
 // A nil return means the coordinator declared the run complete; a transient
 // error asks the caller to reconnect; any other error is fatal. onWelcome
 // fires once the handshake has been accepted.
-func runWorkerSession(t Transport, addr string, opts WorkerOptions,
+func runWorkerSession(t Transport, addr string, opts WorkerOptions, ship *obs.DeltaShipper,
 	logf func(string, ...any), res *WorkerResult, onWelcome func()) error {
 	heartbeat := opts.Heartbeat
 	if heartbeat <= 0 {
@@ -331,10 +346,15 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 		preLayers := ckpt.CaptureLayerState(w.Chain.Stages)
 
 		// Local computation with heartbeats flowing; the coordinator-side
-		// handler is guaranteed to be reading during this window.
-		stop := startHeartbeat(conn, heartbeat)
+		// handler is guaranteed to be reading during this window. Each
+		// heartbeat carries a telemetry delta when shipping is enabled, so
+		// the coordinator's fleet view advances while the round is still
+		// training.
+		stop := startHeartbeat(conn, heartbeat, ship, m.round)
 		tstart := time.Now()
+		ltSpan := obs.DefaultTracer().Span("local-train", m.round, a.Index)
 		u, lerr := agg.Local(w, m.round)
+		ltSpan.End()
 		stop()
 		if lerr != nil {
 			return fmt.Errorf("coord: round %d local computation: %w", m.round, lerr)
@@ -362,6 +382,15 @@ func runWorkerSession(t Transport, addr string, opts WorkerOptions,
 			stats:    u,
 			vecs:     u.Vecs,
 			state:    ws,
+		}
+		// The round's closing telemetry shipment rides on the update, so
+		// the just-ended local-train span reaches the coordinator with the
+		// result it describes.
+		if ship != nil {
+			samples, events := ship.Collect()
+			if len(samples) > 0 || len(events) > 0 {
+				msg.telem = &telemetry{round: m.round, samples: samples, events: events}
+			}
 		}
 		// The residual snapshot taken just before encoding is the rewind
 		// point: a retry discards the attempt's error feedback along with
@@ -461,10 +490,12 @@ func applyBroadcast(w *fleet.Worker, params []ckpt.NamedTensor) error {
 	return nil
 }
 
-// startHeartbeat streams liveness frames until stopped. The stop function
-// waits the sender out, so no heartbeat can interleave with the update
-// upload that follows.
-func startHeartbeat(conn Conn, every time.Duration) (stop func()) {
+// startHeartbeat streams liveness frames until stopped, each carrying the
+// telemetry delta collected since the last shipment when shipping is
+// enabled (nil shipper → empty payloads, the "alive, no telemetry" form).
+// The stop function waits the sender out, so no heartbeat can interleave
+// with the update upload that follows.
+func startHeartbeat(conn Conn, every time.Duration, ship *obs.DeltaShipper, round int) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -475,7 +506,14 @@ func startHeartbeat(conn Conn, every time.Duration) (stop func()) {
 		for {
 			select {
 			case <-t.C:
-				if conn.Send(ckpt.Frame{Type: msgHeartbeat}) != nil {
+				f := ckpt.Frame{Type: msgHeartbeat}
+				if ship != nil {
+					samples, events := ship.Collect()
+					if len(samples) > 0 || len(events) > 0 {
+						f.Payload = encodeTelemetry(telemetry{round: round, samples: samples, events: events})
+					}
+				}
+				if conn.Send(f) != nil {
 					return
 				}
 			case <-done:

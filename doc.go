@@ -76,10 +76,17 @@
 //     text exposition v0.0.4), a ring-buffered trace recorder for the round
 //     lifecycle (JSONL or Chrome trace_event export), the /metrics, /healthz,
 //     /trace and /debug/pprof HTTP surface behind the binaries' -metrics-addr
-//     flag, and the structured log helper the processes share. No-op by
-//     default — handles off a nil registry record nothing and cost ~nothing —
-//     and instrumentation never perturbs training: weights are byte-identical
-//     with observability on or off.
+//     flag, and the structured log helper the processes share. Workers ship
+//     delta telemetry (metric movement + new trace spans) piggybacked on
+//     their protocol frames; the coordinator ingests it under worker=<name>
+//     labels and stitches the spans into one cross-process Chrome trace, so
+//     a single coordinator scrape is the fleet-wide view. obs/health adds
+//     declarative training-health rules (loss divergence, NaN rejections,
+//     stragglers, worker flap, retry burn) evaluated at round boundaries by
+//     both runners, firing fleet_alerts_total and degrading /healthz to 503.
+//     No-op by default — handles off a nil registry record nothing and cost
+//     ~nothing — and instrumentation never perturbs training: weights are
+//     byte-identical with observability (and telemetry shipping) on or off.
 //   - internal/device, internal/edgesim, internal/vision, internal/teacher —
 //     the Waggle/Array-of-Things context: the 2 GB Edge node (plus Jetson-
 //     and Raspberry-class fleet profiles), the fleet-scale cloud-vs-edge

@@ -5,6 +5,7 @@ import (
 
 	"github.com/edgeml/edgetrain/ckpt"
 	"github.com/edgeml/edgetrain/internal/trainer"
+	"github.com/edgeml/edgetrain/obs/health"
 )
 
 // Durable round checkpoints and elastic resume. A fleet checkpoint captures
@@ -194,18 +195,24 @@ func (f *Fleet) RunFrom(startRound int, d *ckpt.Dir, everyRounds int, opts ...ck
 		return nil, fmt.Errorf("fleet: resume round %d outside [0, %d]", startRound, f.cfg.Rounds)
 	}
 	rep := f.newReport()
+	// The same declarative health rules the distributed coordinator
+	// evaluates run here at every round boundary; firings land in the
+	// report's ALERTS section and the fleet_alerts_total counter.
+	mon := health.NewMonitor()
 	for r := startRound; r < f.cfg.Rounds; r++ {
 		rs, err := f.Round(r)
 		if err != nil {
 			return nil, err
 		}
 		rep.Add(rs)
+		mon.ObserveRound(rs.HealthStats())
 		if d != nil && everyRounds > 0 && (r+1)%everyRounds == 0 && r+1 < f.cfg.Rounds {
 			if _, err := f.SaveCheckpoint(d, r+1, opts...); err != nil {
 				return nil, fmt.Errorf("fleet: checkpointing after round %d: %w", r, err)
 			}
 		}
 	}
+	rep.Alerts = mon.Alerts()
 	if d != nil {
 		if _, err := f.SaveCheckpoint(d, f.cfg.Rounds, opts...); err != nil {
 			return nil, fmt.Errorf("fleet: writing completion checkpoint: %w", err)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/edgeml/edgetrain/obs/health"
 	"github.com/edgeml/edgetrain/plan"
 )
 
@@ -48,6 +49,9 @@ type RoundStats struct {
 	Round        int
 	Participants int // workers whose update was folded
 	Dropouts     int // selected workers that failed before uploading
+	Rejected     int // updates rejected (failed validation or wrong codec)
+	Retries      int // attempts discarded below quorum before the commit
+	Flaps        int // worker rejoin events since the previous round
 	Loss         float64
 	UplinkBytes  int64
 	// RawUplinkBytes is what the round's uploads would have cost
@@ -61,6 +65,28 @@ type RoundStats struct {
 	// WallClock is the round's wall-clock time, broadcast through fold.
 	WallClock time.Duration
 	Workers   []WorkerRoundStats // index-aligned with the fleet's workers
+}
+
+// HealthStats maps one round's stats onto the health monitor's view.
+// Shared by the in-process runner and the coord coordinator so both
+// evaluate identical rules against identical accounting.
+func (rs *RoundStats) HealthStats() health.Stats {
+	s := health.Stats{
+		Round:        rs.Round,
+		Loss:         rs.Loss,
+		Participants: rs.Participants,
+		Dropouts:     rs.Dropouts,
+		Rejected:     rs.Rejected,
+		Retries:      rs.Retries,
+		Flaps:        rs.Flaps,
+		WallClock:    rs.WallClock,
+	}
+	for i := range rs.Workers {
+		if ws := &rs.Workers[i]; ws.Samples > 0 {
+			s.LocalDur = append(s.LocalDur, ws.Duration)
+		}
+	}
+	return s
 }
 
 // WorkerSummary aggregates one worker over a whole run.
@@ -102,6 +128,9 @@ type Report struct {
 	UplinkMbps  float64
 	Workers     []WorkerSummary
 	Rounds      []RoundStats
+	// Alerts is every training-health alert the run's monitor fired, in
+	// firing order (empty for a healthy run).
+	Alerts []health.Alert
 
 	TotalUplinkBytes int64
 	// TotalRawUplinkBytes is the run's uplink cost had every update shipped
@@ -243,6 +272,14 @@ func (rep *Report) Render() string {
 		fmt.Fprintf(&b, "compression: %s, raw uplink %.2f MB -> %.2f MB (%.1fx), modeled upload %.2f s at %g Mbps\n",
 			rep.Compression, mb(rep.TotalRawUplinkBytes), mb(rep.TotalUplinkBytes),
 			rep.CompressionRatio(), rep.ModeledUplink.Seconds(), rep.UplinkMbps)
+	}
+	// The ALERTS section appears only when the run's health monitor fired,
+	// so healthy reports render byte-identically to earlier releases.
+	if len(rep.Alerts) > 0 {
+		fmt.Fprintf(&b, "ALERTS (%d):\n", len(rep.Alerts))
+		for _, a := range rep.Alerts {
+			fmt.Fprintf(&b, "  %s\n", a)
+		}
 	}
 	return b.String()
 }

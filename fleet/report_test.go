@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/edgeml/edgetrain/obs/health"
 )
 
 // TestReportRenderGolden pins the report's rendered layout, including the
@@ -68,5 +70,23 @@ func TestReportRenderGolden(t *testing.T) {
 	empty := &Report{Aggregator: "fedavg"}
 	if out := empty.Render(); strings.Contains(out, "round wall-clock") {
 		t.Fatalf("empty report rendered a wall-clock line:\n%s", out)
+	}
+}
+
+// TestReportRenderAlerts pins the ALERTS section: absent on healthy runs
+// (the golden above has no ALERTS line) and rendered one alert per line
+// when the monitor fired.
+func TestReportRenderAlerts(t *testing.T) {
+	rep := &Report{Aggregator: "fedavg"}
+	rep.Alerts = []health.Alert{
+		{Rule: "loss-divergence", Round: 3, Detail: "loss 9.1200 > 2x best 1.1000"},
+		{Rule: "worker-flap", Round: 4, Detail: "2 rejoins since the previous round"},
+	}
+	out := rep.Render()
+	want := "ALERTS (2):\n" +
+		"  round 3: loss-divergence: loss 9.1200 > 2x best 1.1000\n" +
+		"  round 4: worker-flap: 2 rejoins since the previous round\n"
+	if !strings.HasSuffix(out, want) {
+		t.Fatalf("ALERTS section mismatch:\n--- got ---\n%s--- want suffix ---\n%s", out, want)
 	}
 }

@@ -12,12 +12,14 @@ import (
 // the coordinator reports its round cursor and live worker count, the
 // trainers report completed steps/rounds.
 type Health struct {
-	Status        string  `json:"status"` // "ok", "running", "done", …
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Round         int     `json:"round"`
-	Rounds        int     `json:"rounds"`
-	LiveWorkers   int     `json:"live_workers"`
-	Detail        string  `json:"detail,omitempty"`
+	Status        string   `json:"status"` // "ok", "running", "done", "alerting", …
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Round         int      `json:"round"`
+	Rounds        int      `json:"rounds"`
+	LiveWorkers   int      `json:"live_workers"`
+	Detail        string   `json:"detail,omitempty"`
+	Degraded      bool     `json:"degraded,omitempty"` // /healthz answers 503 when set
+	Alerts        []string `json:"alerts,omitempty"`   // active alert reasons
 }
 
 // Endpoints configures the HTTP surface a long-running process exposes.
@@ -59,6 +61,9 @@ func (e Endpoints) Mux() *http.ServeMux {
 			h.UptimeSeconds = time.Since(start).Seconds()
 		}
 		w.Header().Set("Content-Type", "application/json")
+		if h.Degraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
 		json.NewEncoder(w).Encode(h)
 	})
 

@@ -120,6 +120,37 @@ func TestEndpointsFallsBackToDefaults(t *testing.T) {
 	}
 }
 
+// TestHealthzDegraded pins the alerting path: a degraded Health answers
+// 503 with the alert reasons in the JSON body, so orchestrators probing
+// /healthz see a diverging fleet without parsing metrics.
+func TestHealthzDegraded(t *testing.T) {
+	e := Endpoints{Health: func() Health {
+		return Health{
+			Status:   "alerting",
+			Degraded: true,
+			Alerts:   []string{"round 3: loss-divergence: loss is NaN"},
+		}
+	}}
+	srv := httptest.NewServer(e.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %s, want 503", resp.Status)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Degraded || len(h.Alerts) != 1 || !strings.Contains(h.Alerts[0], "loss-divergence") {
+		t.Fatalf("degraded payload = %+v", h)
+	}
+}
+
 func TestServe(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("served_total", "Served.").Inc()

@@ -121,6 +121,11 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.n.Add(1)
+	h.addSum(v)
+}
+
+// addSum atomically adds v to the running sum.
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -310,9 +315,13 @@ func (r *Registry) HistogramWith(name, help string, bounds []float64, labels ...
 	return nil
 }
 
-// Sample is one series in a Snapshot.
+// Sample is one series in a Snapshot. The same shape carries deltas in a
+// telemetry shipment (see DeltaShipper): there Value and Count are the
+// movement since the previous shipment for counters and histograms, and
+// the latest value for gauges.
 type Sample struct {
 	Name   string
+	Help   string
 	Labels []Label
 	Kind   string  // "counter", "gauge" or "histogram"
 	Value  float64 // counter/gauge value; histogram sum
@@ -354,7 +363,7 @@ func (r *Registry) Snapshot() []Sample {
 	all := r.sortedSeries()
 	out := make([]Sample, 0, len(all))
 	for _, s := range all {
-		smp := Sample{Name: s.name, Labels: append([]Label(nil), s.labels...), Kind: s.kind.String()}
+		smp := Sample{Name: s.name, Help: s.help, Labels: append([]Label(nil), s.labels...), Kind: s.kind.String()}
 		switch s.kind {
 		case kindCounter:
 			smp.Value = float64(s.c.Value())

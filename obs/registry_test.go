@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -50,6 +51,60 @@ weird_total{v="a\\b\"c\nd"} 1
 `
 	if got := b.String(); got != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEdgeCases pins the exposition of the awkward values a
+// fleet scrape actually produces: NaN and ±Inf gauges (diverged loss), a
+// histogram with no observations yet, a label value needing every escape,
+// and HELP text carrying backslashes and newlines — all against the
+// v0.0.4 text format.
+func TestWritePrometheusEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("loss_nan", "Diverged.").Set(math.NaN())
+	r.Gauge("inf_pos", "Overflow.").Set(math.Inf(1))
+	r.Gauge("inf_neg", "Underflow.").Set(math.Inf(-1))
+	r.Histogram("cold", "No observations yet.", []float64{0.5, 2})
+	r.CounterWith("esc_total", "Back\\slash and\nnewline.", L("p", "q\\r\"s\nt")).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP cold No observations yet.
+# TYPE cold histogram
+cold_bucket{le="0.5"} 0
+cold_bucket{le="2"} 0
+cold_bucket{le="+Inf"} 0
+cold_sum 0
+cold_count 0
+# HELP esc_total Back\\slash and\nnewline.
+# TYPE esc_total counter
+esc_total{p="q\\r\"s\nt"} 1
+# HELP inf_neg Underflow.
+# TYPE inf_neg gauge
+inf_neg -Inf
+# HELP inf_pos Overflow.
+# TYPE inf_pos gauge
+inf_pos +Inf
+# HELP loss_nan Diverged.
+# TYPE loss_nan gauge
+loss_nan NaN
+`
+	if got := b.String(); got != want {
+		t.Fatalf("edge-case exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotCarriesHelp checks Snapshot fills Help — telemetry shipments
+// re-register ingested series with it, so the fleet-wide scrape keeps the
+// original HELP lines.
+func TestSnapshotCarriesHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "The help line.").Inc()
+	s := r.Snapshot()
+	if len(s) != 1 || s[0].Help != "The help line." {
+		t.Fatalf("snapshot = %+v", s)
 	}
 }
 

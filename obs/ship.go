@@ -1,0 +1,156 @@
+package obs
+
+import "sync"
+
+// DeltaShipper turns a process's local registry and tracer into a stream of
+// compact telemetry shipments: each Collect returns the metric movement and
+// the trace events recorded since the previous Collect. Workers piggyback
+// these shipments on protocol messages; the coordinator folds them into its
+// own registry/tracer with Registry.Ingest and Tracer.Record, making the
+// coordinator's /metrics and /trace the fleet-wide view.
+//
+// Counters ship their delta (omitted when unchanged), gauges their latest
+// value (omitted when bit-unchanged), histograms their count/sum/bucket
+// deltas (omitted when no new observations landed). Events recorded by a
+// previous ingestion (Event.Remote) are never re-shipped, so a shared
+// registry — the in-process loopback transport — cannot echo telemetry
+// back and forth.
+type DeltaShipper struct {
+	// SkipLabels lists label keys that mark a series as foreign: series
+	// carrying any of them are never shipped. The coordinator ingests under
+	// a "worker" label, so workers sharing its registry in-process skip
+	// exactly those.
+	SkipLabels []string
+
+	mu     sync.Mutex
+	reg    *Registry
+	tr     *Tracer
+	last   map[string]Sample // previous snapshot by name+label key
+	cursor int64             // tracer position of the last Collect
+}
+
+// NewDeltaShipper returns a shipper over reg and tr (either may be nil;
+// a fully nil shipper collects nothing).
+func NewDeltaShipper(reg *Registry, tr *Tracer) *DeltaShipper {
+	return &DeltaShipper{reg: reg, tr: tr, last: make(map[string]Sample)}
+}
+
+func (d *DeltaShipper) skip(s *Sample) bool {
+	for _, k := range d.SkipLabels {
+		for _, l := range s.Labels {
+			if l.Key == k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Collect returns the metric deltas and new trace events since the previous
+// Collect (everything, on the first call). Safe for concurrent use.
+func (d *DeltaShipper) Collect() ([]Sample, []Event) {
+	if d == nil {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var samples []Sample
+	for _, cur := range d.reg.Snapshot() {
+		if d.skip(&cur) {
+			continue
+		}
+		key := cur.Name + labelKey(cur.Labels)
+		prev, seen := d.last[key]
+		d.last[key] = cur
+		delta := cur // copy; Bounds/Buckets slices are already snapshot-owned
+		switch cur.Kind {
+		case "counter":
+			delta.Value = cur.Value - prev.Value
+			if seen && delta.Value == 0 {
+				continue
+			}
+		case "gauge":
+			if seen && sameFloatBits(cur.Value, prev.Value) {
+				continue
+			}
+		case "histogram":
+			if seen && cur.Count == prev.Count {
+				continue
+			}
+			delta.Value = cur.Value - prev.Value
+			delta.Count = cur.Count - prev.Count
+			if seen {
+				delta.Buckets = make([]int64, len(cur.Buckets))
+				for i := range cur.Buckets {
+					delta.Buckets[i] = cur.Buckets[i]
+					if i < len(prev.Buckets) {
+						delta.Buckets[i] -= prev.Buckets[i]
+					}
+				}
+			}
+		}
+		samples = append(samples, delta)
+	}
+	var events []Event
+	all, next := d.tr.EventsSince(d.cursor)
+	d.cursor = next
+	for _, e := range all {
+		if e.Remote {
+			continue
+		}
+		events = append(events, e)
+	}
+	return samples, events
+}
+
+func sameFloatBits(a, b float64) bool {
+	return (a == b) || (a != a && b != b) // NaN-tolerant equality
+}
+
+// Ingest folds delta samples (a DeltaShipper.Collect shipment) into r with
+// the extra labels appended — the coordinator passes worker=<name>, so one
+// scrape of its registry is the fleet-wide view. Samples that already carry
+// one of the extra label keys are dropped (they were ingested before), as
+// are samples whose kind or bucket layout clashes with an existing series:
+// hostile or skewed telemetry must never corrupt the ingesting registry.
+// A nil registry ingests nothing.
+func (r *Registry) Ingest(samples []Sample, extra ...Label) {
+	if r == nil {
+		return
+	}
+next:
+	for _, s := range samples {
+		for _, x := range extra {
+			for _, l := range s.Labels {
+				if l.Key == x.Key {
+					continue next
+				}
+			}
+		}
+		labels := make([]Label, 0, len(s.Labels)+len(extra))
+		labels = append(labels, s.Labels...)
+		labels = append(labels, extra...)
+		switch s.Kind {
+		case "counter":
+			r.CounterWith(s.Name, s.Help, labels...).Add(int64(s.Value))
+		case "gauge":
+			r.GaugeWith(s.Name, s.Help, labels...).Set(s.Value)
+		case "histogram":
+			h := r.HistogramWith(s.Name, s.Help, s.Bounds, labels...)
+			if h == nil || len(h.bounds) != len(s.Bounds) || len(s.Buckets) != len(s.Bounds) {
+				continue
+			}
+			// Buckets are cumulative per bound; convert to per-bucket
+			// increments, the +Inf increment being Count minus the last
+			// cumulative bound.
+			prev := int64(0)
+			for i, cum := range s.Buckets {
+				h.counts[i].Add(cum - prev)
+				prev = cum
+			}
+			h.counts[len(h.bounds)].Add(s.Count - prev)
+			h.n.Add(s.Count)
+			h.addSum(s.Value)
+		}
+	}
+}

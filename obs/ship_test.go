@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func collectNames(samples []Sample) []string {
+	var out []string
+	for _, s := range samples {
+		out = append(out, s.Name+labelKey(s.Labels))
+	}
+	return out
+}
+
+// TestDeltaShipperCounter pins counter semantics: the first Collect ships
+// the full value, later ones only the movement, and an unchanged counter
+// is omitted entirely.
+func TestDeltaShipperCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("steps_total", "Steps.")
+	c.Add(3)
+	d := NewDeltaShipper(r, nil)
+
+	samples, _ := d.Collect()
+	if len(samples) != 1 || samples[0].Value != 3 {
+		t.Fatalf("first collect = %+v, want one sample of 3", samples)
+	}
+	if samples, _ = d.Collect(); len(samples) != 0 {
+		t.Fatalf("unchanged counter shipped: %v", collectNames(samples))
+	}
+	c.Add(2)
+	samples, _ = d.Collect()
+	if len(samples) != 1 || samples[0].Value != 2 {
+		t.Fatalf("delta collect = %+v, want one sample of 2", samples)
+	}
+}
+
+// TestDeltaShipperGauge pins gauge semantics: latest value, omitted when
+// bit-unchanged — including a held NaN, which must not ship forever.
+func TestDeltaShipperGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("temp", "Temp.")
+	g.Set(1.5)
+	d := NewDeltaShipper(r, nil)
+
+	samples, _ := d.Collect()
+	if len(samples) != 1 || samples[0].Value != 1.5 {
+		t.Fatalf("first collect = %+v", samples)
+	}
+	if samples, _ = d.Collect(); len(samples) != 0 {
+		t.Fatalf("unchanged gauge shipped: %v", collectNames(samples))
+	}
+	g.Set(math.NaN())
+	samples, _ = d.Collect()
+	if len(samples) != 1 || !math.IsNaN(samples[0].Value) {
+		t.Fatalf("NaN transition not shipped: %+v", samples)
+	}
+	if samples, _ = d.Collect(); len(samples) != 0 {
+		t.Fatalf("held NaN re-shipped: %v", collectNames(samples))
+	}
+}
+
+// TestDeltaShipperHistogram pins histogram semantics: deltas of count, sum
+// and the cumulative-per-bound bucket layout, omitted when no new
+// observations landed.
+func TestDeltaShipperHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	d := NewDeltaShipper(r, nil)
+
+	samples, _ := d.Collect()
+	if len(samples) != 1 {
+		t.Fatalf("first collect = %v", collectNames(samples))
+	}
+	s := samples[0]
+	if s.Count != 2 || s.Value != 5.5 || !reflect.DeepEqual(s.Buckets, []int64{1, 2}) {
+		t.Fatalf("first shipment = %+v", s)
+	}
+	if samples, _ = d.Collect(); len(samples) != 0 {
+		t.Fatalf("idle histogram shipped: %v", collectNames(samples))
+	}
+	h.Observe(0.25)
+	h.Observe(100)
+	samples, _ = d.Collect()
+	s = samples[0]
+	// Delta buckets stay cumulative in index: one obs <=1 also counts <=10.
+	if s.Count != 2 || s.Value != 100.25 || !reflect.DeepEqual(s.Buckets, []int64{1, 1}) {
+		t.Fatalf("delta shipment = %+v", s)
+	}
+}
+
+// TestDeltaShipperSkipLabels pins the loopback guard: series carrying a
+// skip key (the coordinator's ingest label) are never shipped.
+func TestDeltaShipperSkipLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mine_total", "Mine.").Inc()
+	r.CounterWith("theirs_total", "Ingested.", L("worker", "w9")).Inc()
+	d := NewDeltaShipper(r, nil)
+	d.SkipLabels = []string{"worker"}
+	samples, _ := d.Collect()
+	if got := collectNames(samples); !reflect.DeepEqual(got, []string{"mine_total"}) {
+		t.Fatalf("shipped %v, want just mine_total", got)
+	}
+}
+
+// TestDeltaShipperEvents pins event shipping: each event ships exactly
+// once, and events marked Remote (ingested from elsewhere) never ship.
+func TestDeltaShipperEvents(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Event("a", 0, 0, "")
+	tr.Record(Event{Name: "echo", Remote: true})
+	d := NewDeltaShipper(nil, tr)
+
+	_, events := d.Collect()
+	if len(events) != 1 || events[0].Name != "a" {
+		t.Fatalf("first collect events = %+v", events)
+	}
+	if _, events = d.Collect(); len(events) != 0 {
+		t.Fatalf("events re-shipped: %+v", events)
+	}
+	tr.Event("b", 1, 0, "")
+	_, events = d.Collect()
+	if len(events) != 1 || events[0].Name != "b" {
+		t.Fatalf("incremental collect events = %+v", events)
+	}
+}
+
+// TestNilDeltaShipper pins the no-op contract for nil shippers and
+// shippers over nil registry/tracer.
+func TestNilDeltaShipper(t *testing.T) {
+	var d *DeltaShipper
+	if s, e := d.Collect(); s != nil || e != nil {
+		t.Fatalf("nil shipper collected %v, %v", s, e)
+	}
+	d = NewDeltaShipper(nil, nil)
+	if s, e := d.Collect(); s != nil || e != nil {
+		t.Fatalf("empty shipper collected %v, %v", s, e)
+	}
+}
+
+// TestIngestRoundTrip ships a registry's full first snapshot into a fresh
+// registry under a worker label and checks the scraped totals match the
+// source for every kind.
+func TestIngestRoundTrip(t *testing.T) {
+	src := NewRegistry()
+	src.Counter("steps_total", "Steps.").Add(4)
+	src.Gauge("temp", "Temp.").Set(-2.5)
+	h := src.Histogram("lat", "Latency.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	dst := NewRegistry()
+	samples, _ := NewDeltaShipper(src, nil).Collect()
+	dst.Ingest(samples, L("worker", "w0"))
+
+	wl := L("worker", "w0")
+	if got := dst.CounterWith("steps_total", "Steps.", wl).Value(); got != 4 {
+		t.Fatalf("ingested counter = %d", got)
+	}
+	if got := dst.GaugeWith("temp", "Temp.", wl).Value(); got != -2.5 {
+		t.Fatalf("ingested gauge = %g", got)
+	}
+	ih := dst.HistogramWith("lat", "Latency.", []float64{1, 10}, wl)
+	if ih.Count() != 3 || ih.Sum() != 55.5 {
+		t.Fatalf("ingested histogram count=%d sum=%g", ih.Count(), ih.Sum())
+	}
+	// Scrape-level check: per-bound cumulative buckets survive the
+	// cumulative→increment→cumulative round trip, +Inf included.
+	var b strings.Builder
+	if err := dst.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`lat_bucket{worker="w0",le="1"} 1`,
+		`lat_bucket{worker="w0",le="10"} 2`,
+		`lat_bucket{worker="w0",le="+Inf"} 3`,
+	} {
+		if !strings.Contains(b.String(), line) {
+			t.Fatalf("scrape missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestIngestDeltaAccumulates pins the steady-state path: successive delta
+// shipments accumulate in the ingesting registry to the source's totals.
+func TestIngestDeltaAccumulates(t *testing.T) {
+	src := NewRegistry()
+	dst := NewRegistry()
+	d := NewDeltaShipper(src, nil)
+	c := src.Counter("steps_total", "Steps.")
+	h := src.Histogram("lat", "Latency.", []float64{1})
+
+	c.Add(3)
+	h.Observe(0.5)
+	samples, _ := d.Collect()
+	dst.Ingest(samples, L("worker", "w0"))
+	c.Add(2)
+	h.Observe(2)
+	samples, _ = d.Collect()
+	dst.Ingest(samples, L("worker", "w0"))
+
+	wl := L("worker", "w0")
+	if got := dst.CounterWith("steps_total", "Steps.", wl).Value(); got != 5 {
+		t.Fatalf("accumulated counter = %d, want 5", got)
+	}
+	ih := dst.HistogramWith("lat", "Latency.", []float64{1}, wl)
+	if ih.Count() != 2 || ih.Sum() != 2.5 {
+		t.Fatalf("accumulated histogram count=%d sum=%g", ih.Count(), ih.Sum())
+	}
+}
+
+// TestIngestRejectsHostileSamples pins the guards: samples already
+// carrying an extra-label key are dropped (double ingestion), as are
+// histograms whose bucket layout clashes with the existing series.
+func TestIngestRejectsHostileSamples(t *testing.T) {
+	dst := NewRegistry()
+	dst.Ingest([]Sample{
+		{Name: "echo_total", Kind: "counter", Value: 7, Labels: []Label{L("worker", "w1")}},
+	}, L("worker", "w0"))
+	if n := len(dst.Snapshot()); n != 0 {
+		t.Fatalf("already-labeled sample ingested: %v", dst.Snapshot())
+	}
+
+	dst.Histogram("lat", "Latency.", []float64{1, 2}).Observe(0.5)
+	dst.Ingest([]Sample{
+		{Name: "lat", Kind: "histogram", Count: 1, Bounds: []float64{5}, Buckets: []int64{1}},
+	})
+	if got := dst.Histogram("lat", "Latency.", []float64{1, 2}).Count(); got != 1 {
+		t.Fatalf("bound-mismatched histogram corrupted the series: count %d", got)
+	}
+	// Bucket slice shorter than the bound slice: dropped, not misindexed.
+	dst.Ingest([]Sample{
+		{Name: "lat2", Kind: "histogram", Count: 3, Bounds: []float64{1, 2}, Buckets: []int64{1}},
+	})
+	if got := dst.Histogram("lat2", "", []float64{1, 2}).Count(); got != 0 {
+		t.Fatalf("short-bucket histogram ingested: count %d", got)
+	}
+}
+
+// TestIngestNaNGauge checks a NaN gauge value survives ingestion — loss
+// gauges go NaN on divergence and the fleet view must show that.
+func TestIngestNaNGauge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Ingest([]Sample{{Name: "loss", Kind: "gauge", Value: math.NaN()}}, L("worker", "w0"))
+	if got := dst.GaugeWith("loss", "", L("worker", "w0")).Value(); !math.IsNaN(got) {
+		t.Fatalf("ingested NaN gauge = %g", got)
+	}
+}
+
+// TestShipperCursorSurvivesRingAging checks EventsSince-based shipping
+// tolerates the tracer ring overwriting events between collects: aged
+// events are lost, not duplicated, and newer ones still ship.
+func TestShipperCursorSurvivesRingAging(t *testing.T) {
+	tr := NewTracer(4)
+	d := NewDeltaShipper(nil, tr)
+	d.Collect()
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Name: "e", Round: i, Start: time.Unix(0, int64(i))})
+	}
+	_, events := d.Collect()
+	if len(events) != 4 {
+		t.Fatalf("collected %d events from a capacity-4 ring, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Round != 6+i {
+			t.Fatalf("event %d has round %d, want %d (oldest-first, newest retained)", i, e.Round, 6+i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -19,6 +20,7 @@ type Event struct {
 	Start  time.Time     // wall-clock start
 	Dur    time.Duration // 0 for instantaneous events
 	Detail string        // optional free-form note ("reason=quorum", …)
+	Remote bool          // ingested from another process's telemetry shipment
 }
 
 // Tracer records Events into a fixed-capacity ring buffer: the most
@@ -30,6 +32,7 @@ type Tracer struct {
 	next    int   // ring write cursor
 	total   int64 // events ever recorded
 	started time.Time
+	lanes   map[int]string // worker slot → display name for trace lanes
 }
 
 // DefaultTraceEvents is the ring capacity NewTracer uses for capacity <= 0.
@@ -118,6 +121,59 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// EventsSince returns the events recorded after position cursor (0 for
+// "from the beginning") oldest-first, plus the cursor to pass next time.
+// Events that aged out of the ring before this call are silently gone —
+// the returned slice starts at the oldest still-buffered event.
+func (t *Tracer) EventsSince(cursor int64) ([]Event, int64) {
+	if t == nil {
+		return nil, cursor
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldest := t.total - int64(len(t.buf))
+	if cursor < oldest {
+		cursor = oldest
+	}
+	if cursor >= t.total {
+		return nil, t.total
+	}
+	out := make([]Event, 0, t.total-cursor)
+	for i := cursor; i < t.total; i++ {
+		out = append(out, t.buf[int(i%int64(cap(t.buf)))])
+	}
+	return out, t.total
+}
+
+// NameLane labels the trace lane for a worker slot; WriteChromeTrace
+// emits the name as thread metadata so chrome://tracing shows "w0",
+// "coordinator", … instead of bare thread IDs. Slot -1 is the
+// coordinator lane.
+func (t *Tracer) NameLane(worker int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.lanes == nil {
+		t.lanes = make(map[int]string)
+	}
+	t.lanes[worker] = name
+	t.mu.Unlock()
+}
+
+func (t *Tracer) laneNames() map[int]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string, len(t.lanes))
+	for k, v := range t.lanes {
+		out[k] = v
+	}
+	return out
+}
+
 // Dropped returns how many events were overwritten by newer ones.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
@@ -135,6 +191,7 @@ type jsonlEvent struct {
 	StartNS int64  `json:"start_ns"`
 	DurNS   int64  `json:"dur_ns"`
 	Detail  string `json:"detail,omitempty"`
+	Remote  bool   `json:"remote,omitempty"`
 }
 
 // WriteJSONL writes the buffered events oldest-first, one JSON object per
@@ -145,6 +202,7 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		je := jsonlEvent{
 			Name: e.Name, Round: e.Round, Worker: e.Worker,
 			StartNS: e.Start.UnixNano(), DurNS: e.Dur.Nanoseconds(), Detail: e.Detail,
+			Remote: e.Remote,
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -168,12 +226,29 @@ type chromeEvent struct {
 // JSON document loadable in chrome://tracing (or ui.perfetto.dev). Spans
 // become complete ("X") events; instantaneous records become instant
 // ("i") events. Worker slots map to thread IDs so each worker gets its
-// own lane; coordinator-wide phases land on tid 0.
+// own lane; coordinator-wide phases land on tid 0. Lanes registered via
+// NameLane come out as thread_name metadata, so a stitched fleet trace
+// reads "coordinator" / "w0" / "w1" instead of bare thread IDs.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := t.Events()
 	out := struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{TraceEvents: make([]chromeEvent, 0, len(events))}
+	lanes := t.laneNames()
+	slots := make([]int, 0, len(lanes))
+	for worker := range lanes {
+		slots = append(slots, worker)
+	}
+	sort.Ints(slots)
+	for _, worker := range slots {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   worker + 1,
+			Args:  map[string]any{"name": lanes[worker]},
+		})
+	}
 	for _, e := range events {
 		ce := chromeEvent{
 			Name:  e.Name,

@@ -128,6 +128,98 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// TestEventsSince pins the shipping cursor contract: incremental reads,
+// an up-to-date cursor returning nothing, and a stale cursor clamping to
+// the oldest still-buffered event after ring wraparound.
+func TestEventsSince(t *testing.T) {
+	tr := NewTracer(4)
+	ev, cur := tr.EventsSince(0)
+	if len(ev) != 0 || cur != 0 {
+		t.Fatalf("empty tracer EventsSince = %v, %d", ev, cur)
+	}
+	tr.Event("a", 0, -1, "")
+	tr.Event("b", 1, -1, "")
+	ev, cur = tr.EventsSince(cur)
+	if len(ev) != 2 || ev[0].Name != "a" || ev[1].Name != "b" || cur != 2 {
+		t.Fatalf("first read = %+v, cursor %d", ev, cur)
+	}
+	if ev, cur = tr.EventsSince(cur); len(ev) != 0 || cur != 2 {
+		t.Fatalf("caught-up read = %+v, cursor %d", ev, cur)
+	}
+	for i := 2; i < 9; i++ {
+		tr.Event("e", i, -1, "")
+	}
+	// Events 2..4 aged out of the capacity-4 ring; the stale cursor clamps
+	// to the oldest survivor (round 5) instead of rereading overwritten
+	// slots.
+	ev, cur = tr.EventsSince(cur)
+	if len(ev) != 4 || ev[0].Round != 5 || ev[3].Round != 8 || cur != 9 {
+		t.Fatalf("post-wraparound read = %+v, cursor %d", ev, cur)
+	}
+	var nilTr *Tracer
+	if ev, cur = nilTr.EventsSince(7); ev != nil || cur != 7 {
+		t.Fatalf("nil tracer EventsSince = %v, %d", ev, cur)
+	}
+}
+
+// TestChromeTraceLaneNames pins the stitched-trace lane metadata: NameLane
+// registrations come out as thread_name "M" events, sorted by slot, with
+// the coordinator (slot -1) on tid 0 and worker slots on tid slot+1.
+func TestChromeTraceLaneNames(t *testing.T) {
+	tr := NewTracer(8)
+	tr.NameLane(1, "w1")
+	tr.NameLane(-1, "coordinator")
+	tr.NameLane(0, "w0")
+	tr.Event("round", 0, -1, "")
+
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 3 metadata + 1 instant", len(doc.TraceEvents))
+	}
+	wantLanes := []struct {
+		tid  int
+		name string
+	}{{0, "coordinator"}, {1, "w0"}, {2, "w1"}}
+	for i, want := range wantLanes {
+		meta := doc.TraceEvents[i]
+		if meta.Phase != "M" || meta.Name != "thread_name" ||
+			meta.TID != want.tid || meta.Args["name"] != want.name {
+			t.Fatalf("lane metadata %d = %+v, want tid %d name %q", i, meta, want.tid, want.name)
+		}
+	}
+	// The nil tracer ignores NameLane.
+	var nilTr *Tracer
+	nilTr.NameLane(0, "x")
+}
+
+// TestJSONLMarksRemoteEvents checks ingested events keep their provenance
+// in the JSONL dump.
+func TestJSONLMarksRemoteEvents(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record(Event{Name: "local-train", Worker: 1, Start: time.Unix(0, 42), Remote: true})
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"remote":true`) {
+		t.Fatalf("remote flag not serialized: %s", b.String())
+	}
+}
+
 func TestDefaultRegistrySwap(t *testing.T) {
 	if Default() != nil {
 		t.Fatal("default registry not nil at start")

@@ -178,4 +178,11 @@ func TestObservabilityNoPerturbation(t *testing.T) {
 	if got := counterValue(reg, "coord_workers_joined_total"); got != obsWorkers {
 		t.Fatalf("coord_workers_joined_total = %g, want %d", got, obsWorkers)
 	}
+	// The instrumented run exercised the full telemetry shipping path —
+	// workers collected delta shipments and the coordinator ingested them —
+	// and the weights above still came out bit-identical. Guard against a
+	// vacuous pass here too.
+	if got := counterValue(reg, "coord_telemetry_frames_total"); got == 0 {
+		t.Fatal("instrumented coord run shipped no telemetry frames")
+	}
 }
